@@ -1,0 +1,91 @@
+"""Ablation — push/pull volume estimators and the imbalance term.
+
+Section III-C describes a progression of decision heuristics: pure
+communication volume (wrong for ~15 % of cases), volume + max-per-processor
+requests (the paper's final, near-optimal heuristic), and two sketched
+alternatives for the request count — binary search (our ``exact``) and
+histograms. This ablation runs all four against the exhaustive oracle on
+both families and tabulates decision quality.
+"""
+
+from __future__ import annotations
+
+import functools
+
+import sys
+from pathlib import Path
+
+if __package__ in (None, ""):  # standalone execution: python benchmarks/bench_*.py
+    sys.path.insert(0, str(Path(__file__).resolve().parent.parent))
+
+from benchmarks.common import (
+    BENCH_SCALE,
+    cached_rmat,
+    choose_roots,
+    print_table,
+)
+from repro.analysis.oracle import evaluate_decision_sequences
+from repro.core.config import SolverConfig
+
+VARIANTS = [
+    ("volume-only", {"pushpull_estimator": "expectation", "imbalance_weight": 0.0}),
+    ("expectation", {"pushpull_estimator": "expectation"}),
+    ("histogram", {"pushpull_estimator": "histogram"}),
+    ("exact", {"pushpull_estimator": "exact"}),
+]
+NUM_ROOTS = 6
+SCALE = BENCH_SCALE - 3
+
+
+@functools.lru_cache(maxsize=1)
+def compute_rows():
+    rows = []
+    for family in ("rmat1", "rmat2"):
+        graph = cached_rmat(SCALE, family)
+        roots = choose_roots(graph, NUM_ROOTS, seed=3)
+        for label, overrides in VARIANTS:
+            optimal = 0
+            worst = 1.0
+            for root in roots:
+                cfg = SolverConfig(delta=25, use_ios=True, use_pruning=True,
+                                   use_hybrid=True, **overrides)
+                rep = evaluate_decision_sequences(
+                    graph, int(root), config=cfg,
+                    num_ranks=4, threads_per_rank=4,
+                )
+                optimal += rep.heuristic_is_optimal
+                worst = max(worst, rep.slowdown_vs_best)
+            rows.append(
+                {
+                    "family": family.upper(),
+                    "estimator": label,
+                    "optimal": f"{optimal}/{len(roots)}",
+                    "optimal_count": optimal,
+                    "worst_slowdown": worst,
+                }
+            )
+    return rows
+
+
+def test_ablation_estimator(benchmark):
+    rows = benchmark.pedantic(compute_rows, rounds=1, iterations=1)
+    print_table(
+        [{k: v for k, v in r.items() if k != "optimal_count"} for r in rows],
+        "Ablation — decision estimators vs exhaustive oracle",
+    )
+    by = {(r["family"], r["estimator"]): r for r in rows}
+    for family in ("RMAT1", "RMAT2"):
+        # the exact estimator is optimal everywhere (the IV-G claim)
+        assert by[(family, "exact")]["optimal_count"] == NUM_ROOTS
+        # richer estimators never do worse than the volume-only baseline
+        assert (
+            by[(family, "exact")]["optimal_count"]
+            >= by[(family, "volume-only")]["optimal_count"]
+        )
+        assert (
+            by[(family, "expectation")]["worst_slowdown"] < 1.5
+        )
+
+
+if __name__ == "__main__":
+    print_table(compute_rows(), "Ablation — decision estimators")

@@ -1,0 +1,76 @@
+"""Ablation — hybridization threshold τ (Section III-D).
+
+The paper recommends τ = 0.4 after experimentation. This ablation sweeps τ
+from 0 (switch to Bellman-Ford immediately) to 1 (never switch) on both
+families and checks that the recommended value sits in the sweet spot:
+switching too early inflates relaxations (Bellman-Ford re-relaxes), too
+late keeps paying bucket overheads.
+"""
+
+from __future__ import annotations
+
+import functools
+
+import pytest
+
+import sys
+from pathlib import Path
+
+if __package__ in (None, ""):  # standalone execution: python benchmarks/bench_*.py
+    sys.path.insert(0, str(Path(__file__).resolve().parent.parent))
+
+from benchmarks.common import (
+    BENCH_SCALE,
+    cached_rmat,
+    choose_root,
+    default_machine,
+    print_table,
+)
+from repro.core.config import SolverConfig
+from repro.core.solver import solve_sssp
+
+TAUS = (0.0, 0.2, 0.4, 0.6, 0.8, 1.0)
+
+
+@functools.lru_cache(maxsize=1)
+def compute_rows():
+    rows = []
+    machine = default_machine(8)
+    for family in ("rmat1", "rmat2"):
+        graph = cached_rmat(BENCH_SCALE, family)
+        root = choose_root(graph, seed=0)
+        for tau in TAUS:
+            cfg = SolverConfig(delta=25, use_ios=True, use_pruning=True,
+                               use_hybrid=True, tau=tau)
+            res = solve_sssp(graph, root, algorithm=f"opt-tau{tau}",
+                             config=cfg, machine=machine)
+            rows.append(
+                {
+                    "family": family.upper(),
+                    "tau": tau,
+                    "gteps": res.gteps,
+                    "buckets": res.metrics.buckets_processed,
+                    "relaxations": res.metrics.total_relaxations,
+                    "bkt_ms": res.cost.bucket_time * 1e3,
+                }
+            )
+    return rows
+
+
+def test_ablation_tau(benchmark):
+    rows = benchmark.pedantic(compute_rows, rounds=1, iterations=1)
+    print_table(rows, "Ablation — hybrid switch threshold τ (paper: 0.4)")
+    for family in ("RMAT1", "RMAT2"):
+        sub = {r["tau"]: r for r in rows if r["family"] == family}
+        # relaxations decrease monotonically as the switch is delayed
+        relax = [sub[t]["relaxations"] for t in TAUS]
+        assert all(b <= a for a, b in zip(relax, relax[1:]))
+        # bucket overhead increases as the switch is delayed
+        assert sub[1.0]["bkt_ms"] > sub[0.0]["bkt_ms"]
+        # the paper's τ=0.4 performs within 20% of the best sweep point
+        best = max(r["gteps"] for r in sub.values())
+        assert sub[0.4]["gteps"] > 0.8 * best
+
+
+if __name__ == "__main__":
+    print_table(compute_rows(), "Ablation — hybrid switch threshold τ")

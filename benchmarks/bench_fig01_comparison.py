@@ -1,0 +1,79 @@
+"""Fig. 1 — Performance comparison table.
+
+The paper's Fig. 1 lists published BFS/SSSP processing rates and the two
+SSSP rows this paper contributes (650 GTEPS on 4,096 nodes, 3,100 GTEPS on
+32,768 nodes, RMAT-1). We regenerate the *our-system* rows on the simulated
+machine across its weak-scaling range and print them next to the paper's
+reference rows. Absolute rates differ (simulated laptop vs Blue Gene/Q);
+the reproduction claim is the scaling trend of the SSSP rows.
+"""
+
+from __future__ import annotations
+
+import functools
+
+import pytest
+
+import sys
+from pathlib import Path
+
+if __package__ in (None, ""):  # standalone execution: python benchmarks/bench_*.py
+    sys.path.insert(0, str(Path(__file__).resolve().parent.parent))
+
+from benchmarks.common import (
+    RMAT1,
+    VERTICES_PER_RANK_LOG2,
+    cached_rmat,
+    choose_root,
+    default_machine,
+    print_table,
+    run_algorithm,
+)
+
+PAPER_ROWS = [
+    {"source": "Madduri et al. [13]", "problem": "SSSP", "system": "Cray MTA-2 (40)",
+     "scale": 28, "gteps": 0.1},
+    {"source": "this paper", "problem": "SSSP", "system": "BG/Q 4,096 nodes",
+     "scale": 35, "gteps": 650},
+    {"source": "this paper", "problem": "SSSP", "system": "BG/Q 32,768 nodes",
+     "scale": 38, "gteps": 3100},
+]
+
+NODE_COUNTS = (4, 16, 64)
+
+
+@functools.lru_cache(maxsize=1)
+def compute_rows():
+    rows = []
+    for nodes in NODE_COUNTS:
+        scale = nodes.bit_length() - 1 + VERTICES_PER_RANK_LOG2
+        graph = cached_rmat(scale, "rmat1")
+        root = choose_root(graph, seed=0)
+        res = run_algorithm(graph, root, "lb-opt", 25, default_machine(nodes))
+        rows.append(
+            {
+                "source": "repro (simulated)",
+                "problem": "SSSP",
+                "system": f"sim {nodes} nodes",
+                "scale": scale,
+                "gteps": res.gteps,
+            }
+        )
+    return rows
+
+
+def test_fig01_comparison_table(benchmark):
+    graph = cached_rmat(VERTICES_PER_RANK_LOG2 + 2, "rmat1")
+    root = choose_root(graph, seed=0)
+    benchmark(
+        lambda: run_algorithm(graph, root, "lb-opt", 25, default_machine(4))
+    )
+    rows = compute_rows()
+    print_table(PAPER_ROWS + rows, "Fig. 1 — performance comparison (paper rows + simulated rows)")
+    # Scaling trend: simulated GTEPS grows with node count, as in the paper.
+    gteps = [r["gteps"] for r in rows]
+    assert gteps[-1] > gteps[0]
+
+
+if __name__ == "__main__":
+    print_table(PAPER_ROWS + compute_rows(), "Fig. 1 — performance comparison")

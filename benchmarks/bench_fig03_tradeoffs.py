@@ -1,0 +1,86 @@
+"""Fig. 3 — Number of phases (a) and relaxations (b) per algorithm.
+
+The paper's Fig. 3 compares Dijkstra (Δ=1), Δ-stepping at Δ ∈ {10, 25, 40},
+Hybrid, Prune and Bellman-Ford on both R-MAT families, establishing the
+work/phase trade-off of Section II-B:
+
+    work:    Dijkstra <= Δ-stepping <= Bellman-Ford
+    phases:  Bellman-Ford <= Δ-stepping <= Dijkstra
+
+with Prune beating even Dijkstra on relaxations and Hybrid approaching
+Bellman-Ford on phases.
+"""
+
+from __future__ import annotations
+
+import functools
+
+import pytest
+
+import sys
+from pathlib import Path
+
+if __package__ in (None, ""):  # standalone execution: python benchmarks/bench_*.py
+    sys.path.insert(0, str(Path(__file__).resolve().parent.parent))
+
+from benchmarks.common import (
+    BENCH_SCALE,
+    cached_rmat,
+    choose_root,
+    default_machine,
+    print_table,
+)
+from repro.analysis.phase_stats import algorithm_comparison
+
+SPECS = [
+    ("Dijkstra", "delta", 1),
+    ("Del-10", "delta", 10),
+    ("Del-25", "delta", 25),
+    ("Del-40", "delta", 40),
+    ("Hybrid-25", "opt", 25),
+    ("Prune-25", "prune", 25),
+    ("Bellman-Ford", "bellman-ford", 25),
+]
+
+
+@functools.lru_cache(maxsize=2)
+def compute_rows(family: str):
+    graph = cached_rmat(BENCH_SCALE, family)
+    root = choose_root(graph, seed=0)
+    rows = algorithm_comparison(
+        graph, root, SPECS, machine=default_machine(8)
+    )
+    for row in rows:
+        row["family"] = family.upper()
+    return rows
+
+
+def _by_name(rows):
+    return {r["algorithm"]: r for r in rows}
+
+
+@pytest.mark.parametrize("family", ["rmat1", "rmat2"])
+def test_fig03_tradeoffs(benchmark, family):
+    rows = benchmark.pedantic(
+        lambda: compute_rows(family), rounds=1, iterations=1
+    )
+    print_table(rows, f"Fig. 3 — phases and relaxations ({family.upper()})")
+    by = _by_name(rows)
+    # (a) phase ordering
+    assert by["Bellman-Ford"]["phases"] <= by["Del-25"]["phases"]
+    assert by["Del-25"]["phases"] <= by["Dijkstra"]["phases"]
+    # hybrid approaches Bellman-Ford
+    assert by["Hybrid-25"]["phases"] <= 3 * by["Bellman-Ford"]["phases"]
+    # (b) work ordering
+    assert by["Dijkstra"]["relaxations"] <= by["Del-25"]["relaxations"]
+    assert by["Del-25"]["relaxations"] <= by["Bellman-Ford"]["relaxations"]
+    # pruning beats Dijkstra (Section III-B headline)
+    assert by["Prune-25"]["relaxations"] < by["Dijkstra"]["relaxations"]
+
+
+if __name__ == "__main__":
+    for family in ("rmat1", "rmat2"):
+        print_table(
+            compute_rows(family),
+            f"Fig. 3 — phases and relaxations ({family.upper()})",
+        )

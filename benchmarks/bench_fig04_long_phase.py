@@ -1,0 +1,55 @@
+"""Fig. 4 — Dominance of long-edge phases.
+
+A sample Δ-stepping run's phase-wise relaxation distribution: with Δ small
+against w_max = 255, most edges are long, so the single long phase of each
+epoch carries far more relaxations than all its short phases together —
+the observation motivating the pruning heuristic (Section III-B).
+"""
+
+from __future__ import annotations
+
+import functools
+
+import sys
+from pathlib import Path
+
+if __package__ in (None, ""):  # standalone execution: python benchmarks/bench_*.py
+    sys.path.insert(0, str(Path(__file__).resolve().parent.parent))
+
+from benchmarks.common import (
+    BENCH_SCALE,
+    cached_rmat,
+    choose_root,
+    default_machine,
+    print_table,
+    run_algorithm,
+)
+from repro.analysis.phase_stats import phase_relaxation_series
+
+
+@functools.lru_cache(maxsize=1)
+def compute_series():
+    graph = cached_rmat(BENCH_SCALE, "rmat1")
+    root = choose_root(graph, seed=0)
+    res = run_algorithm(graph, root, "delta", 25, default_machine(8))
+    return phase_relaxation_series(res.metrics)
+
+
+def test_fig04_long_phase_dominance(benchmark):
+    series = benchmark.pedantic(compute_series, rounds=1, iterations=1)
+    print_table(series, "Fig. 4 — per-phase relaxations (Del-25, RMAT-1)")
+    long_work = sum(r["relaxations"] for r in series if r["kind"] == "long")
+    short_work = sum(r["relaxations"] for r in series if r["kind"] == "short")
+    total = long_work + short_work
+    print(
+        f"\nlong-phase share: {long_work / total:.1%} "
+        f"(paper: long phases dominate)"
+    )
+    assert long_work > short_work
+    # the dominance is strong, not marginal
+    assert long_work / total > 0.6
+
+
+if __name__ == "__main__":
+    series = compute_series()
+    print_table(series, "Fig. 4 — per-phase relaxations (Del-25, RMAT-1)")

@@ -1,0 +1,68 @@
+"""Fig. 7 — Push vs pull per-bucket edge census.
+
+For each bucket of a pruning run the paper tabulates the long arcs of the
+current bucket's members split into self / backward / forward classes, the
+number of pull requests eq. (1) would issue, and which model the decision
+heuristic picked. Early buckets (low-degree frontier still growing) favour
+push; the hub-laden buckets favour pull.
+"""
+
+from __future__ import annotations
+
+import functools
+
+import sys
+from pathlib import Path
+
+if __package__ in (None, ""):  # standalone execution: python benchmarks/bench_*.py
+    sys.path.insert(0, str(Path(__file__).resolve().parent.parent))
+
+from benchmarks.common import (
+    BENCH_SCALE,
+    cached_rmat,
+    choose_root,
+    default_machine,
+    print_table,
+)
+from repro.analysis.phase_stats import bucket_census_table
+from repro.core.config import SolverConfig
+from repro.core.solver import solve_sssp
+
+
+@functools.lru_cache(maxsize=1)
+def compute_rows():
+    graph = cached_rmat(BENCH_SCALE, "rmat1")
+    root = choose_root(graph, seed=0)
+    cfg = SolverConfig(
+        delta=25, use_ios=True, use_pruning=True, collect_census=True
+    )
+    res = solve_sssp(
+        graph, root, algorithm="prune-25", config=cfg, machine=default_machine(8)
+    )
+    rows = bucket_census_table(res.metrics)
+    keep = [
+        "bucket", "members", "self_edges", "backward_edges", "forward_edges",
+        "push_relaxations", "pull_requests", "pull_responses", "mode",
+    ]
+    return [{k: r.get(k, "") for k in keep} for r in rows]
+
+
+def test_fig07_bucket_census(benchmark):
+    rows = benchmark.pedantic(compute_rows, rounds=1, iterations=1)
+    print_table(rows, "Fig. 7 — per-bucket census (Prune-25, RMAT-1)")
+    assert rows
+    for r in rows:
+        assert (
+            r["self_edges"] + r["backward_edges"] + r["forward_edges"]
+            == r["push_relaxations"]
+        )
+    # Self and backward arcs — the redundancy pull prunes — exist.
+    assert sum(r["self_edges"] + r["backward_edges"] for r in rows) > 0
+    # Some bucket must be cheaper under pull than push (the Fig. 7 point):
+    assert any(
+        2 * r["pull_requests"] < r["push_relaxations"] for r in rows
+    )
+
+
+if __name__ == "__main__":
+    print_table(compute_rows(), "Fig. 7 — per-bucket census (Prune-25, RMAT-1)")

@@ -1,0 +1,56 @@
+"""Fig. 8 — Maximum degree by scale for the two R-MAT families.
+
+The paper's table shows RMAT-1 max degrees in the millions (2.4 M at scale
+28 up to 14.4 M at 32) against RMAT-2's tens of thousands, the skew that
+drives the load-balancing design. At reproduction scale the absolute values
+shrink but the family gap and the growth-with-scale remain.
+"""
+
+from __future__ import annotations
+
+import functools
+
+import sys
+from pathlib import Path
+
+if __package__ in (None, ""):  # standalone execution: python benchmarks/bench_*.py
+    sys.path.insert(0, str(Path(__file__).resolve().parent.parent))
+
+from benchmarks.common import BENCH_SCALE, cached_rmat, print_table
+from repro.graph.degree import degree_stats
+
+SCALES = tuple(range(BENCH_SCALE - 4, BENCH_SCALE + 1))
+
+PAPER = {
+    "RMAT1": {28: 2.4e6, 29: 3.8e6, 30: 5.9e6, 31: 9.4e6, 32: 14.4e6},
+    "RMAT2": {28: 31126, 29: 41237, 30: 54652, 31: 72158, 32: 95482},
+}
+
+
+@functools.lru_cache(maxsize=1)
+def compute_rows():
+    rows = []
+    for scale in SCALES:
+        row = {"scale": scale}
+        for family in ("rmat1", "rmat2"):
+            stats = degree_stats(cached_rmat(scale, family))
+            row[f"{family}_max_deg"] = stats.max_degree
+            row[f"{family}_skew"] = round(stats.skew_ratio, 1)
+        rows.append(row)
+    return rows
+
+
+def test_fig08_max_degree(benchmark):
+    rows = benchmark.pedantic(compute_rows, rounds=1, iterations=1)
+    print_table(rows, "Fig. 8 — max degree vs scale (both families)")
+    # family gap: RMAT-1 max degree exceeds RMAT-2 at every scale
+    for row in rows:
+        assert row["rmat1_max_deg"] > row["rmat2_max_deg"]
+    # growth with scale (allowing seed noise at adjacent scales)
+    assert rows[-1]["rmat1_max_deg"] > rows[0]["rmat1_max_deg"]
+    assert rows[-1]["rmat2_max_deg"] > rows[0]["rmat2_max_deg"]
+
+
+if __name__ == "__main__":
+    print_table(compute_rows(), "Fig. 8 — max degree vs scale")
+    print("\npaper values (scales 28-32):", PAPER)

@@ -1,0 +1,76 @@
+"""Fig. 9 — Δ-stepping performance across Δ (RMAT-1, weak scaling).
+
+The paper sweeps Δ from 1 (Dijkstra/Dial) to ∞ (Bellman-Ford): both
+extremes perform poorly — Dijkstra drowns in buckets, Bellman-Ford in
+redundant relaxations — and Δ between 10 and 50 is best. We reproduce the
+sweep at several weak-scaling points and check the U-shape.
+"""
+
+from __future__ import annotations
+
+import functools
+
+import pytest
+
+import sys
+from pathlib import Path
+
+if __package__ in (None, ""):  # standalone execution: python benchmarks/bench_*.py
+    sys.path.insert(0, str(Path(__file__).resolve().parent.parent))
+
+from benchmarks.common import (
+    VERTICES_PER_RANK_LOG2,
+    cached_rmat,
+    choose_root,
+    default_machine,
+    print_table,
+)
+from repro.analysis.sweep import delta_sweep
+from repro.core.config import DELTA_INFINITY
+
+DELTAS = (1, 5, 10, 25, 40, 100, DELTA_INFINITY)
+NODE_COUNTS = (4, 16)
+
+
+def _label(delta: int) -> str:
+    return "inf" if delta >= DELTA_INFINITY else str(delta)
+
+
+@functools.lru_cache(maxsize=1)
+def compute_rows():
+    rows = []
+    for nodes in NODE_COUNTS:
+        scale = nodes.bit_length() - 1 + VERTICES_PER_RANK_LOG2
+        graph = cached_rmat(scale, "rmat1")
+        root = choose_root(graph, seed=0)
+        machine = default_machine(nodes)
+        for r in delta_sweep(
+            graph, root, DELTAS, algorithm="delta",
+            num_ranks=nodes, threads_per_rank=machine.threads_per_rank,
+        ):
+            rows.append(
+                {
+                    "nodes": nodes,
+                    "scale": scale,
+                    "delta": _label(r["delta"]),
+                    "gteps": r["gteps"],
+                    "buckets": r["buckets"],
+                    "relaxations": r["relaxations"],
+                }
+            )
+    return rows
+
+
+def test_fig09_delta_sweep(benchmark):
+    rows = benchmark.pedantic(compute_rows, rounds=1, iterations=1)
+    print_table(rows, "Fig. 9 — Δ-stepping GTEPS vs Δ (RMAT-1)")
+    for nodes in NODE_COUNTS:
+        sub = {r["delta"]: r["gteps"] for r in rows if r["nodes"] == nodes}
+        best_mid = max(sub[d] for d in ("10", "25", "40"))
+        # both extremes lose to the mid-range (the paper's U-shape)
+        assert best_mid > sub["1"]
+        assert best_mid > sub["inf"]
+
+
+if __name__ == "__main__":
+    print_table(compute_rows(), "Fig. 9 — Δ-stepping GTEPS vs Δ (RMAT-1)")

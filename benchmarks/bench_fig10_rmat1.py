@@ -1,0 +1,113 @@
+"""Fig. 10(a)-(d) — RMAT-1 analysis of Del-25 vs Prune-25 vs OPT-25.
+
+The paper's panel shows, on RMAT-1 weak scaling:
+
+(a) GTEPS — pruning gives ~5x over the baseline, hybridization another
+    ~30 %, OPT-25 ≈ 8x the baseline at 2,048 nodes;
+(b) time breakdown — pruning attacks the relaxation time (OtherTime),
+    hybridization nearly eliminates the bucket overhead (BktTime);
+(c) relaxations per thread — pruning cuts them by ~6x;
+(d) number of buckets — Del-25 uses ~30, the hybrid converges in <= 5,
+    insensitive to scale.
+"""
+
+from __future__ import annotations
+
+import functools
+
+import pytest
+
+import sys
+from pathlib import Path
+
+if __package__ in (None, ""):  # standalone execution: python benchmarks/bench_*.py
+    sys.path.insert(0, str(Path(__file__).resolve().parent.parent))
+
+from benchmarks.common import (
+    VERTICES_PER_RANK_LOG2,
+    cached_rmat,
+    choose_root,
+    default_machine,
+    print_table,
+    run_algorithm,
+)
+
+ALGORITHMS = [("Del-25", "delta"), ("Prune-25", "prune"), ("OPT-25", "opt")]
+NODE_COUNTS = (2, 8, 32)
+FAMILY = "rmat1"
+
+
+@functools.lru_cache(maxsize=2)
+def compute_rows(family: str = FAMILY):
+    rows = []
+    for nodes in NODE_COUNTS:
+        scale = nodes.bit_length() - 1 + VERTICES_PER_RANK_LOG2
+        graph = cached_rmat(scale, family)
+        root = choose_root(graph, seed=0)
+        machine = default_machine(nodes)
+        for label, name in ALGORITHMS:
+            res = run_algorithm(graph, root, name, 25, machine)
+            total_threads = machine.total_threads
+            rows.append(
+                {
+                    "nodes": nodes,
+                    "scale": scale,
+                    "algorithm": label,
+                    "gteps": res.gteps,
+                    "bkt_ms": res.cost.bucket_time * 1e3,
+                    "other_ms": res.cost.other_time * 1e3,
+                    "relax_per_thread": res.metrics.total_relaxations
+                    / total_threads,
+                    "buckets": res.metrics.buckets_processed,
+                }
+            )
+    return rows
+
+
+def _at(rows, nodes, algorithm):
+    return next(
+        r for r in rows if r["nodes"] == nodes and r["algorithm"] == algorithm
+    )
+
+
+def test_fig10a_gteps(benchmark):
+    rows = benchmark.pedantic(compute_rows, rounds=1, iterations=1)
+    print_table(rows, "Fig. 10 — RMAT-1: Del-25 vs Prune-25 vs OPT-25")
+    for nodes in NODE_COUNTS:
+        del_, opt = _at(rows, nodes, "Del-25"), _at(rows, nodes, "OPT-25")
+        assert opt["gteps"] > 1.5 * del_["gteps"]
+
+
+def test_fig10b_time_breakdown(benchmark):
+    rows = benchmark.pedantic(compute_rows, rounds=1, iterations=1)
+    nodes = NODE_COUNTS[-1]
+    del_ = _at(rows, nodes, "Del-25")
+    prune = _at(rows, nodes, "Prune-25")
+    opt = _at(rows, nodes, "OPT-25")
+    # pruning attacks OtherTime, keeps BktTime roughly unchanged
+    assert prune["other_ms"] < del_["other_ms"]
+    assert prune["bkt_ms"] == pytest.approx(del_["bkt_ms"], rel=0.35)
+    # hybridization attacks BktTime
+    assert opt["bkt_ms"] < 0.5 * prune["bkt_ms"]
+
+
+def test_fig10c_relaxations(benchmark):
+    rows = benchmark.pedantic(compute_rows, rounds=1, iterations=1)
+    for nodes in NODE_COUNTS:
+        del_ = _at(rows, nodes, "Del-25")
+        prune = _at(rows, nodes, "Prune-25")
+        assert prune["relax_per_thread"] < del_["relax_per_thread"] / 1.5
+
+
+def test_fig10d_buckets(benchmark):
+    rows = benchmark.pedantic(compute_rows, rounds=1, iterations=1)
+    opt_buckets = [_at(rows, n, "OPT-25")["buckets"] for n in NODE_COUNTS]
+    del_buckets = [_at(rows, n, "Del-25")["buckets"] for n in NODE_COUNTS]
+    # hybrid converges in a handful of buckets, scale-insensitive
+    assert max(opt_buckets) <= 6
+    assert max(opt_buckets) - min(opt_buckets) <= 3
+    assert min(del_buckets) > max(opt_buckets)
+
+
+if __name__ == "__main__":
+    print_table(compute_rows(), "Fig. 10 — RMAT-1 analysis")

@@ -1,0 +1,80 @@
+"""Fig. 12 — Performance on large systems (both families).
+
+The paper's final table: GTEPS of the full algorithms (LB-OPT-25 with
+vertex splitting for RMAT-1, OPT-40 for RMAT-2) on 1,024-32,768 nodes,
+scales 33-39 — 3,107 and 1,480 GTEPS at the top. We reproduce the same
+weak-scaling protocol at the largest simulated configurations that fit a
+laptop run and check near-linear growth plus the family ordering
+(RMAT-1 faster than RMAT-2, by roughly 2x in the paper).
+"""
+
+from __future__ import annotations
+
+import functools
+
+import sys
+from pathlib import Path
+
+if __package__ in (None, ""):  # standalone execution: python benchmarks/bench_*.py
+    sys.path.insert(0, str(Path(__file__).resolve().parent.parent))
+
+from benchmarks.common import (
+    VERTICES_PER_RANK_LOG2,
+    cached_rmat,
+    choose_root,
+    default_machine,
+    print_table,
+    run_algorithm,
+)
+from repro.core.config import SolverConfig
+from repro.core.solver import solve_sssp
+
+NODE_COUNTS = (8, 16, 32, 64)
+
+PAPER_GTEPS = {
+    "RMAT1": {1024: 173, 2048: 331, 4096: 653, 8192: 1102, 16384: 1870, 32768: 3107},
+    "RMAT2": {1024: 70, 2048: 129, 4096: 244, 8192: 460, 16384: 840, 32768: 1480},
+}
+
+
+@functools.lru_cache(maxsize=1)
+def compute_rows():
+    rows = []
+    for nodes in NODE_COUNTS:
+        scale = nodes.bit_length() - 1 + VERTICES_PER_RANK_LOG2
+        machine = default_machine(nodes)
+        row = {"nodes": nodes, "scale": scale}
+        # RMAT-1: load-balanced OPT, delta = 25. The paper adds inter-node
+        # vertex splitting beyond scale 35, where single hubs outgrow a
+        # node; at reproduction scale the skew never reaches that regime
+        # and the proxy traffic would only add overhead (EXPERIMENTS.md),
+        # so the thread-level tier suffices here, exactly as the paper
+        # reports for its own scale<=35 runs.
+        graph1 = cached_rmat(scale, "rmat1")
+        res1 = run_algorithm(
+            graph1, choose_root(graph1, seed=0), "lb-opt", 25, machine
+        )
+        row["rmat1_gteps"] = res1.gteps
+        # RMAT-2: no load balancing needed, delta = 40 (the paper's choice).
+        graph2 = cached_rmat(scale, "rmat2")
+        res2 = run_algorithm(graph2, choose_root(graph2, seed=0), "opt", 40, machine)
+        row["rmat2_gteps"] = res2.gteps
+        rows.append(row)
+    return rows
+
+
+def test_fig12_large_scale(benchmark):
+    rows = benchmark.pedantic(compute_rows, rounds=1, iterations=1)
+    print_table(rows, "Fig. 12 — weak scaling of the final algorithms")
+    print("\npaper GTEPS (1k-32k nodes):", PAPER_GTEPS)
+    # near-linear weak scaling: each doubling of nodes grows GTEPS
+    for key in ("rmat1_gteps", "rmat2_gteps"):
+        series = [r[key] for r in rows]
+        assert all(b > 1.2 * a for a, b in zip(series, series[1:]))
+    # family ordering as in the paper: RMAT-1 faster than RMAT-2
+    for r in rows:
+        assert r["rmat1_gteps"] > r["rmat2_gteps"]
+
+
+if __name__ == "__main__":
+    print_table(compute_rows(), "Fig. 12 — weak scaling of the final algorithms")

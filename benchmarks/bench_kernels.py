@@ -1,0 +1,106 @@
+"""Library kernel microbenchmarks (wall-clock, multi-round).
+
+Unlike the ``bench_fig*`` modules (which regenerate paper figures against
+the simulated cost model), these time the Python/numpy kernels themselves
+with proper statistics — the regression guard for the library's own hot
+paths: range concatenation, grouped-min relaxation, R-MAT generation, CSR
+construction, weight-sorting, exchange accounting and a full solve.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+import sys
+from pathlib import Path
+
+if __package__ in (None, ""):  # standalone execution: python benchmarks/bench_*.py
+    sys.path.insert(0, str(Path(__file__).resolve().parent.parent))
+
+from benchmarks.common import cached_rmat, choose_root, default_machine
+from repro.core.relax import apply_relaxations
+from repro.core.solver import solve_sssp
+from repro.graph.builder import from_undirected_edges
+from repro.graph.partition import BlockPartition
+from repro.graph.rmat import rmat_edges
+from repro.runtime.comm import Communicator
+from repro.runtime.machine import MachineConfig
+from repro.runtime.metrics import Metrics
+from repro.util.ranges import concat_ranges
+
+N = 200_000
+rng = np.random.default_rng(0)
+
+
+def test_kernel_concat_ranges(benchmark):
+    starts = rng.integers(0, 1000, N)
+    ends = starts + rng.integers(0, 30, N)
+    idx, owners = benchmark(concat_ranges, starts, ends)
+    assert idx.size == owners.size
+
+
+def test_kernel_apply_relaxations(benchmark):
+    dst = rng.integers(0, N, N)
+    nd = rng.integers(0, 1000, N).astype(np.int64)
+
+    def run():
+        d = np.full(N, 10**9, dtype=np.int64)
+        return apply_relaxations(d, dst, nd)
+
+    changed = benchmark(run)
+    assert changed.size > 0
+
+
+def test_kernel_rmat_edge_stream(benchmark):
+    tails, heads = benchmark(rmat_edges, 14, 16)
+    assert tails.size == 16 << 14
+
+
+def test_kernel_csr_construction(benchmark):
+    tails, heads = rmat_edges(13, 16, seed=3)
+    weights = rng.integers(1, 256, tails.size).astype(np.int64)
+
+    g = benchmark(from_undirected_edges, tails, heads, weights, 1 << 13)
+    assert g.num_vertices == 1 << 13
+
+
+def test_kernel_weight_sort(benchmark):
+    g = cached_rmat(14, "rmat1")
+    # resort from the unsorted edge orientation each round
+    raw = from_undirected_edges(*g.to_edge_list(), g.num_vertices)
+    out = benchmark(lambda: raw.sorted_by_weight())
+    assert out.num_arcs == raw.num_arcs
+
+
+def test_kernel_exchange_accounting(benchmark):
+    machine = MachineConfig(num_ranks=32, threads_per_rank=2)
+    part = BlockPartition(N, 32)
+    src = rng.integers(0, N, N)
+    dst = rng.integers(0, N, N)
+
+    def run():
+        metrics = Metrics(num_ranks=32, threads_per_rank=2)
+        comm = Communicator(machine, part, metrics)
+        comm.exchange_by_vertex(src, dst, 16)
+        return metrics
+
+    metrics = benchmark(run)
+    assert metrics.total_bytes > 0
+
+
+def test_kernel_full_solve_wall_clock(benchmark):
+    graph = cached_rmat(13, "rmat1")
+    root = choose_root(graph, seed=0)
+    machine = default_machine(8)
+
+    result = benchmark(
+        lambda: solve_sssp(graph, root, algorithm="opt", delta=25,
+                           machine=machine)
+    )
+    assert result.num_reached > 0
+
+
+if __name__ == "__main__":
+    print("kernel benchmarks run via: pytest benchmarks/bench_kernels.py "
+          "--benchmark-only")

@@ -1,0 +1,107 @@
+"""Section IV-H — Real-life social graphs: Del-40 vs Opt-40.
+
+The paper reports ~2x improvement of OPT over baseline Δ-stepping (both at
+Δ=40) on Friendster, Orkut and LiveJournal, plus a Friendster scaling study
+(OPT 40 GTEPS vs baseline 20 GTEPS at 1,024 nodes). SNAP downloads are not
+available offline, so synthetic stand-ins with matched degree statistics
+substitute (see DESIGN.md); the degree skew driving the 2x result is
+preserved.
+"""
+
+from __future__ import annotations
+
+import functools
+
+import sys
+from pathlib import Path
+
+if __package__ in (None, ""):  # standalone execution: python benchmarks/bench_*.py
+    sys.path.insert(0, str(Path(__file__).resolve().parent.parent))
+
+from benchmarks.common import choose_root, default_machine, print_table, run_algorithm
+from repro.graph.social import synthetic_social_graph
+
+PAPER = {
+    "friendster": {"del40": 1.8, "opt40": 4.3},
+    "orkut": {"del40": 2.1, "opt40": 4.6},
+    "livejournal": {"del40": 1.1, "opt40": 2.2},
+}
+
+SCALE = 13
+SCALING_NODES = (2, 4, 8, 16)
+
+
+@functools.lru_cache(maxsize=1)
+def graphs():
+    return {
+        name: synthetic_social_graph(name, scale=SCALE, seed=7).sorted_by_weight()
+        for name in PAPER
+    }
+
+
+@functools.lru_cache(maxsize=1)
+def compute_rows():
+    machine = default_machine(8)
+    rows = []
+    for name, graph in graphs().items():
+        root = choose_root(graph, seed=0)
+        base = run_algorithm(graph, root, "delta", 40, machine)
+        opt = run_algorithm(graph, root, "lb-opt", 40, machine)
+        rows.append(
+            {
+                "graph": name,
+                "n": graph.num_vertices,
+                "m": graph.num_undirected_edges,
+                "del40_gteps": base.gteps,
+                "opt40_gteps": opt.gteps,
+                "speedup": opt.gteps / base.gteps,
+                "paper_speedup": PAPER[name]["opt40"] / PAPER[name]["del40"],
+            }
+        )
+    return rows
+
+
+@functools.lru_cache(maxsize=1)
+def compute_scaling_rows():
+    graph = graphs()["friendster"]
+    root = choose_root(graph, seed=0)
+    rows = []
+    for nodes in SCALING_NODES:
+        machine = default_machine(nodes)
+        base = run_algorithm(graph, root, "delta", 40, machine)
+        opt = run_algorithm(graph, root, "lb-opt", 40, machine)
+        rows.append(
+            {
+                "nodes": nodes,
+                "del40_gteps": base.gteps,
+                "opt40_gteps": opt.gteps,
+                "speedup": opt.gteps / base.gteps,
+            }
+        )
+    return rows
+
+
+def test_real_graphs_table(benchmark):
+    rows = benchmark.pedantic(compute_rows, rounds=1, iterations=1)
+    print_table(rows, "Sec. IV-H — social graphs: Del-40 vs Opt-40 (stand-ins)")
+    # OPT ≈ 2x over the baseline on every social graph (paper's headline);
+    # allow the flatter LiveJournal stand-in some slack.
+    for row in rows:
+        assert row["speedup"] > 1.25
+    assert max(row["speedup"] for row in rows) > 1.8
+
+
+def test_friendster_scaling(benchmark):
+    rows = benchmark.pedantic(compute_scaling_rows, rounds=1, iterations=1)
+    print_table(rows, "Sec. IV-H — Friendster stand-in scaling study")
+    # OPT stays ahead of the baseline across the whole range
+    assert all(r["speedup"] > 1.2 for r in rows)
+    # and scales: GTEPS grows with the node count (strong scaling here:
+    # fixed graph, growing machine)
+    series = [r["opt40_gteps"] for r in rows]
+    assert series[-1] > series[0]
+
+
+if __name__ == "__main__":
+    print_table(compute_rows(), "Sec. IV-H — social graphs (stand-ins)")
+    print_table(compute_scaling_rows(), "Sec. IV-H — Friendster scaling")

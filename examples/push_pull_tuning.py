@@ -1,0 +1,69 @@
+"""Inside the push/pull decision: census, estimators and the oracle.
+
+A guided tour of the pruning machinery of Sections III-B/III-C/IV-G:
+
+1. run with the per-bucket census enabled and print the self/backward/
+   forward edge classes that make push redundant on hub-heavy buckets;
+2. compare the expectation estimator's predictions against the exact
+   request counts;
+3. run the exhaustive 2^k decision oracle and verify the heuristic's
+   choices.
+
+Run:  python examples/push_pull_tuning.py
+"""
+
+from __future__ import annotations
+
+from repro import SolverConfig, rmat_graph, solve_sssp
+from repro.analysis.oracle import evaluate_decision_sequences
+from repro.graph.roots import choose_root
+from repro.util import format_table
+
+
+def census_tour(graph, root: int) -> None:
+    cfg = SolverConfig(delta=25, use_ios=True, use_pruning=True,
+                       collect_census=True)
+    res = solve_sssp(graph, root, algorithm="prune-25", config=cfg,
+                     num_ranks=8, threads_per_rank=8)
+    rows = []
+    for s in res.metrics.per_bucket_stats:
+        pull_cost = 2 * s["pull_requests"]
+        rows.append(
+            {
+                "bucket": s["bucket"],
+                "members": s["members"],
+                "self": s["self_edges"],
+                "backward": s["backward_edges"],
+                "forward": s["forward_edges"],
+                "push_cost": s["push_relaxations"],
+                "pull_cost<=": pull_cost,
+                "chosen": s["mode"],
+            }
+        )
+    print(format_table(rows, "per-bucket census (push relaxations vs pull bound)"))
+    redundant = sum(r["self"] + r["backward"] for r in rows)
+    total = sum(r["push_cost"] for r in rows)
+    print(f"\nself+backward (redundant under push): {redundant} of {total} "
+          f"long relaxations ({redundant / max(total, 1):.0%})")
+
+
+def oracle_tour(graph, root: int) -> None:
+    for estimator in ("expectation", "exact"):
+        cfg = SolverConfig(delta=25, use_ios=True, use_pruning=True,
+                           use_hybrid=True, pushpull_estimator=estimator)
+        rep = evaluate_decision_sequences(graph, root, config=cfg,
+                                          num_ranks=8, threads_per_rank=8)
+        print(f"\nestimator={estimator}:")
+        print(f"  buckets:   {rep.num_buckets} -> {2**rep.num_buckets} sequences")
+        print(f"  heuristic: {rep.heuristic_sequence}")
+        print(f"  best:      {rep.best_sequence}")
+        print(f"  optimal:   {rep.heuristic_is_optimal} "
+              f"(slowdown {rep.slowdown_vs_best:.3f}, "
+              f"worst sequence {rep.worst_time / rep.best_time:.2f}x best)")
+
+
+if __name__ == "__main__":
+    graph = rmat_graph(scale=12, seed=5).sorted_by_weight()
+    root = choose_root(graph, seed=0)
+    census_tour(graph, root)
+    oracle_tour(graph, root)

@@ -1,0 +1,132 @@
+"""Offline push/pull decision oracle (Section IV-G).
+
+The paper validates its push–pull decision heuristic by enumerating *all*
+``2^k`` per-bucket decision sequences (``k`` = number of Δ-stepping epochs),
+measuring the running time of each, and checking that the heuristic's
+sequence matches the best one. This module reproduces that validation
+routine against the simulated cost model.
+
+Because push and pull relax the same set of useful edges, the distance
+evolution — and hence the bucket sequence and ``k`` itself — is identical
+across all decision sequences, which is what makes the enumeration well
+defined.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+
+from repro.core.config import SolverConfig
+from repro.core.solver import solve_sssp
+from repro.graph.csr import CSRGraph
+from repro.runtime.machine import MachineConfig
+
+__all__ = ["OracleReport", "evaluate_decision_sequences"]
+
+MAX_ENUMERATED_BUCKETS = 14
+"""Safety cap: enumerating beyond 2^14 sequences is never needed at
+reproduction scale and would only burn time."""
+
+
+@dataclass
+class OracleReport:
+    """Outcome of the exhaustive decision-sequence evaluation."""
+
+    num_buckets: int
+    heuristic_sequence: tuple[str, ...]
+    heuristic_time: float
+    """Simulated time of the auto run, *including* its decision overheads."""
+    heuristic_replay_time: float
+    """Simulated time of the heuristic's sequence replayed without decision
+    overhead — the apples-to-apples number against :attr:`best_time`."""
+    best_sequence: tuple[str, ...]
+    best_time: float
+    worst_time: float
+    all_times: dict[tuple[str, ...], float] = field(repr=False, default_factory=dict)
+
+    @property
+    def heuristic_is_optimal(self) -> bool:
+        """True when the heuristic's *decision sequence* is the fastest one
+        (ties count) — the paper's Section IV-G criterion."""
+        return self.heuristic_replay_time <= self.best_time * (1 + 1e-12)
+
+    @property
+    def slowdown_vs_best(self) -> float:
+        """Replayed heuristic time over best time (1.0 = optimal)."""
+        if self.best_time == 0:
+            return 1.0
+        return self.heuristic_replay_time / self.best_time
+
+    @property
+    def decision_overhead(self) -> float:
+        """Extra simulated time the online decision itself costs."""
+        return self.heuristic_time - self.heuristic_replay_time
+
+
+def evaluate_decision_sequences(
+    graph: CSRGraph,
+    root: int,
+    *,
+    config: SolverConfig | None = None,
+    delta: int = 25,
+    machine: MachineConfig | None = None,
+    num_ranks: int = 8,
+    threads_per_rank: int = 8,
+) -> OracleReport:
+    """Enumerate all push/pull sequences and compare with the heuristic.
+
+    Runs the pruning algorithm once in ``auto`` mode to obtain the
+    heuristic's choices and the epoch count ``k``, then replays all ``2^k``
+    forced sequences, scoring each by simulated time.
+    """
+    if config is None:
+        config = SolverConfig(
+            delta=delta, use_ios=True, use_pruning=True, use_hybrid=True
+        )
+    if not config.use_pruning:
+        raise ValueError("oracle evaluation requires use_pruning=True")
+
+    auto = solve_sssp(
+        graph,
+        root,
+        algorithm="auto",
+        config=config.evolve(pushpull_mode="auto"),
+        machine=machine,
+        num_ranks=num_ranks,
+        threads_per_rank=threads_per_rank,
+    )
+    heuristic_sequence = tuple(
+        str(stats["mode"]) for stats in auto.metrics.per_bucket_stats
+    )
+    k = len(heuristic_sequence)
+    if k > MAX_ENUMERATED_BUCKETS:
+        raise ValueError(
+            f"{k} buckets would need 2^{k} runs; raise delta or enable "
+            "hybridization to keep the enumeration tractable"
+        )
+
+    all_times: dict[tuple[str, ...], float] = {}
+    for seq in itertools.product(("push", "pull"), repeat=k):
+        replay = solve_sssp(
+            graph,
+            root,
+            algorithm="seq",
+            config=config.evolve(pushpull_mode="sequence", pushpull_sequence=seq),
+            machine=machine,
+            num_ranks=num_ranks,
+            threads_per_rank=threads_per_rank,
+        )
+        all_times[seq] = replay.cost.total_time
+
+    best_sequence = min(all_times, key=all_times.get)
+    return OracleReport(
+        num_buckets=k,
+        heuristic_sequence=heuristic_sequence,
+        heuristic_time=auto.cost.total_time,
+        heuristic_replay_time=all_times[heuristic_sequence],
+        best_sequence=best_sequence,
+        best_time=all_times[best_sequence],
+        worst_time=max(all_times.values()),
+        all_times=all_times,
+    )

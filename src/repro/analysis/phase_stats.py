@@ -1,0 +1,78 @@
+"""Per-phase and per-bucket statistics extraction.
+
+Turns the raw counters of a run (:class:`repro.runtime.metrics.Metrics`)
+into the series the paper plots:
+
+- Fig. 3(a)/(b): phases and relaxations per algorithm variant;
+- Fig. 4: per-phase relaxation counts, showing the dominance of long
+  phases;
+- Fig. 7: per-bucket self/backward/forward edge census with push vs. pull
+  request counts.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Sequence
+
+from repro.core.solver import SsspResult, solve_sssp
+from repro.graph.csr import CSRGraph
+from repro.runtime.machine import MachineConfig
+from repro.runtime.metrics import Metrics
+
+__all__ = [
+    "phase_relaxation_series",
+    "bucket_census_table",
+    "algorithm_comparison",
+]
+
+
+def phase_relaxation_series(metrics: Metrics) -> list[dict[str, Any]]:
+    """Fig. 4 data: one row per phase with kind and relaxation count."""
+    return [
+        {"phase": i, "kind": kind, "relaxations": count}
+        for i, (kind, count) in enumerate(metrics.per_phase_relaxations)
+    ]
+
+
+def bucket_census_table(metrics: Metrics) -> list[dict[str, Any]]:
+    """Fig. 7 data: per-bucket census rows (requires ``collect_census``)."""
+    return [dict(row) for row in metrics.per_bucket_stats]
+
+
+def algorithm_comparison(
+    graph: CSRGraph,
+    root: int,
+    specs: Sequence[tuple[str, str, int]],
+    *,
+    machine: MachineConfig | None = None,
+    num_ranks: int = 8,
+    threads_per_rank: int = 8,
+) -> list[dict[str, Any]]:
+    """Fig. 3 driver: run several algorithm variants on one graph.
+
+    ``specs`` is a sequence of ``(label, preset_name, delta)``; the result
+    is one summary row per variant (phases, relaxations, buckets, simulated
+    GTEPS) suitable for :func:`repro.util.format_table`.
+    """
+    rows: list[dict[str, Any]] = []
+    for label, name, delta in specs:
+        result: SsspResult = solve_sssp(
+            graph,
+            root,
+            algorithm=name,
+            delta=delta,
+            machine=machine,
+            num_ranks=num_ranks,
+            threads_per_rank=threads_per_rank,
+        )
+        rows.append(
+            {
+                "algorithm": label,
+                "phases": result.metrics.total_phases,
+                "relaxations": result.metrics.total_relaxations,
+                "buckets": result.metrics.buckets_processed,
+                "gteps": result.gteps,
+                "time_s": result.cost.total_time,
+            }
+        )
+    return rows

@@ -1,0 +1,123 @@
+"""Parameter sweeps and weak-scaling drivers (Fig. 9–12).
+
+The paper's scaling experiments are *weak scaling*: the number of vertices
+per node is fixed (2^23 on Blue Gene/Q; configurable here) and the node
+count grows, so the graph scale grows with the machine. These drivers
+generate the graph for each configuration, run the requested algorithm
+variants, and return one summary row per point — exactly the series the
+paper's figures plot.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Sequence
+
+from repro.core.config import SolverConfig
+from repro.core.solver import solve_sssp
+from repro.graph.csr import CSRGraph
+from repro.graph.rmat import RMATParams, rmat_graph
+from repro.graph.roots import choose_root
+from repro.runtime.machine import MachineConfig
+
+__all__ = ["delta_sweep", "weak_scaling"]
+
+
+def delta_sweep(
+    graph: CSRGraph,
+    root: int,
+    deltas: Sequence[int],
+    *,
+    algorithm: str = "delta",
+    num_ranks: int = 8,
+    threads_per_rank: int = 8,
+    config_overrides: dict[str, Any] | None = None,
+) -> list[dict[str, Any]]:
+    """Fig. 9 driver: run one algorithm across a range of Δ values."""
+    rows: list[dict[str, Any]] = []
+    for delta in deltas:
+        result = solve_sssp(
+            graph,
+            root,
+            algorithm=algorithm,
+            delta=delta,
+            config=(
+                None
+                if not config_overrides
+                else _preset_with_overrides(algorithm, delta, config_overrides)
+            ),
+            num_ranks=num_ranks,
+            threads_per_rank=threads_per_rank,
+        )
+        rows.append(
+            {
+                "delta": delta,
+                "gteps": result.gteps,
+                "relaxations": result.metrics.total_relaxations,
+                "phases": result.metrics.total_phases,
+                "buckets": result.metrics.buckets_processed,
+                "time_s": result.cost.total_time,
+            }
+        )
+    return rows
+
+
+def _preset_with_overrides(
+    algorithm: str, delta: int, overrides: dict[str, Any]
+) -> SolverConfig:
+    from repro.core.config import preset
+
+    return preset(algorithm, delta).evolve(**overrides)
+
+
+def weak_scaling(
+    node_counts: Sequence[int],
+    params: RMATParams,
+    *,
+    vertices_per_rank_log2: int = 12,
+    algorithms: Sequence[tuple[str, str, int]] = (("OPT-25", "opt", 25),),
+    threads_per_rank: int = 8,
+    edge_factor: int = 16,
+    seed: int = 0,
+    root: int | None = None,
+    machine_factory=None,
+) -> list[dict[str, Any]]:
+    """Fig. 10/11/12 driver: weak scaling over simulated node counts.
+
+    For each node count ``P`` a fresh R-MAT graph of scale
+    ``log2(P) + vertices_per_rank_log2`` is generated (the paper's
+    weak-scaling protocol with 2^23 vertices per node, shrunk to
+    reproduction scale) and each requested algorithm variant runs on a
+    ``P``-rank machine. One row per (P, algorithm).
+    """
+    rows: list[dict[str, Any]] = []
+    for nodes in node_counts:
+        if nodes < 1 or nodes & (nodes - 1):
+            raise ValueError("node counts must be powers of two")
+        scale = nodes.bit_length() - 1 + vertices_per_rank_log2
+        graph = rmat_graph(
+            scale, edge_factor=edge_factor, params=params, seed=seed + scale
+        )
+        machine = (
+            machine_factory(nodes)
+            if machine_factory is not None
+            else MachineConfig(num_ranks=nodes, threads_per_rank=threads_per_rank)
+        )
+        run_root = choose_root(graph, seed=seed) if root is None else root
+        for label, name, delta in algorithms:
+            result = solve_sssp(
+                graph, run_root, algorithm=name, delta=delta, machine=machine
+            )
+            rows.append(
+                {
+                    "nodes": nodes,
+                    "scale": scale,
+                    "algorithm": label,
+                    "gteps": result.gteps,
+                    "relaxations": result.metrics.total_relaxations,
+                    "buckets": result.metrics.buckets_processed,
+                    "time_s": result.cost.total_time,
+                    "bkt_s": result.cost.bucket_time,
+                    "other_s": result.cost.other_time,
+                }
+            )
+    return rows

@@ -1,0 +1,82 @@
+"""Execution-trace extraction: the StepRecord stream as a priced timeline.
+
+A run's :class:`~repro.runtime.metrics.Metrics` carries the raw event
+stream; this module turns it into the per-event timeline that performance
+debugging needs — each record priced by the cost model, with cumulative
+simulated time — plus aggregations by phase kind and a compact text
+rendering.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from repro.runtime.costmodel import _compute_unit_cost
+from repro.runtime.machine import MachineConfig
+from repro.runtime.metrics import Metrics
+
+__all__ = ["timeline", "time_by_phase_kind", "render_timeline"]
+
+
+def timeline(metrics: Metrics, machine: MachineConfig) -> list[dict[str, Any]]:
+    """One row per step record, priced and time-stamped.
+
+    Columns: ``step``, ``kind``, ``phase``, ``cost_s`` (the record's
+    simulated duration) and ``t_s`` (cumulative simulated time at the end
+    of the record). The final ``t_s`` equals the cost model's total time.
+    """
+    t_allreduce = machine.allreduce_time()
+    rows: list[dict[str, Any]] = []
+    t = 0.0
+    for i, rec in enumerate(metrics.records):
+        if rec.kind == "exchange":
+            cost = machine.alpha * rec.msgs_max + machine.beta * rec.bytes_max
+        elif rec.kind == "allreduce":
+            cost = rec.allreduces * t_allreduce
+        else:
+            cost = rec.comp_max * _compute_unit_cost(rec.kind, machine)
+        t += cost
+        rows.append(
+            {
+                "step": i,
+                "kind": rec.kind,
+                "phase": rec.phase_kind,
+                "cost_s": cost,
+                "t_s": t,
+            }
+        )
+    return rows
+
+
+def time_by_phase_kind(
+    metrics: Metrics, machine: MachineConfig
+) -> dict[str, float]:
+    """Simulated seconds per paper-level phase tag (short/long/bf/bucket)."""
+    out: dict[str, float] = {}
+    for row in timeline(metrics, machine):
+        out[row["phase"]] = out.get(row["phase"], 0.0) + row["cost_s"]
+    return out
+
+
+def render_timeline(
+    metrics: Metrics,
+    machine: MachineConfig,
+    *,
+    top: int = 20,
+) -> str:
+    """Text rendering of the ``top`` most expensive records.
+
+    A quick profiler view: where did the simulated time go?
+    """
+    rows = timeline(metrics, machine)
+    total = rows[-1]["t_s"] if rows else 0.0
+    expensive = sorted(rows, key=lambda r: r["cost_s"], reverse=True)[:top]
+    lines = [f"total simulated time: {total * 1e3:.3f} ms; "
+             f"{len(rows)} records; top {len(expensive)} by cost:"]
+    for r in expensive:
+        share = r["cost_s"] / total if total else 0.0
+        lines.append(
+            f"  #{r['step']:>5} {r['kind']:<16} {r['phase']:<7} "
+            f"{r['cost_s'] * 1e6:>10.2f} us  {share:>6.1%}"
+        )
+    return "\n".join(lines)

@@ -1,0 +1,22 @@
+"""Applications built on the SSSP core.
+
+- :mod:`repro.apps.graph500` — the full Graph 500 SSSP benchmark protocol
+  (generate, sample 64 search keys, solve, structurally validate, report
+  harmonic-mean TEPS);
+- :mod:`repro.apps.centrality` — closeness and (Brandes) betweenness
+  centrality, the complex-network analyses the paper's introduction cites
+  as SSSP consumers.
+"""
+
+from repro.apps.centrality import (
+    betweenness_centrality,
+    closeness_centrality,
+)
+from repro.apps.graph500 import Graph500Result, run_graph500
+
+__all__ = [
+    "Graph500Result",
+    "betweenness_centrality",
+    "closeness_centrality",
+    "run_graph500",
+]

@@ -1,0 +1,209 @@
+"""Command-line interface.
+
+Four subcommands cover the common workflows::
+
+    python -m repro solve     --scale 13 --algorithm opt --delta 25
+    python -m repro compare   --scale 12 --delta 25
+    python -m repro graph500  --scale 12 --roots 16
+    python -m repro sweep     --scale 12 --deltas 1,10,25,40,100
+
+All graph and machine knobs are flags; output is the same plain-text
+tables the benchmark harness prints.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Sequence
+
+from repro.analysis.phase_stats import algorithm_comparison
+from repro.analysis.sweep import delta_sweep
+from repro.apps.graph500 import run_graph500
+from repro.core.config import PRESETS
+from repro.core.solver import solve_sssp
+from repro.graph.rmat import RMAT1, RMAT2, rmat_graph
+from repro.graph.roots import choose_root
+from repro.runtime.machine import MachineConfig
+from repro.util.tables import format_table
+
+__all__ = ["main", "build_parser"]
+
+
+def _add_graph_args(p: argparse.ArgumentParser) -> None:
+    p.add_argument("--scale", type=int, default=12,
+                   help="log2 of the vertex count (default 12)")
+    p.add_argument("--edge-factor", type=int, default=16,
+                   help="undirected edges per vertex (default 16)")
+    p.add_argument("--family", choices=["rmat1", "rmat2"], default="rmat1",
+                   help="R-MAT parameter set (default rmat1)")
+    p.add_argument("--seed", type=int, default=0, help="generator seed")
+    p.add_argument("--max-weight", type=int, default=255,
+                   help="maximum edge weight (default 255)")
+
+
+def _add_machine_args(p: argparse.ArgumentParser) -> None:
+    p.add_argument("--ranks", type=int, default=8,
+                   help="simulated nodes (default 8)")
+    p.add_argument("--threads", type=int, default=16,
+                   help="threads per node (default 16)")
+
+
+def _make_graph(args: argparse.Namespace):
+    params = RMAT1 if args.family == "rmat1" else RMAT2
+    return rmat_graph(args.scale, args.edge_factor, params,
+                      seed=args.seed, max_weight=args.max_weight)
+
+
+def _machine(args: argparse.Namespace) -> MachineConfig:
+    return MachineConfig(num_ranks=args.ranks, threads_per_rank=args.threads)
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """Construct the argument parser with all four subcommands."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Scalable SSSP reproduction (IPDPS 2014) on a simulated "
+                    "massively parallel machine",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p_solve = sub.add_parser("solve", help="run one SSSP solve")
+    _add_graph_args(p_solve)
+    _add_machine_args(p_solve)
+    p_solve.add_argument("--algorithm", choices=sorted(PRESETS), default="opt")
+    p_solve.add_argument("--delta", type=int, default=25)
+    p_solve.add_argument("--root", type=int, default=None,
+                         help="source vertex (default: sampled non-isolated)")
+    p_solve.add_argument("--validate", action="store_true",
+                         help="cross-check against sequential Dijkstra")
+    p_solve.add_argument("--json", metavar="PATH", default=None,
+                         help="also write a JSON report to PATH ('-' = stdout)")
+
+    p_cmp = sub.add_parser("compare", help="compare the algorithm family")
+    _add_graph_args(p_cmp)
+    _add_machine_args(p_cmp)
+    p_cmp.add_argument("--delta", type=int, default=25)
+
+    p_g500 = sub.add_parser("graph500", help="run the Graph 500 SSSP protocol")
+    _add_graph_args(p_g500)
+    _add_machine_args(p_g500)
+    p_g500.add_argument("--algorithm", choices=sorted(PRESETS), default="opt")
+    p_g500.add_argument("--delta", type=int, default=25)
+    p_g500.add_argument("--roots", type=int, default=16,
+                        help="number of search keys (official: 64)")
+
+    p_sweep = sub.add_parser("sweep", help="sweep the bucket width Δ")
+    _add_graph_args(p_sweep)
+    _add_machine_args(p_sweep)
+    p_sweep.add_argument("--algorithm", choices=sorted(PRESETS), default="delta")
+    p_sweep.add_argument("--deltas", default="1,10,25,40,100",
+                         help="comma-separated Δ values")
+
+    p_bfs = sub.add_parser("bfs", help="run direction-optimizing BFS")
+    _add_graph_args(p_bfs)
+    _add_machine_args(p_bfs)
+    p_bfs.add_argument("--direction", choices=["auto", "top-down", "bottom-up"],
+                       default="auto")
+    p_bfs.add_argument("--root", type=int, default=None)
+    return parser
+
+
+def _cmd_solve(args: argparse.Namespace) -> int:
+    graph = _make_graph(args)
+    root = args.root if args.root is not None else choose_root(graph, seed=args.seed)
+    res = solve_sssp(graph, root, algorithm=args.algorithm, delta=args.delta,
+                     machine=_machine(args), validate=args.validate)
+    print(f"graph: {graph}")
+    print(f"root:  {root}")
+    print(format_table([res.summary()], "result"))
+    print(format_table([res.cost.as_row()], "simulated time breakdown"))
+    if args.json is not None:
+        from repro.util.reports import dump_json, sssp_report
+
+        text = dump_json(sssp_report(res),
+                         None if args.json == "-" else args.json)
+        if args.json == "-":
+            print(text)
+    return 0
+
+
+def _cmd_compare(args: argparse.Namespace) -> int:
+    graph = _make_graph(args)
+    root = choose_root(graph, seed=args.seed)
+    d = args.delta
+    rows = algorithm_comparison(
+        graph, root,
+        [
+            ("Dijkstra", "delta", 1),
+            (f"Del-{d}", "delta", d),
+            (f"Prune-{d}", "prune", d),
+            (f"OPT-{d}", "opt", d),
+            (f"LB-OPT-{d}", "lb-opt", d),
+            ("Bellman-Ford", "bellman-ford", d),
+        ],
+        machine=_machine(args),
+    )
+    print(format_table(rows, f"algorithm family on {graph}"))
+    return 0
+
+
+def _cmd_graph500(args: argparse.Namespace) -> int:
+    params = RMAT1 if args.family == "rmat1" else RMAT2
+    res = run_graph500(
+        args.scale, edge_factor=args.edge_factor, params=params,
+        num_roots=args.roots, algorithm=args.algorithm, delta=args.delta,
+        machine=_machine(args), seed=args.seed,
+    )
+    print(format_table(res.per_root, "per-root results"))
+    print(format_table([res.summary()], "Graph 500 summary (harmonic-mean GTEPS)"))
+    return 0 if res.all_valid else 1
+
+
+def _cmd_sweep(args: argparse.Namespace) -> int:
+    graph = _make_graph(args)
+    root = choose_root(graph, seed=args.seed)
+    deltas = [int(x) for x in args.deltas.split(",") if x]
+    rows = delta_sweep(graph, root, deltas, algorithm=args.algorithm,
+                       num_ranks=args.ranks, threads_per_rank=args.threads)
+    print(format_table(rows, f"Δ sweep of {args.algorithm} on {graph}"))
+    return 0
+
+
+def _cmd_bfs(args: argparse.Namespace) -> int:
+    from repro.bfs import run_bfs
+
+    graph = _make_graph(args)
+    root = args.root if args.root is not None else choose_root(graph, seed=args.seed)
+    res = run_bfs(graph, root, machine=_machine(args), direction=args.direction)
+    print(f"graph: {graph}")
+    print(f"root:  {root}; reached {res.num_reached} vertices in "
+          f"{res.num_levels} levels")
+    print("direction per level:", " ".join(res.direction_per_level))
+    row = {
+        "gteps": res.gteps,
+        "edges_examined": res.metrics.total_relaxations,
+        "bytes": res.metrics.total_bytes,
+        "time_s": res.cost.total_time,
+    }
+    print(format_table([row], "BFS result"))
+    return 0
+
+
+_COMMANDS = {
+    "solve": _cmd_solve,
+    "compare": _cmd_compare,
+    "graph500": _cmd_graph500,
+    "sweep": _cmd_sweep,
+    "bfs": _cmd_bfs,
+}
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    """Entry point; returns a process exit code."""
+    args = build_parser().parse_args(argv)
+    return _COMMANDS[args.command](args)
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via __main__
+    sys.exit(main())

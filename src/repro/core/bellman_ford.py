@@ -1,0 +1,86 @@
+"""Distributed Bellman-Ford (Section II-A).
+
+Used in two places: standalone as the Δ = ∞ baseline, and as the tail stage
+of the hybridization strategy (Section III-D), which collapses all buckets
+past the switch point into one and finishes with Bellman-Ford iterations.
+
+Each iteration relaxes *all* incident arcs of every active vertex (a vertex
+is active when its tentative distance changed in the previous iteration);
+iterations are bulk-synchronous with one termination allreduce each.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.context import ExecutionContext
+from repro.core.distances import init_distances
+from repro.core.relax import apply_relaxations
+from repro.runtime.comm import RELAX_RECORD_BYTES
+from repro.runtime.metrics import ComputeKind
+from repro.util.ranges import concat_ranges
+
+__all__ = ["run_bellman_ford", "bellman_ford_stage"]
+
+
+def bellman_ford_stage(
+    ctx: ExecutionContext,
+    d: np.ndarray,
+    initial_active: np.ndarray,
+) -> int:
+    """Run Bellman-Ford iterations from an arbitrary starting state.
+
+    Parameters
+    ----------
+    ctx:
+        Execution context (graph, accounting).
+    d:
+        Tentative distances, updated in place.
+    initial_active:
+        Vertices considered active in the first iteration.
+
+    Returns
+    -------
+    Number of iterations (phases) executed.
+    """
+    graph = ctx.graph
+    indptr, adj, weights = graph.indptr, graph.adj, graph.weights
+    active = np.asarray(initial_active, dtype=np.int64)
+    iterations = 0
+    while True:
+        # Global check whether any rank still has active vertices.
+        ctx.comm.allreduce(1, phase_kind="bucket")
+        if active.size == 0:
+            break
+        iterations += 1
+        # Building the active list is a scan over last phase's changed set.
+        per_rank = np.bincount(
+            np.asarray(ctx.partition.owner(active), dtype=np.int64),
+            minlength=ctx.machine.num_ranks,
+        )
+        ctx.charge_scan(per_rank)
+        # Relax every incident arc of every active vertex.
+        arcs, owner_idx = concat_ranges(indptr[active], indptr[active + 1])
+        src = active[owner_idx]
+        dst = adj[arcs]
+        nd = d[src] + weights[arcs]
+        ctx.charge(
+            ComputeKind.BF_RELAX,
+            active,
+            (indptr[active + 1] - indptr[active]).astype(np.float64),
+            phase_kind="bf",
+        )
+        ctx.comm.exchange_by_vertex(src, dst, RELAX_RECORD_BYTES, phase_kind="bf")
+        ctx.charge(
+            ComputeKind.BF_RELAX, dst, None, phase_kind="bf", count_as_relax=True
+        )
+        ctx.metrics.note_phase("bf", dst.size)
+        active = apply_relaxations(d, dst, nd)
+    return iterations
+
+
+def run_bellman_ford(ctx: ExecutionContext, root: int) -> np.ndarray:
+    """Full Bellman-Ford SSSP from ``root``. Returns the distance array."""
+    d = init_distances(ctx.graph.num_vertices, root)
+    bellman_ford_stage(ctx, d, np.array([root], dtype=np.int64))
+    return d

@@ -1,0 +1,46 @@
+"""Bucket bookkeeping for the Δ-stepping family.
+
+Vertices live in buckets by tentative distance: bucket ``k`` holds vertices
+with ``d in [kΔ, (k+1)Δ)`` (Section II-A). These helpers compute bucket
+indices and membership masks vectorised over the whole distance array; the
+engine charges the corresponding scan work separately.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.distances import INF
+
+__all__ = ["bucket_index", "bucket_members", "next_bucket", "NO_BUCKET"]
+
+NO_BUCKET = -1
+"""Returned by :func:`next_bucket` when only B-infinity remains."""
+
+
+def bucket_index(d: np.ndarray, delta: int) -> np.ndarray:
+    """Bucket index ``floor(d / Δ)`` per vertex (-1 for unreached)."""
+    out = np.where(d < INF, d // delta, np.int64(NO_BUCKET))
+    return out.astype(np.int64)
+
+
+def bucket_members(
+    d: np.ndarray, settled: np.ndarray, k: int, delta: int
+) -> np.ndarray:
+    """Unsettled vertices currently in bucket ``k`` (sorted ids)."""
+    lo = k * delta
+    hi = lo + delta
+    mask = (d >= lo) & (d < hi) & ~settled
+    return np.nonzero(mask)[0].astype(np.int64)
+
+
+def next_bucket(d: np.ndarray, settled: np.ndarray, delta: int) -> int:
+    """Smallest bucket index holding an unsettled reached vertex.
+
+    Returns :data:`NO_BUCKET` when every reached vertex is settled (the
+    algorithm terminates: only B-infinity is non-empty).
+    """
+    mask = (d < INF) & ~settled
+    if not mask.any():
+        return NO_BUCKET
+    return int(d[mask].min() // delta)

@@ -1,0 +1,198 @@
+"""Execution context shared by all distributed kernels.
+
+Bundles the immutable per-run state — the (weight-sorted) graph, the vertex
+partition, the machine model, the metrics sink and the accounting
+communicator — plus the derived per-vertex edge-classification tables the
+paper computes in its preprocessing stage (short-edge offsets and long-edge
+degrees used by the push/pull volume estimator).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.core.config import SolverConfig
+from repro.core.histograms import WeightHistogram, build_weight_histogram
+from repro.graph.csr import CSRGraph
+from repro.graph.partition import (
+    BlockPartition,
+    ContiguousPartition,
+    DegreeBalancedPartition,
+)
+from repro.runtime.comm import Communicator
+from repro.runtime.machine import MachineConfig
+from repro.runtime.metrics import ComputeKind, Metrics
+from repro.runtime.work import thread_work, thread_work_balanced
+
+__all__ = ["ExecutionContext", "make_context"]
+
+
+@dataclass
+class ExecutionContext:
+    """Everything a distributed SSSP kernel needs for one run."""
+
+    graph: CSRGraph
+    partition: ContiguousPartition
+    machine: MachineConfig
+    metrics: Metrics
+    comm: Communicator
+    config: SolverConfig
+    short_offsets: np.ndarray
+    """Per-vertex count of short out-edges (weight < Δ); weight-sorted prefix."""
+    long_degrees: np.ndarray
+    """Per-vertex count of long out-edges (weight >= Δ) — the push-volume table."""
+    reverse_graph: CSRGraph | None = None
+    """Weight-sorted reverse graph for directed inputs (None = undirected:
+    the forward adjacency doubles as the in-edge list)."""
+    reverse_short_offsets: np.ndarray | None = None
+    reverse_long_degrees: np.ndarray | None = None
+    heavy_threshold: float = field(default=float("inf"))
+    """Intra-node heaviness threshold π in work units (inf = LB disabled)."""
+    weight_histogram: WeightHistogram | None = None
+    """Per-vertex weight histograms (built only for the histogram estimator)."""
+
+    # ------------------------------------------------------------------
+    # In-edge views (pull model): identical to the forward views on
+    # undirected graphs, the reverse graph's on directed ones.
+    # ------------------------------------------------------------------
+    @property
+    def in_graph(self) -> CSRGraph:
+        """Graph whose adjacency lists are the *incoming* arcs per vertex."""
+        return self.reverse_graph if self.reverse_graph is not None else self.graph
+
+    @property
+    def in_short_offsets(self) -> np.ndarray:
+        return (
+            self.reverse_short_offsets
+            if self.reverse_short_offsets is not None
+            else self.short_offsets
+        )
+
+    @property
+    def in_long_degrees(self) -> np.ndarray:
+        return (
+            self.reverse_long_degrees
+            if self.reverse_long_degrees is not None
+            else self.long_degrees
+        )
+
+    # ------------------------------------------------------------------
+    # Work-accounting helpers
+    # ------------------------------------------------------------------
+    def charge(
+        self,
+        kind: ComputeKind,
+        vertices: np.ndarray,
+        units: np.ndarray | None,
+        *,
+        phase_kind: str,
+        count_as_relax: bool = False,
+    ) -> None:
+        """Charge per-vertex work units to the owning threads.
+
+        Honors intra-node load balancing: with ``config.intra_lb``, work of a
+        vertex exceeding the heaviness threshold is spread across its rank's
+        threads. ``count_as_relax`` feeds the units into the paper's
+        relaxation counters (used on the record-application side so each
+        relaxation is counted exactly once).
+        """
+        if self.config.intra_lb:
+            tw = thread_work_balanced(
+                vertices, units, self.partition, self.machine, self.heavy_threshold
+            )
+        else:
+            tw = thread_work(vertices, units, self.partition, self.machine)
+        self.metrics.add_compute(
+            kind, tw, phase_kind=phase_kind, count_as_relax=count_as_relax
+        )
+
+    def charge_scan(self, num_local_vertices_scanned: np.ndarray) -> None:
+        """Charge an even bucket-scan over ranks (``int[P]`` vertices each).
+
+        Bucket identification scans are inherently balanced (every thread
+        scans an equal slice of its rank's vertex block), so the work is
+        spread uniformly within each rank.
+        """
+        per_rank = np.asarray(num_local_vertices_scanned, dtype=np.float64)
+        if per_rank.size != self.machine.num_ranks:
+            raise ValueError("need one scan count per rank")
+        tw = np.repeat(per_rank / self.machine.threads_per_rank,
+                       self.machine.threads_per_rank)
+        self.metrics.add_compute(ComputeKind.BUCKET_SCAN, tw, phase_kind="bucket")
+
+    def scan_all_ranks(self, num_vertices_scanned_total: int | None = None) -> None:
+        """Charge a full scan of every rank's vertex block (epoch boundary)."""
+        p = self.machine.num_ranks
+        n = (
+            self.graph.num_vertices
+            if num_vertices_scanned_total is None
+            else num_vertices_scanned_total
+        )
+        per_rank = np.full(p, n / p)
+        self.charge_scan(per_rank)
+
+
+def make_context(
+    graph: CSRGraph,
+    machine: MachineConfig,
+    config: SolverConfig,
+) -> ExecutionContext:
+    """Prepare an :class:`ExecutionContext` (the preprocessing stage).
+
+    Sorts adjacency lists by weight, computes the short/long split tables for
+    the configured Δ, resolves the load-balancing thresholds, and wires up
+    metrics + communicator.
+    """
+    sorted_graph = graph.sorted_by_weight()
+    if config.partition == "degree":
+        partition: ContiguousPartition = DegreeBalancedPartition(
+            sorted_graph.degrees, machine.num_ranks
+        )
+    else:
+        partition = BlockPartition(sorted_graph.num_vertices, machine.num_ranks)
+    metrics = Metrics(
+        num_ranks=machine.num_ranks, threads_per_rank=machine.threads_per_rank
+    )
+    comm = Communicator(machine, partition, metrics)
+    delta = min(config.delta, 2**60)
+    short_offsets = sorted_graph.short_edge_offsets(delta)
+    long_degrees = sorted_graph.degrees - short_offsets
+    mean_degree = (
+        float(sorted_graph.degrees.mean()) if sorted_graph.num_vertices else 0.0
+    )
+    heavy = (
+        float(config.derived_heavy_degree(mean_degree))
+        if config.intra_lb
+        else float("inf")
+    )
+    reverse_graph = None
+    rev_short = None
+    rev_long = None
+    if not sorted_graph.undirected:
+        # Directed input: the pull model scans *incoming* arcs, which on an
+        # undirected (symmetrized) graph coincide with the forward lists but
+        # here need the explicit reverse graph.
+        reverse_graph = sorted_graph.reverse().sorted_by_weight()
+        rev_short = reverse_graph.short_edge_offsets(delta)
+        rev_long = reverse_graph.degrees - rev_short
+    histogram = None
+    if config.use_pruning and config.pushpull_estimator == "histogram":
+        hist_source = reverse_graph if reverse_graph is not None else sorted_graph
+        histogram = build_weight_histogram(hist_source, config.histogram_bins)
+    return ExecutionContext(
+        graph=sorted_graph,
+        partition=partition,
+        machine=machine,
+        metrics=metrics,
+        comm=comm,
+        config=config,
+        short_offsets=short_offsets,
+        long_degrees=long_degrees,
+        heavy_threshold=heavy,
+        weight_histogram=histogram,
+        reverse_graph=reverse_graph,
+        reverse_short_offsets=rev_short,
+        reverse_long_degrees=rev_long,
+    )

@@ -1,0 +1,165 @@
+"""The Δ-stepping engine (Section II-A, Fig. 2) with the paper's optimisations.
+
+One engine executes the whole algorithm family; the
+:class:`~repro.core.config.SolverConfig` flags select the variant:
+
+- plain Δ-stepping with short/long edge classification (``Del-Δ``);
+- inner/outer-short refinement (``use_ios``);
+- pruning push/pull long phases with the decision heuristic
+  (``use_pruning``);
+- hybridization into Bellman-Ford (``use_hybrid``);
+- Δ = 1 reproduces Dial/Dijkstra, Δ = ∞ reproduces Bellman-Ford.
+
+Execution is bulk-synchronous. Every epoch (bucket) runs a first stage of
+iterative *short phases* (relaxing short — under IOS only inner short —
+arcs of active vertices) until the bucket drains, settles the bucket
+members, then one *long phase* relaxes the remaining arcs by push or pull.
+All communication and per-thread compute is declared to the accounting
+runtime, which is what the cost model and the paper-figure benches consume.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.bellman_ford import bellman_ford_stage
+from repro.core.buckets import NO_BUCKET, bucket_members, next_bucket
+from repro.core.context import ExecutionContext
+from repro.core.distances import INF, init_distances
+from repro.core.hybrid import should_switch
+from repro.core.pruning import bucket_census, long_phase_pull, long_phase_push
+from repro.core.pushpull import decide_mode
+from repro.core.relax import apply_relaxations
+from repro.runtime.comm import RELAX_RECORD_BYTES
+from repro.runtime.metrics import ComputeKind
+from repro.util.ranges import concat_ranges
+
+__all__ = ["DeltaSteppingEngine", "run_delta_stepping"]
+
+
+class DeltaSteppingEngine:
+    """Executes one SSSP run over an :class:`ExecutionContext`."""
+
+    def __init__(self, ctx: ExecutionContext) -> None:
+        self.ctx = ctx
+
+    # ------------------------------------------------------------------
+    def run(self, root: int) -> np.ndarray:
+        """Solve SSSP from ``root``; returns the distance array."""
+        ctx = self.ctx
+        cfg = ctx.config
+        n = ctx.graph.num_vertices
+        d = init_distances(n, root)
+        if cfg.is_bellman_ford:
+            bellman_ford_stage(ctx, d, np.array([root], dtype=np.int64))
+            return d
+        settled = np.zeros(n, dtype=bool)
+        bucket_ordinal = 0
+        while True:
+            # Next non-empty bucket: every rank scans its unsettled vertices
+            # for the minimum tentative distance, then one allreduce.
+            ctx.scan_all_ranks(int((~settled).sum()))
+            ctx.comm.allreduce(1, phase_kind="bucket")
+            k = next_bucket(d, settled, cfg.delta)
+            if k == NO_BUCKET:
+                break
+            self._process_epoch(d, settled, k, bucket_ordinal)
+            bucket_ordinal += 1
+            if cfg.use_hybrid:
+                # Settled-fraction aggregate for the switch decision.
+                ctx.comm.allreduce(1, phase_kind="bucket")
+                if should_switch(settled, cfg.tau):
+                    ctx.metrics.hybrid_switch_bucket = k
+                    remaining = np.nonzero(~settled & (d < INF))[0].astype(np.int64)
+                    bellman_ford_stage(ctx, d, remaining)
+                    settled |= d < INF
+                    break
+        return d
+
+    # ------------------------------------------------------------------
+    def _short_phase(self, d: np.ndarray, active: np.ndarray, k: int) -> np.ndarray:
+        """One short-edge phase over ``active``; returns changed vertices."""
+        ctx = self.ctx
+        graph = ctx.graph
+        delta = ctx.config.delta
+        hi = (k + 1) * delta
+        indptr, adj, weights = graph.indptr, graph.adj, graph.weights
+        starts = indptr[active]
+        ends = starts + ctx.short_offsets[active]
+        arcs, owner_idx = concat_ranges(starts, ends)
+        src = active[owner_idx]
+        dst = adj[arcs]
+        nd = d[src] + weights[arcs]
+        scanned = (ends - starts).astype(np.float64)
+        if ctx.config.use_ios:
+            # Inner-short filter: relax only when the proposed distance lands
+            # inside the current bucket; outer short arcs wait for the long
+            # phase.
+            inner = nd < hi
+            src, dst, nd = src[inner], dst[inner], nd[inner]
+        ctx.charge(ComputeKind.SHORT_RELAX, active, scanned, phase_kind="short")
+        ctx.comm.exchange_by_vertex(src, dst, RELAX_RECORD_BYTES, phase_kind="short")
+        ctx.charge(
+            ComputeKind.SHORT_RELAX, dst, None, phase_kind="short", count_as_relax=True
+        )
+        ctx.metrics.note_phase("short", dst.size)
+        return apply_relaxations(d, dst, nd)
+
+    # ------------------------------------------------------------------
+    def _process_epoch(
+        self, d: np.ndarray, settled: np.ndarray, k: int, bucket_ordinal: int
+    ) -> None:
+        """Process bucket ``k`` to completion: short stage, settle, long phase."""
+        ctx = self.ctx
+        cfg = ctx.config
+        delta = cfg.delta
+        lo = k * delta
+        hi = lo + delta
+
+        # Epoch start: identify the bucket members (scan of unsettled set).
+        ctx.scan_all_ranks(int((~settled).sum()))
+        active = bucket_members(d, settled, k, delta)
+
+        # --- Stage 1: iterative short phases until the bucket drains.
+        while True:
+            ctx.comm.allreduce(1, phase_kind="bucket")
+            if active.size == 0:
+                break
+            per_rank = np.bincount(
+                np.asarray(ctx.partition.owner(active), dtype=np.int64),
+                minlength=ctx.machine.num_ranks,
+            )
+            ctx.charge_scan(per_rank)
+            changed = self._short_phase(d, active, k)
+            if changed.size:
+                in_bucket = (d[changed] >= lo) & (d[changed] < hi)
+                active = changed[in_bucket]
+            else:
+                active = changed
+
+        # --- Settle the bucket.
+        members = bucket_members(d, settled, k, delta)
+        settled[members] = True
+
+        stats: dict[str, int | str] = {}
+        if cfg.collect_census:
+            stats.update(bucket_census(ctx, d, settled, members, k))
+
+        # --- Stage 2: one long phase, push or pull.
+        mode, estimate = decide_mode(ctx, d, settled, members, k, bucket_ordinal)
+        if mode == "push":
+            _, phase_stats = long_phase_push(ctx, d, members, k)
+        else:
+            _, phase_stats = long_phase_pull(ctx, d, settled, members, k)
+        stats.update(phase_stats)
+        stats["bucket"] = k
+        stats["members"] = int(members.size)
+        if estimate is not None:
+            stats["est_push_cost"] = estimate.push_cost
+            stats["est_pull_cost"] = estimate.pull_cost
+        ctx.metrics.note_bucket(stats)
+
+
+def run_delta_stepping(ctx: ExecutionContext, root: int) -> np.ndarray:
+    """Convenience wrapper: build the engine and solve from ``root``."""
+    return DeltaSteppingEngine(ctx).run(root)

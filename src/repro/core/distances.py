@@ -1,0 +1,37 @@
+"""Tentative-distance array helpers.
+
+All algorithms maintain an ``int64`` array ``d`` of tentative distances,
+initialised to :data:`INF` everywhere except the root (Section II-A). ``INF``
+is chosen far below the ``int64`` maximum so that ``d + w`` can never
+overflow even for pathological weight sums.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["INF", "init_distances", "is_reached", "settled_fraction"]
+
+INF: int = np.int64(2**62)
+"""Sentinel for 'unreached'; safely addable to any realistic weight."""
+
+
+def init_distances(num_vertices: int, root: int) -> np.ndarray:
+    """Fresh tentative-distance array: 0 at the root, INF elsewhere."""
+    if not 0 <= root < num_vertices:
+        raise ValueError(f"root {root} out of range [0, {num_vertices})")
+    d = np.full(num_vertices, INF, dtype=np.int64)
+    d[root] = 0
+    return d
+
+
+def is_reached(d: np.ndarray) -> np.ndarray:
+    """Boolean mask of vertices with a finite tentative distance."""
+    return d < INF
+
+
+def settled_fraction(settled: np.ndarray) -> float:
+    """Fraction of vertices marked settled (the hybrid-switch statistic)."""
+    if settled.size == 0:
+        return 1.0
+    return float(settled.sum() / settled.size)

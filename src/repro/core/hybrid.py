@@ -1,0 +1,29 @@
+"""Hybridization: Δ-stepping → Bellman-Ford switch rule (Section III-D).
+
+Δ-stepping wins on work done; Bellman-Ford wins on phase count. The paper
+observes that most relaxations concentrate in the first few buckets (the
+high-degree vertices settle early in scale-free graphs), so it runs
+Δ-stepping only until the fraction of settled vertices exceeds a threshold
+τ (0.4 works well), then collapses all remaining buckets into one and
+finishes with Bellman-Ford.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["should_switch", "DEFAULT_TAU"]
+
+DEFAULT_TAU = 0.4
+"""The paper's recommended settled-fraction threshold."""
+
+
+def should_switch(settled: np.ndarray, tau: float) -> bool:
+    """True when the settled fraction exceeds ``tau``.
+
+    Evaluated at the end of each epoch; the settled count is a global
+    aggregate (one allreduce, charged by the engine).
+    """
+    if settled.size == 0:
+        return True
+    return float(settled.sum()) / settled.size > tau

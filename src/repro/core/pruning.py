@@ -1,0 +1,282 @@
+"""Long-edge phase: push and pull relaxation models (Section III-B).
+
+After a bucket's short phases converge, its vertices are settled and one
+long-edge phase runs. Two mechanisms exist:
+
+**Push** — every just-settled vertex ``u`` sends ``d(u) + w`` along each of
+its long arcs (plus, under IOS, its outer short arcs). Simple, but relaxes
+self and backward arcs redundantly.
+
+**Pull** — every *later-bucket* vertex ``v`` sends a request along each
+incident arc satisfying eq. (1), ``w(e) < d(v) - kΔ``; owners of
+current-bucket sources respond with the proposed distance. Self and
+backward arcs are pruned for free (their endpoints are settled, so they
+send no requests), at the price of request/response round trips.
+
+The record-gathering helpers are shared with the exact push/pull cost
+estimator (:mod:`repro.core.pushpull`), which prices both models without
+mutating any state.
+
+Both phase functions mutate the tentative-distance array and return the
+changed vertices; relaxation counting follows the paper's fair-count
+convention (push: one per record; pull: requests *and* responses each
+count one).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.context import ExecutionContext
+from repro.core.relax import apply_relaxations
+from repro.runtime.comm import RELAX_RECORD_BYTES, REQUEST_RECORD_BYTES
+from repro.runtime.metrics import ComputeKind
+from repro.util.ranges import concat_ranges
+
+__all__ = [
+    "gather_push_records",
+    "gather_pull_requests",
+    "long_phase_push",
+    "long_phase_pull",
+    "member_mask",
+    "later_vertices",
+    "bucket_census",
+]
+
+
+def member_mask(ctx: ExecutionContext, members: np.ndarray) -> np.ndarray:
+    """Boolean mask over all vertices marking the current bucket members."""
+    mask = np.zeros(ctx.graph.num_vertices, dtype=bool)
+    mask[members] = True
+    return mask
+
+
+def later_vertices(
+    ctx: ExecutionContext, d: np.ndarray, settled: np.ndarray, k: int
+) -> np.ndarray:
+    """Unsettled vertices in buckets after ``k`` (including B-infinity)."""
+    hi = (k + 1) * ctx.config.delta
+    return np.nonzero(~settled & (d >= hi))[0].astype(np.int64)
+
+
+# ----------------------------------------------------------------------
+# Record gathering (shared by execution and exact cost estimation)
+# ----------------------------------------------------------------------
+def gather_push_records(
+    ctx: ExecutionContext,
+    d: np.ndarray,
+    members: np.ndarray,
+    k: int,
+) -> tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
+    """Materialise the push-model records for bucket ``k``.
+
+    Returns ``(src, dst, nd, scanned_units)`` where ``scanned_units`` is the
+    per-member count of arcs examined (long arcs, plus short arcs when IOS
+    must find the outer ones).
+    """
+    graph = ctx.graph
+    delta = ctx.config.delta
+    hi = (k + 1) * delta
+    indptr, adj, weights = graph.indptr, graph.adj, graph.weights
+    members = np.asarray(members, dtype=np.int64)
+    if members.size == 0:
+        empty = np.empty(0, dtype=np.int64)
+        return empty, empty, empty, np.empty(0, dtype=np.float64)
+
+    long_starts = indptr[members] + ctx.short_offsets[members]
+    long_ends = indptr[members + 1]
+    arcs, owner_idx = concat_ranges(long_starts, long_ends)
+    src = members[owner_idx]
+    dst = adj[arcs]
+    nd = d[src] + weights[arcs]
+    scanned_units = (long_ends - long_starts).astype(np.float64)
+
+    if ctx.config.use_ios:
+        # Outer short arcs: proposed distance falls past the current bucket
+        # (the inner ones were already relaxed during the short phases).
+        s_arcs, s_owner = concat_ranges(indptr[members], long_starts)
+        s_src = members[s_owner]
+        s_dst = adj[s_arcs]
+        s_nd = d[s_src] + weights[s_arcs]
+        outer = s_nd >= hi
+        src = np.concatenate([src, s_src[outer]])
+        dst = np.concatenate([dst, s_dst[outer]])
+        nd = np.concatenate([nd, s_nd[outer]])
+        scanned_units += ctx.short_offsets[members].astype(np.float64)
+    return src, dst, nd, scanned_units
+
+
+def gather_pull_requests(
+    ctx: ExecutionContext,
+    d: np.ndarray,
+    later: np.ndarray,
+    k: int,
+) -> tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
+    """Materialise the pull-model requests for bucket ``k``.
+
+    Returns ``(req_v, req_u, req_w, gen_units)``: one request per *incoming*
+    arc of a later-bucket vertex passing the eq. (1) filter
+    ``w(e) < d(v) - kΔ``, and the per-later-vertex generation work
+    (matches + 1, the binary-search cost on weight-sorted adjacency). On
+    undirected graphs the symmetrized forward lists double as the in-edge
+    lists; on directed graphs the context's reverse graph supplies them.
+    Under IOS requests cover short arcs too (that is how outer short edges
+    are relaxed in the pull model); without IOS the short phases already
+    relaxed every short arc, so only long arcs participate.
+    """
+    graph = ctx.in_graph
+    lo = k * ctx.config.delta
+    indptr, adj, weights = graph.indptr, graph.adj, graph.weights
+    later = np.asarray(later, dtype=np.int64)
+    if later.size == 0:
+        empty = np.empty(0, dtype=np.int64)
+        return empty, empty, empty, np.empty(0, dtype=np.float64)
+
+    if ctx.config.use_ios:
+        starts = indptr[later]
+    else:
+        starts = indptr[later] + ctx.in_short_offsets[later]
+    ends = indptr[later + 1]
+    arcs, owner_idx = concat_ranges(starts, ends)
+    req_v = later[owner_idx]
+    req_u = adj[arcs]
+    req_w = weights[arcs]
+    passes = req_w < d[req_v] - lo
+    gen_units = np.bincount(owner_idx[passes], minlength=later.size).astype(
+        np.float64
+    )
+    gen_units += 1.0
+    return req_v[passes], req_u[passes], req_w[passes], gen_units
+
+
+# ----------------------------------------------------------------------
+# Phase execution
+# ----------------------------------------------------------------------
+def long_phase_push(
+    ctx: ExecutionContext,
+    d: np.ndarray,
+    members: np.ndarray,
+    k: int,
+) -> tuple[np.ndarray, dict[str, int | str]]:
+    """Push-model long phase for bucket ``k``; returns changed vertices."""
+    members = np.asarray(members, dtype=np.int64)
+    src, dst, nd, scanned = gather_push_records(ctx, d, members, k)
+    if members.size == 0:
+        ctx.metrics.note_phase("long", 0)
+        return np.empty(0, dtype=np.int64), {"mode": "push", "relaxations": 0}
+    ctx.charge(ComputeKind.LONG_PUSH_RELAX, members, scanned, phase_kind="long")
+    ctx.comm.exchange_by_vertex(src, dst, RELAX_RECORD_BYTES, phase_kind="long")
+    ctx.charge(
+        ComputeKind.LONG_PUSH_RELAX, dst, None, phase_kind="long", count_as_relax=True
+    )
+    ctx.metrics.note_phase("long", dst.size)
+    changed = apply_relaxations(d, dst, nd)
+    return changed, {"mode": "push", "relaxations": int(dst.size)}
+
+
+def long_phase_pull(
+    ctx: ExecutionContext,
+    d: np.ndarray,
+    settled: np.ndarray,
+    members: np.ndarray,
+    k: int,
+) -> tuple[np.ndarray, dict[str, int | str]]:
+    """Pull-model long phase for bucket ``k``; returns changed vertices.
+
+    ``settled`` must already include the bucket members.
+    """
+    members = np.asarray(members, dtype=np.int64)
+    later = later_vertices(ctx, d, settled, k)
+    req_v, req_u, req_w, gen_units = gather_pull_requests(ctx, d, later, k)
+    if later.size == 0:
+        ctx.metrics.note_phase("long", 0)
+        return np.empty(0, dtype=np.int64), {
+            "mode": "pull",
+            "relaxations": 0,
+            "requests": 0,
+            "responses": 0,
+        }
+
+    ctx.charge(ComputeKind.PULL_REQUEST, later, gen_units, phase_kind="long")
+    ctx.comm.exchange_by_vertex(
+        req_v, req_u, REQUEST_RECORD_BYTES, phase_kind="long"
+    )
+    # Request service at the source owner: check bucket membership of u.
+    ctx.charge(
+        ComputeKind.PULL_REQUEST, req_u, None, phase_kind="long", count_as_relax=True
+    )
+
+    in_current = member_mask(ctx, members)
+    respond = in_current[req_u]
+    resp_v = req_v[respond]
+    resp_u = req_u[respond]
+    nd = d[resp_u] + req_w[respond]
+    ctx.comm.exchange_by_vertex(
+        resp_u, resp_v, RELAX_RECORD_BYTES, phase_kind="long"
+    )
+    ctx.charge(
+        ComputeKind.PULL_RESPONSE, resp_v, None, phase_kind="long", count_as_relax=True
+    )
+    ctx.metrics.note_phase("long", req_v.size + resp_v.size)
+    changed = apply_relaxations(d, resp_v, nd)
+    return changed, {
+        "mode": "pull",
+        "relaxations": int(req_v.size + resp_v.size),
+        "requests": int(req_v.size),
+        "responses": int(resp_v.size),
+    }
+
+
+# ----------------------------------------------------------------------
+# Census (Fig. 7)
+# ----------------------------------------------------------------------
+def bucket_census(
+    ctx: ExecutionContext,
+    d: np.ndarray,
+    settled: np.ndarray,
+    members: np.ndarray,
+    k: int,
+) -> dict[str, int]:
+    """Exact per-bucket statistics of Fig. 7.
+
+    Counts the long arcs of the current bucket's members split into self /
+    backward / forward by the destination's bucket, and the exact number of
+    pull requests eq. (1) would generate. ``settled`` must already include
+    the members.
+    """
+    graph = ctx.graph
+    delta = ctx.config.delta
+    lo = k * delta
+    hi = lo + delta
+    indptr, adj = graph.indptr, graph.adj
+    members = np.asarray(members, dtype=np.int64)
+    out: dict[str, int] = {"bucket": k, "members": int(members.size)}
+
+    if members.size:
+        starts = indptr[members] + ctx.short_offsets[members]
+        arcs, _ = concat_ranges(starts, indptr[members + 1])
+        dst = adj[arcs]
+        dd = d[dst]
+        in_cur = (dd >= lo) & (dd < hi)
+        # Destination classification: self = in current bucket range;
+        # backward = settled and strictly before it; forward = the rest.
+        self_ct = int((in_cur & settled[dst]).sum())
+        backward_ct = int((settled[dst] & (dd < lo)).sum())
+        forward_ct = int(dst.size - self_ct - backward_ct)
+        out.update(
+            self_edges=self_ct,
+            backward_edges=backward_ct,
+            forward_edges=forward_ct,
+            push_relaxations=int(dst.size),
+        )
+    else:
+        out.update(self_edges=0, backward_edges=0, forward_edges=0, push_relaxations=0)
+
+    later = later_vertices(ctx, d, settled, k)
+    req_v, req_u, _, _ = gather_pull_requests(ctx, d, later, k)
+    out["pull_requests"] = int(req_v.size)
+    if members.size and req_u.size:
+        out["pull_responses"] = int(member_mask(ctx, members)[req_u].sum())
+    else:
+        out["pull_responses"] = 0
+    return out

@@ -1,0 +1,53 @@
+"""Vectorised relaxation application.
+
+A relaxation batch is a pair of arrays ``(dst, nd)``: proposed new tentative
+distances for destination vertices. Applying a batch is a grouped min-reduce
+(``np.minimum.at``), the vectorised equivalent of the paper's L2-atomic
+min-updates. The set of vertices whose distance actually decreased — the
+next phase's candidates — falls out of comparing the touched entries before
+and after.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["apply_relaxations"]
+
+
+def apply_relaxations(
+    d: np.ndarray, dst: np.ndarray, nd: np.ndarray
+) -> np.ndarray:
+    """Apply ``d[dst] = min(d[dst], nd)`` elementwise; return changed vertices.
+
+    Parameters
+    ----------
+    d:
+        Tentative-distance array, modified in place.
+    dst:
+        Destination vertex per relaxation record (duplicates allowed).
+    nd:
+        Proposed distance per record.
+
+    Returns
+    -------
+    Sorted unique array of vertices whose tentative distance decreased.
+    """
+    dst = np.asarray(dst, dtype=np.int64)
+    nd = np.asarray(nd, dtype=np.int64)
+    if dst.shape != nd.shape:
+        raise ValueError("dst and nd must align")
+    if dst.size == 0:
+        return np.empty(0, dtype=np.int64)
+    # Early filter against the pre-application values: drop records that
+    # cannot improve. Duplicate destinations are still resolved by the
+    # grouped minimum below.
+    improving = nd < d[dst]
+    if not improving.any():
+        return np.empty(0, dtype=np.int64)
+    dst = dst[improving]
+    nd = nd[improving]
+    touched = np.unique(dst)
+    before = d[touched].copy()
+    np.minimum.at(d, dst, nd)
+    return touched[d[touched] < before]

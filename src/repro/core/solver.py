@@ -1,0 +1,269 @@
+"""Unified SSSP front-end.
+
+:func:`solve_sssp` is the package's main entry point: pick an algorithm
+preset (or pass an explicit :class:`~repro.core.config.SolverConfig`), a
+machine shape, a graph and a root — get back distances, the exact execution
+counters, the simulated cost breakdown and simulated GTEPS.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.config import SolverConfig, preset
+from repro.core.context import make_context
+from repro.core.delta_stepping import DeltaSteppingEngine
+from repro.core.load_balance import split_heavy_vertices
+from repro.core.reference import validate_distances
+from repro.graph.csr import CSRGraph
+from repro.runtime.costmodel import CostBreakdown, evaluate_cost, simulated_gteps
+from repro.runtime.machine import MachineConfig
+from repro.runtime.metrics import Metrics
+
+__all__ = ["SsspResult", "solve_sssp", "BatchSolver"]
+
+
+@dataclass
+class SsspResult:
+    """Everything one SSSP run produced.
+
+    ``distances`` is indexed by *original* vertex id even when inter-node
+    vertex splitting rewrote the graph internally. ``gteps`` follows the
+    Graph 500 convention (input edge count over simulated time).
+    """
+
+    distances: np.ndarray
+    metrics: Metrics
+    cost: CostBreakdown
+    gteps: float
+    algorithm: str
+    config: SolverConfig
+    machine: MachineConfig
+    root: int
+    num_vertices: int
+    num_edges: int
+    wall_time_s: float
+    num_proxies: int = 0
+
+    @property
+    def num_reached(self) -> int:
+        """Vertices with a finite shortest distance (root included)."""
+        from repro.core.distances import INF
+
+        return int((self.distances < INF).sum())
+
+    def summary(self) -> dict[str, float | int | str]:
+        """Flat summary row for tables."""
+        row: dict[str, float | int | str] = {
+            "algorithm": self.algorithm,
+            "n": self.num_vertices,
+            "m": self.num_edges,
+            "gteps": self.gteps,
+            "time_s": self.cost.total_time,
+            "bkt_s": self.cost.bucket_time,
+            "other_s": self.cost.other_time,
+        }
+        row.update(self.metrics.summary())
+        return row
+
+
+def solve_sssp(
+    graph: CSRGraph,
+    root: int,
+    *,
+    algorithm: str = "opt",
+    delta: int = 25,
+    config: SolverConfig | None = None,
+    machine: MachineConfig | None = None,
+    num_ranks: int = 8,
+    threads_per_rank: int = 8,
+    validate: bool = False,
+    split_seed: int = 0,
+) -> SsspResult:
+    """Solve single-source shortest paths on the simulated machine.
+
+    Parameters
+    ----------
+    graph:
+        Weighted undirected input graph.
+    root:
+        Source vertex (original id).
+    algorithm:
+        Preset name — ``dijkstra``, ``bellman-ford``, ``delta``, ``prune``,
+        ``opt``, ``lb-opt``, ``lb-opt-split`` — ignored when ``config`` is
+        given explicitly.
+    delta:
+        Bucket width Δ for presets that take one.
+    config:
+        Explicit solver configuration (overrides ``algorithm``/``delta``).
+    machine:
+        Explicit machine model (overrides ``num_ranks``/``threads_per_rank``).
+    num_ranks, threads_per_rank:
+        Machine shape when ``machine`` is not given.
+    validate:
+        Cross-check the distances against the sequential Dijkstra reference
+        (O(m log n) extra work; intended for tests and examples).
+    split_seed:
+        Seed for the proxy-relabelling permutation of vertex splitting.
+
+    Returns
+    -------
+    :class:`SsspResult`
+    """
+    if config is None:
+        config = preset(algorithm, delta)
+        name = f"{algorithm}-{delta}" if algorithm not in ("bellman-ford",) else algorithm
+    else:
+        name = algorithm
+    if machine is None:
+        machine = MachineConfig(num_ranks=num_ranks, threads_per_rank=threads_per_rank)
+
+    work_graph = graph
+    mapping = None
+    num_proxies = 0
+    if config.inter_split and not graph.undirected:
+        raise ValueError("inter-node vertex splitting requires an undirected graph")
+    if config.inter_split:
+        mean_degree = float(graph.degrees.mean()) if graph.num_vertices else 0.0
+        threshold = config.derived_split_degree(mean_degree)
+        split = split_heavy_vertices(graph, threshold, seed=split_seed)
+        work_graph = split.graph
+        mapping = split
+        num_proxies = split.num_proxies
+
+    ctx = make_context(work_graph, machine, config)
+    start_root = (
+        int(mapping.new_id_of_original[root]) if mapping is not None else root
+    )
+    t0 = time.perf_counter()
+    engine = DeltaSteppingEngine(ctx)
+    d = engine.run(start_root)
+    wall = time.perf_counter() - t0
+
+    distances = mapping.distances_for_original(d) if mapping is not None else d
+    if validate:
+        validate_distances(distances, graph, root)
+
+    cost = evaluate_cost(ctx.metrics, machine)
+    gteps = simulated_gteps(graph.num_undirected_edges, ctx.metrics, machine)
+    return SsspResult(
+        distances=distances,
+        metrics=ctx.metrics,
+        cost=cost,
+        gteps=gteps,
+        algorithm=name,
+        config=config,
+        machine=machine,
+        root=root,
+        num_vertices=graph.num_vertices,
+        num_edges=graph.num_undirected_edges,
+        wall_time_s=wall,
+        num_proxies=num_proxies,
+    )
+
+
+class BatchSolver:
+    """Multi-root solver that pays the preprocessing once.
+
+    ``solve_sssp`` rebuilds the execution context — weight-sorted adjacency,
+    short/long tables, optional histograms and vertex splitting — on every
+    call. Multi-root workloads (Graph 500's 64 search keys, centrality
+    pipelines) share all of that across roots; this class hoists it.
+
+    Example::
+
+        solver = BatchSolver(graph, algorithm="opt", delta=25, num_ranks=8)
+        results = [solver.solve(root) for root in roots]
+
+    Each ``solve`` still gets fresh metrics and accounting (runs are
+    independent), but graph preprocessing is shared.
+    """
+
+    def __init__(
+        self,
+        graph: CSRGraph,
+        *,
+        algorithm: str = "opt",
+        delta: int = 25,
+        config: SolverConfig | None = None,
+        machine: MachineConfig | None = None,
+        num_ranks: int = 8,
+        threads_per_rank: int = 8,
+        split_seed: int = 0,
+    ) -> None:
+        if config is None:
+            config = preset(algorithm, delta)
+            self.algorithm = f"{algorithm}-{delta}"
+        else:
+            self.algorithm = algorithm
+        if machine is None:
+            machine = MachineConfig(
+                num_ranks=num_ranks, threads_per_rank=threads_per_rank
+            )
+        self.config = config
+        self.machine = machine
+        self._original_graph = graph
+        self._mapping = None
+        self.num_proxies = 0
+        work_graph = graph
+        if config.inter_split:
+            if not graph.undirected:
+                raise ValueError(
+                    "inter-node vertex splitting requires an undirected graph"
+                )
+            mean_degree = float(graph.degrees.mean()) if graph.num_vertices else 0.0
+            threshold = config.derived_split_degree(mean_degree)
+            split = split_heavy_vertices(graph, threshold, seed=split_seed)
+            work_graph = split.graph
+            self._mapping = split
+            self.num_proxies = split.num_proxies
+        # One context build sorts the graph and derives every table; per-root
+        # contexts reuse the sorted graph so the work is not repeated.
+        self._template_ctx = make_context(work_graph, machine, config)
+        self._work_graph = self._template_ctx.graph
+
+    def solve(self, root: int, *, validate: bool = False) -> SsspResult:
+        """Solve from one root; metrics and accounting are per-call."""
+        ctx = make_context(self._work_graph, self.machine, self.config)
+        start_root = (
+            int(self._mapping.new_id_of_original[root])
+            if self._mapping is not None
+            else root
+        )
+        t0 = time.perf_counter()
+        d = DeltaSteppingEngine(ctx).run(start_root)
+        wall = time.perf_counter() - t0
+        distances = (
+            self._mapping.distances_for_original(d)
+            if self._mapping is not None
+            else d
+        )
+        if validate:
+            validate_distances(distances, self._original_graph, root)
+        cost = evaluate_cost(ctx.metrics, self.machine)
+        gteps = simulated_gteps(
+            self._original_graph.num_undirected_edges, ctx.metrics, self.machine
+        )
+        return SsspResult(
+            distances=distances,
+            metrics=ctx.metrics,
+            cost=cost,
+            gteps=gteps,
+            algorithm=self.algorithm,
+            config=self.config,
+            machine=self.machine,
+            root=root,
+            num_vertices=self._original_graph.num_vertices,
+            num_edges=self._original_graph.num_undirected_edges,
+            wall_time_s=wall,
+            num_proxies=self.num_proxies,
+        )
+
+    def solve_many(
+        self, roots, *, validate: bool = False
+    ) -> list[SsspResult]:
+        """Solve from every root in ``roots``."""
+        return [self.solve(int(r), validate=validate) for r in roots]

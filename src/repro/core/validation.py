@@ -1,0 +1,113 @@
+"""Graph 500-style structural validation of SSSP results.
+
+Recomputing distances with a reference solver is O(m log n); the Graph 500
+specification instead validates a result *structurally* in O(m + n), which
+also works at scales where a second solve is unaffordable. The rules
+(adapted from the official BFS/SSSP validator):
+
+1. the root has distance 0;
+2. every edge ``{u, v}`` joins vertices whose distances differ by at most
+   ``w(u, v)`` (tentative distances are a feasible potential);
+3. an edge never joins a reached and an unreached vertex;
+4. every reached non-root vertex has a *tight* incoming arc
+   (``d[u] + w == d[v]``), i.e. distances are attained, not just feasible;
+5. the parent tree derived from the tight arcs spans exactly the reached
+   vertices.
+
+Rules 2+4 together force ``d`` to equal the true shortest distances, so
+this validator accepts exactly the correct arrays.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.distances import INF
+from repro.core.paths import NO_PARENT, build_parent_tree
+from repro.graph.csr import CSRGraph
+
+__all__ = ["ValidationReport", "validate_sssp_structure"]
+
+
+@dataclass(frozen=True)
+class ValidationReport:
+    """Outcome of structural validation."""
+
+    valid: bool
+    num_reached: int
+    tree_edges: int
+    max_distance: int
+    failures: tuple[str, ...] = ()
+
+    def raise_if_invalid(self) -> None:
+        if not self.valid:
+            raise AssertionError(
+                "SSSP validation failed: " + "; ".join(self.failures)
+            )
+
+
+def validate_sssp_structure(
+    graph: CSRGraph, root: int, d: np.ndarray
+) -> ValidationReport:
+    """Run the structural validation rules; never raises on invalid input."""
+    d = np.asarray(d, dtype=np.int64)
+    failures: list[str] = []
+    n = graph.num_vertices
+    if d.shape != (n,):
+        return ValidationReport(False, 0, 0, 0, ("shape mismatch",))
+
+    # Rule 1: root at distance zero.
+    if d[root] != 0:
+        failures.append(f"root distance is {int(d[root])}, not 0")
+
+    reached = d < INF
+    tails = graph.arc_tails()
+    heads = graph.adj
+    weights = graph.weights
+
+    # Rules 2+3: feasibility d[head] <= d[tail] + w over every arc with a
+    # reached tail. An unreached head (d = INF) fails automatically, which
+    # subsumes the "no edge joins reached and unreached" rule; on the
+    # symmetric storage of undirected graphs the check covers both edge
+    # directions.
+    ft = reached[tails]
+    slack_bad = ft & (d[heads] > d[tails] + weights)
+    if slack_bad.any():
+        i = int(np.nonzero(slack_bad)[0][0])
+        if d[heads[i]] >= INF:
+            failures.append(
+                f"arc ({int(tails[i])}, {int(heads[i])}) leaves a reached "
+                "vertex but its head is unreached"
+            )
+        else:
+            failures.append(
+                f"arc ({int(tails[i])}, {int(heads[i])}, w={int(weights[i])}) "
+                f"violates feasibility: {int(d[tails[i]])} + w < {int(d[heads[i]])}"
+            )
+
+    # Rules 4+5: every reached non-root vertex has a tight incoming arc and
+    # the induced tree spans the reached set.
+    tree_edges = 0
+    if not failures:
+        try:
+            parent = build_parent_tree(graph, d, root)
+        except ValueError as exc:
+            failures.append(str(exc))
+        else:
+            in_tree = parent != NO_PARENT
+            tree_edges = int(in_tree.sum())
+            expected = int(reached.sum()) - (1 if reached[root] else 0)
+            if tree_edges != expected:
+                failures.append(
+                    f"parent tree has {tree_edges} edges, expected {expected}"
+                )
+
+    return ValidationReport(
+        valid=not failures,
+        num_reached=int(reached.sum()),
+        tree_edges=tree_edges,
+        max_distance=int(d[reached].max()) if reached.any() else 0,
+        failures=tuple(failures),
+    )

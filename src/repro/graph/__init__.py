@@ -1,0 +1,70 @@
+"""Graph substrate: CSR storage, generators, partitioning and statistics.
+
+This subpackage provides everything the SSSP algorithms consume:
+
+- :class:`repro.graph.csr.CSRGraph` — the in-memory compressed sparse row
+  representation used by all kernels.
+- :mod:`repro.graph.builder` — edge-list construction utilities
+  (symmetrization, deduplication, weight attachment).
+- :mod:`repro.graph.rmat` — the Graph 500 R-MAT generator with the paper's
+  RMAT-1 (BFS benchmark) and RMAT-2 (proposed SSSP benchmark) parameter sets.
+- :mod:`repro.graph.weights` — uniform integer edge weights in ``[1, w_max]``.
+- :mod:`repro.graph.partition` — 1-D block partitioning / vertex ownership.
+- :mod:`repro.graph.degree` — degree and skew statistics (paper Fig. 8).
+- :mod:`repro.graph.social` — synthetic stand-ins for the paper's real-world
+  social graphs (Friendster, Orkut, LiveJournal).
+- :mod:`repro.graph.grid` — road-network-like graphs for the examples.
+- :mod:`repro.graph.io` — simple persistence.
+"""
+
+from repro.graph.builder import from_edges, from_undirected_edges
+from repro.graph.csr import CSRGraph
+from repro.graph.degree import DegreeStats, degree_stats
+from repro.graph.grid import grid_graph, random_geometric_graph
+from repro.graph.partition import BlockPartition
+from repro.graph.roots import choose_root, choose_roots
+from repro.graph.rmat import (
+    RMAT1,
+    RMAT2,
+    RMATParams,
+    rmat_edges,
+    rmat_graph,
+)
+from repro.graph.social import (
+    SocialGraphSpec,
+    SOCIAL_GRAPH_SPECS,
+    synthetic_social_graph,
+)
+from repro.graph.weights import (
+    bimodal_weights,
+    constant_weights,
+    exponential_weights,
+    reweight,
+    uniform_weights,
+)
+
+__all__ = [
+    "CSRGraph",
+    "BlockPartition",
+    "DegreeStats",
+    "RMAT1",
+    "RMAT2",
+    "RMATParams",
+    "SOCIAL_GRAPH_SPECS",
+    "SocialGraphSpec",
+    "bimodal_weights",
+    "constant_weights",
+    "exponential_weights",
+    "reweight",
+    "choose_root",
+    "choose_roots",
+    "degree_stats",
+    "from_edges",
+    "from_undirected_edges",
+    "grid_graph",
+    "random_geometric_graph",
+    "rmat_edges",
+    "rmat_graph",
+    "synthetic_social_graph",
+    "uniform_weights",
+]

@@ -1,0 +1,66 @@
+"""Graph persistence: npz round trip and edge-list text files.
+
+Keeps the benchmark harness honest about graph identity across runs: a
+generated graph can be saved once and reloaded bit-identically.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import numpy as np
+
+from repro.graph.builder import from_undirected_edges
+from repro.graph.csr import CSRGraph
+
+__all__ = ["save_npz", "load_npz", "write_edge_list", "read_edge_list"]
+
+
+def save_npz(graph: CSRGraph, path: str | Path) -> None:
+    """Save a graph to a compressed ``.npz`` archive."""
+    np.savez_compressed(
+        Path(path),
+        indptr=graph.indptr,
+        adj=graph.adj,
+        weights=graph.weights,
+        undirected=np.array([graph.undirected]),
+    )
+
+
+def load_npz(path: str | Path) -> CSRGraph:
+    """Load a graph previously saved with :func:`save_npz`."""
+    with np.load(Path(path)) as data:
+        return CSRGraph(
+            indptr=data["indptr"],
+            adj=data["adj"],
+            weights=data["weights"],
+            undirected=bool(data["undirected"][0]),
+        )
+
+
+def write_edge_list(graph: CSRGraph, path: str | Path) -> int:
+    """Write ``tail head weight`` lines (each undirected edge once).
+
+    Returns the number of lines written.
+    """
+    tails, heads, weights = graph.to_edge_list()
+    if graph.undirected:
+        keep = tails < heads
+        tails, heads, weights = tails[keep], heads[keep], weights[keep]
+    arr = np.column_stack([tails, heads, weights])
+    np.savetxt(Path(path), arr, fmt="%d")
+    return int(arr.shape[0])
+
+
+def read_edge_list(path: str | Path, num_vertices: int | None = None) -> CSRGraph:
+    """Read an undirected ``tail head weight`` edge-list file."""
+    arr = np.loadtxt(Path(path), dtype=np.int64, ndmin=2)
+    if arr.size == 0:
+        tails = heads = weights = np.empty(0, dtype=np.int64)
+    else:
+        if arr.shape[1] != 3:
+            raise ValueError("edge list must have three columns: tail head weight")
+        tails, heads, weights = arr[:, 0], arr[:, 1], arr[:, 2]
+    if num_vertices is None:
+        num_vertices = int(max(tails.max(initial=-1), heads.max(initial=-1)) + 1)
+    return from_undirected_edges(tails, heads, weights, num_vertices)

@@ -1,0 +1,29 @@
+"""Root (search key) selection.
+
+Graph 500 samples search keys uniformly among vertices with at least one
+edge — an isolated root makes the run trivial and the TEPS meaningless.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.graph.csr import CSRGraph
+
+__all__ = ["choose_root", "choose_roots"]
+
+
+def choose_roots(graph: CSRGraph, count: int, *, seed: int = 0) -> np.ndarray:
+    """Sample ``count`` distinct non-isolated roots (Graph 500 style)."""
+    deg = graph.degrees
+    candidates = np.nonzero(deg > 0)[0]
+    if candidates.size == 0:
+        raise ValueError("graph has no edges; no valid root exists")
+    rng = np.random.default_rng(seed)
+    count = min(count, candidates.size)
+    return rng.choice(candidates, size=count, replace=False).astype(np.int64)
+
+
+def choose_root(graph: CSRGraph, *, seed: int = 0) -> int:
+    """Sample one non-isolated root."""
+    return int(choose_roots(graph, 1, seed=seed)[0])

@@ -1,0 +1,42 @@
+"""Simulated massively-parallel runtime.
+
+The paper runs on Blue Gene/Q with SPI messaging and 64 threads per node.
+This subpackage substitutes a *simulated* distributed machine (see DESIGN.md):
+
+- :class:`repro.runtime.machine.MachineConfig` — machine shape (ranks,
+  threads per rank) and calibrated cost constants;
+- :class:`repro.runtime.metrics.Metrics` — exact counters for relaxations,
+  phases, buckets, per-thread compute work and communication traffic;
+- :class:`repro.runtime.comm.Communicator` — accounting layer every
+  cross-rank byte must pass through;
+- :mod:`repro.runtime.costmodel` — an α–β/LogP-style model that folds the
+  counters into simulated seconds, the BktTime/OtherTime split of the
+  paper's Fig. 10(b)/11(b), and simulated GTEPS.
+"""
+
+from repro.runtime.calibration import (
+    CostCoefficients,
+    calibrate,
+    cost_coefficients,
+    retime,
+)
+from repro.runtime.comm import Communicator
+from repro.runtime.costmodel import CostBreakdown, evaluate_cost, simulated_gteps
+from repro.runtime.machine import BGQ_LIKE, MachineConfig
+from repro.runtime.metrics import ComputeKind, Metrics, StepRecord
+
+__all__ = [
+    "BGQ_LIKE",
+    "Communicator",
+    "ComputeKind",
+    "CostBreakdown",
+    "CostCoefficients",
+    "calibrate",
+    "cost_coefficients",
+    "retime",
+    "MachineConfig",
+    "Metrics",
+    "StepRecord",
+    "evaluate_cost",
+    "simulated_gteps",
+]

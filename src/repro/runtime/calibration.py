@@ -1,0 +1,180 @@
+"""Cost-model decomposition and calibration.
+
+The simulated time of a run is *linear* in the machine constants:
+
+    T = t_relax·A + t_request·B + t_scan·C + alpha·D + beta·E + F_base·n_ar
+        + F_log·(n_ar·log2 P)
+
+where the coefficients (A … n_ar) are pure counter aggregates of the run.
+:func:`cost_coefficients` extracts them exactly — the run's *time
+signature* — which enables:
+
+- **sensitivity analysis** without re-running: retime any run under any
+  constants with a dot product (:func:`retime`);
+- **calibration**: given target times (e.g. scaled-down versions of the
+  paper's Fig. 12 rates), fit non-negative constants by least squares
+  (:func:`calibrate`), quantifying how well *any* constant choice could
+  reproduce a target profile — and therefore how much of the result shape
+  is determined by the counters alone.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.runtime.costmodel import _compute_unit_cost
+from repro.runtime.machine import MachineConfig
+from repro.runtime.metrics import ComputeKind, Metrics
+
+__all__ = ["CostCoefficients", "cost_coefficients", "retime", "calibrate"]
+
+_RELAX_KINDS = {
+    ComputeKind.SHORT_RELAX.value,
+    ComputeKind.LONG_PUSH_RELAX.value,
+    ComputeKind.BF_RELAX.value,
+    ComputeKind.PULL_RESPONSE.value,
+}
+
+
+@dataclass(frozen=True)
+class CostCoefficients:
+    """A run's exact linear time signature over the machine constants."""
+
+    relax_units: float
+    """Busiest-thread work units priced at ``t_relax`` (A)."""
+    request_units: float
+    """Busiest-thread work units priced at ``t_request`` (B)."""
+    scan_units: float
+    """Busiest-thread scan units priced at ``t_scan`` (C)."""
+    messages: float
+    """Busiest-rank message count priced at ``alpha`` (D)."""
+    bytes_moved: float
+    """Busiest-rank bytes priced at ``beta`` (E)."""
+    allreduces: float
+    """Allreduce count (priced at base + log2(P) terms)."""
+
+    def as_vector(self, num_ranks: int) -> np.ndarray:
+        """Coefficient vector aligned with :func:`constants_vector`."""
+        log_term = self.allreduces * math.log2(max(2, num_ranks))
+        return np.array(
+            [
+                self.relax_units,
+                self.request_units,
+                self.scan_units,
+                self.messages,
+                self.bytes_moved,
+                self.allreduces,
+                log_term,
+            ]
+        )
+
+
+def constants_vector(machine: MachineConfig) -> np.ndarray:
+    """Machine constants aligned with :meth:`CostCoefficients.as_vector`."""
+    return np.array(
+        [
+            machine.t_relax,
+            machine.t_request,
+            machine.t_scan,
+            machine.alpha,
+            machine.beta,
+            machine.t_allreduce_base,
+            machine.t_allreduce_log,
+        ]
+    )
+
+
+def cost_coefficients(metrics: Metrics) -> CostCoefficients:
+    """Extract a run's exact time signature from its step records."""
+    relax = request = scan = 0.0
+    messages = 0.0
+    bytes_moved = 0.0
+    allreduces = 0.0
+    for rec in metrics.records:
+        if rec.kind == "exchange":
+            messages += rec.msgs_max
+            bytes_moved += rec.bytes_max
+        elif rec.kind == "allreduce":
+            allreduces += rec.allreduces
+        elif rec.kind in _RELAX_KINDS:
+            relax += rec.comp_max
+        elif rec.kind == ComputeKind.PULL_REQUEST.value:
+            request += rec.comp_max
+        elif rec.kind == ComputeKind.BUCKET_SCAN.value:
+            scan += rec.comp_max
+        else:  # pragma: no cover - new kinds must be classified explicitly
+            raise ValueError(f"unknown record kind {rec.kind!r}")
+    return CostCoefficients(
+        relax_units=relax,
+        request_units=request,
+        scan_units=scan,
+        messages=messages,
+        bytes_moved=bytes_moved,
+        allreduces=allreduces,
+    )
+
+
+def retime(metrics: Metrics, machine: MachineConfig) -> float:
+    """Total simulated time under ``machine`` — a dot product, no replay.
+
+    Exactly equals ``evaluate_cost(metrics, machine).total_time``.
+    """
+    coeffs = cost_coefficients(metrics)
+    return float(
+        coeffs.as_vector(machine.num_ranks) @ constants_vector(machine)
+    )
+
+
+def calibrate(
+    runs: list[tuple[Metrics, int]],
+    target_times: list[float],
+    *,
+    base: MachineConfig | None = None,
+) -> tuple[MachineConfig, float]:
+    """Fit machine constants so the runs' times approach the targets.
+
+    ``runs`` pairs each run's metrics with its rank count; the fit is a
+    non-negative least squares over the 7 constants (projected gradient on
+    the normal equations — small and self-contained). Returns the fitted
+    :class:`MachineConfig` (ranks taken from ``base`` or the first run) and
+    the relative RMS error of the fit.
+    """
+    if len(runs) != len(target_times) or not runs:
+        raise ValueError("need one target time per run")
+    A = np.stack(
+        [cost_coefficients(m).as_vector(p) for m, p in runs]
+    )
+    b = np.asarray(target_times, dtype=np.float64)
+    if np.any(b <= 0):
+        raise ValueError("target times must be positive")
+    # Scale rows so each target contributes equally (relative fit), then
+    # solve the non-negative least squares exactly.
+    from scipy.optimize import nnls
+
+    W = 1.0 / b
+    Aw = A * W[:, None]
+    bw = np.ones_like(b)
+    # Column scaling keeps the NNLS well conditioned across constants that
+    # differ by ~9 orders of magnitude (nanoseconds vs microseconds).
+    col_scale = np.where(Aw.max(axis=0) > 0, Aw.max(axis=0), 1.0)
+    x_scaled, _ = nnls(Aw / col_scale, bw)
+    x = x_scaled / col_scale
+    pred = A @ x
+    rel_rms = float(np.sqrt(np.mean(((pred - b) / b) ** 2)))
+    ranks = base.num_ranks if base is not None else runs[0][1]
+    threads = base.threads_per_rank if base is not None else 16
+    fitted = MachineConfig(
+        num_ranks=ranks,
+        threads_per_rank=threads,
+        t_relax=float(x[0]),
+        t_request=float(x[1]),
+        t_scan=float(x[2]),
+        alpha=float(x[3]),
+        beta=float(x[4]),
+        t_allreduce_base=float(x[5]),
+        t_allreduce_log=float(x[6]),
+    )
+    return fitted, rel_rms

@@ -1,0 +1,113 @@
+"""Analytic cost model: counters -> simulated time -> simulated GTEPS.
+
+Folds the :class:`~repro.runtime.metrics.StepRecord` stream of a run into
+simulated seconds using an α–β (LogGP-flavoured) model:
+
+- a compute record costs ``comp_max * t_kind`` — the busiest thread bounds
+  the step (bulk-synchronous execution);
+- an exchange costs ``alpha * msgs_max + beta * bytes_max`` — per-message
+  overhead plus serialisation at the busiest rank;
+- an allreduce costs ``t_allreduce_base + t_allreduce_log * log2(P)``.
+
+The model also reproduces the paper's time decomposition (Fig. 10(b),
+11(b)): records tagged ``phase_kind == "bucket"`` (active-set scans,
+next-bucket searches, termination allreduces) accumulate into **BktTime**;
+everything else (relaxation compute and its communication) into
+**OtherTime**.
+
+TEPS follows the Graph 500 convention: ``m / t`` with ``m`` the number of
+*input* (undirected) edges, regardless of how many relaxations were
+actually performed — which is why pruning raises TEPS.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.runtime.machine import MachineConfig
+from repro.runtime.metrics import ComputeKind, Metrics
+
+__all__ = ["CostBreakdown", "evaluate_cost", "simulated_gteps"]
+
+
+@dataclass(frozen=True)
+class CostBreakdown:
+    """Simulated time of a run, decomposed the way the paper reports it."""
+
+    compute_time: float
+    comm_time: float
+    sync_time: float
+    bucket_time: float
+    """BktTime: bucket identification, active-set scans, termination checks."""
+    other_time: float
+    """OtherTime: relaxation processing and its communication."""
+
+    @property
+    def total_time(self) -> float:
+        """Total simulated seconds (= bucket_time + other_time)."""
+        return self.bucket_time + self.other_time
+
+    def as_row(self) -> dict[str, float]:
+        """Dictionary view for table printing."""
+        return {
+            "total_s": self.total_time,
+            "bkt_s": self.bucket_time,
+            "other_s": self.other_time,
+            "compute_s": self.compute_time,
+            "comm_s": self.comm_time,
+            "sync_s": self.sync_time,
+        }
+
+
+def _compute_unit_cost(kind: str, machine: MachineConfig) -> float:
+    """Per-work-unit compute cost for a record kind."""
+    if kind in (
+        ComputeKind.SHORT_RELAX.value,
+        ComputeKind.LONG_PUSH_RELAX.value,
+        ComputeKind.BF_RELAX.value,
+        ComputeKind.PULL_RESPONSE.value,
+    ):
+        return machine.t_relax
+    if kind == ComputeKind.PULL_REQUEST.value:
+        return machine.t_request
+    if kind == ComputeKind.BUCKET_SCAN.value:
+        return machine.t_scan
+    raise ValueError(f"unknown compute kind {kind!r}")
+
+
+def evaluate_cost(metrics: Metrics, machine: MachineConfig) -> CostBreakdown:
+    """Fold a run's records into a :class:`CostBreakdown`."""
+    compute = comm = sync = 0.0
+    bucket = other = 0.0
+    t_allreduce = machine.allreduce_time()
+    for rec in metrics.records:
+        if rec.kind == "exchange":
+            t = machine.alpha * rec.msgs_max + machine.beta * rec.bytes_max
+            comm += t
+        elif rec.kind == "allreduce":
+            t = rec.allreduces * t_allreduce
+            sync += t
+        else:
+            t = rec.comp_max * _compute_unit_cost(rec.kind, machine)
+            compute += t
+        if rec.phase_kind == "bucket":
+            bucket += t
+        else:
+            other += t
+    return CostBreakdown(
+        compute_time=compute,
+        comm_time=comm,
+        sync_time=sync,
+        bucket_time=bucket,
+        other_time=other,
+    )
+
+
+def simulated_gteps(
+    num_undirected_edges: int, metrics: Metrics, machine: MachineConfig
+) -> float:
+    """Simulated traversal rate in GTEPS (Graph 500 convention ``m / t``)."""
+    cost = evaluate_cost(metrics, machine)
+    if cost.total_time <= 0:
+        return float("inf") if num_undirected_edges else 0.0
+    return num_undirected_edges / cost.total_time / 1e9

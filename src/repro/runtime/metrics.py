@@ -1,0 +1,229 @@
+"""Execution counters for the simulated runtime.
+
+Every algorithm run produces a :class:`Metrics` instance: a list of
+:class:`StepRecord` (one per compute/communication/synchronization event,
+in program order) plus aggregate counters (relaxations by category, phases,
+buckets). The cost model (:mod:`repro.runtime.costmodel`) consumes the
+records; the benchmark harness consumes the aggregates — these are exactly
+the statistics the paper plots (number of relaxations, number of phases and
+buckets, communication volume, load balance).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+
+import numpy as np
+
+__all__ = ["ComputeKind", "StepRecord", "Metrics"]
+
+
+class ComputeKind(str, enum.Enum):
+    """Category of work inside a step, used for cost weighting and reporting."""
+
+    SHORT_RELAX = "short_relax"
+    LONG_PUSH_RELAX = "long_push_relax"
+    PULL_REQUEST = "pull_request"
+    PULL_RESPONSE = "pull_response"
+    BF_RELAX = "bf_relax"
+    BUCKET_SCAN = "bucket_scan"
+
+
+#: Compute kinds that count as relaxations for the paper's work-done metric.
+RELAX_KINDS = {
+    ComputeKind.SHORT_RELAX,
+    ComputeKind.LONG_PUSH_RELAX,
+    ComputeKind.PULL_REQUEST,
+    ComputeKind.PULL_RESPONSE,
+    ComputeKind.BF_RELAX,
+}
+
+
+@dataclass
+class StepRecord:
+    """One accounted event of a run.
+
+    Attributes
+    ----------
+    kind:
+        What happened (a :class:`ComputeKind` for compute, or the strings
+        ``"exchange"`` / ``"allreduce"`` for communication events).
+    comp_max:
+        Work units on the busiest hardware thread (determines step time).
+    comp_total:
+        Work units across all threads (determines total work / energy).
+    msgs_max:
+        Messages sent by the busiest rank (post-aggregation: at most one per
+        destination rank per exchange, the SPI model).
+    bytes_max:
+        Bytes in + out at the busiest rank.
+    bytes_total:
+        Total bytes moved across the network.
+    allreduces:
+        Number of allreduce operations in this record.
+    phase_kind:
+        Which paper-level phase this event belongs to (``"short"``,
+        ``"long"``, ``"bf"``, ``"bucket"``) — used for the BktTime/OtherTime
+        split of Fig. 10(b)/11(b).
+    """
+
+    kind: str
+    comp_max: float = 0.0
+    comp_total: float = 0.0
+    msgs_max: int = 0
+    bytes_max: int = 0
+    bytes_total: int = 0
+    allreduces: int = 0
+    phase_kind: str = "other"
+
+
+@dataclass
+class Metrics:
+    """Accumulated counters for one algorithm run."""
+
+    num_ranks: int
+    threads_per_rank: int
+    records: list[StepRecord] = field(default_factory=list)
+
+    # Aggregate counters ------------------------------------------------
+    relaxations: dict[str, int] = field(default_factory=dict)
+    short_phases: int = 0
+    long_phases: int = 0
+    bf_phases: int = 0
+    buckets_processed: int = 0
+    pull_buckets: int = 0
+    push_buckets: int = 0
+    hybrid_switch_bucket: int = -1
+    per_phase_relaxations: list[tuple[str, int]] = field(default_factory=list)
+    per_bucket_stats: list[dict[str, int | str]] = field(default_factory=list)
+
+    # ------------------------------------------------------------------
+    # Recording API (called by algorithms and the communicator)
+    # ------------------------------------------------------------------
+    def add_compute(
+        self,
+        kind: ComputeKind,
+        thread_work: np.ndarray,
+        *,
+        phase_kind: str = "other",
+        count_as_relax: bool | None = None,
+    ) -> None:
+        """Record compute distributed over hardware threads.
+
+        ``thread_work`` is a flat array of length ``num_ranks *
+        threads_per_rank`` with work units (typically edge counts) per
+        thread. Its max determines the simulated step time; its sum feeds
+        the relaxation counters.
+        """
+        thread_work = np.asarray(thread_work, dtype=np.float64)
+        expected = self.num_ranks * self.threads_per_rank
+        if thread_work.size != expected:
+            raise ValueError(
+                f"thread_work must have {expected} entries, got {thread_work.size}"
+            )
+        total = float(thread_work.sum())
+        self.records.append(
+            StepRecord(
+                kind=kind.value,
+                comp_max=float(thread_work.max()) if thread_work.size else 0.0,
+                comp_total=total,
+                phase_kind=phase_kind,
+            )
+        )
+        if count_as_relax is None:
+            count_as_relax = kind in RELAX_KINDS
+        if count_as_relax:
+            self.relaxations[kind.value] = self.relaxations.get(kind.value, 0) + int(
+                round(total)
+            )
+
+    def add_exchange(
+        self,
+        msgs_per_rank: np.ndarray,
+        bytes_per_rank: np.ndarray,
+        *,
+        phase_kind: str = "other",
+    ) -> None:
+        """Record one all-to-all exchange (called by the communicator)."""
+        msgs = np.asarray(msgs_per_rank, dtype=np.int64)
+        byt = np.asarray(bytes_per_rank, dtype=np.int64)
+        self.records.append(
+            StepRecord(
+                kind="exchange",
+                msgs_max=int(msgs.max()) if msgs.size else 0,
+                bytes_max=int(byt.max()) if byt.size else 0,
+                bytes_total=int(byt.sum()) // 2,  # each byte counted at src and dst
+                phase_kind=phase_kind,
+            )
+        )
+
+    def add_allreduce(self, count: int = 1, *, phase_kind: str = "bucket") -> None:
+        """Record ``count`` small allreduce operations."""
+        self.records.append(
+            StepRecord(kind="allreduce", allreduces=count, phase_kind=phase_kind)
+        )
+
+    def note_phase(self, kind: str, relaxations: int) -> None:
+        """Record a paper-level phase and its relaxation count (Fig. 4 data)."""
+        if kind == "short":
+            self.short_phases += 1
+        elif kind == "long":
+            self.long_phases += 1
+        elif kind == "bf":
+            self.bf_phases += 1
+        else:
+            raise ValueError(f"unknown phase kind {kind!r}")
+        self.per_phase_relaxations.append((kind, int(relaxations)))
+
+    def note_bucket(self, stats: dict[str, int | str]) -> None:
+        """Record per-bucket statistics (Fig. 7 census, push/pull choice)."""
+        self.buckets_processed += 1
+        mode = stats.get("mode")
+        if mode == "pull":
+            self.pull_buckets += 1
+        elif mode == "push":
+            self.push_buckets += 1
+        self.per_bucket_stats.append(stats)
+
+    # ------------------------------------------------------------------
+    # Aggregate views
+    # ------------------------------------------------------------------
+    @property
+    def total_relaxations(self) -> int:
+        """Total relaxations, counting pull requests and responses separately
+        (the paper's fair-count convention of Section III-C)."""
+        return int(sum(self.relaxations.values()))
+
+    @property
+    def total_phases(self) -> int:
+        """Total phases of all kinds (Fig. 3(a) metric)."""
+        return self.short_phases + self.long_phases + self.bf_phases
+
+    @property
+    def total_bytes(self) -> int:
+        """Total bytes moved across the simulated network."""
+        return sum(r.bytes_total for r in self.records)
+
+    @property
+    def total_allreduces(self) -> int:
+        return sum(r.allreduces for r in self.records)
+
+    def relaxations_by_kind(self) -> dict[str, int]:
+        """Copy of the per-category relaxation counters."""
+        return dict(self.relaxations)
+
+    def summary(self) -> dict[str, int]:
+        """Flat summary used by benches and tests."""
+        return {
+            "relaxations": self.total_relaxations,
+            "phases": self.total_phases,
+            "short_phases": self.short_phases,
+            "long_phases": self.long_phases,
+            "bf_phases": self.bf_phases,
+            "buckets": self.buckets_processed,
+            "push_buckets": self.push_buckets,
+            "pull_buckets": self.pull_buckets,
+            "bytes": self.total_bytes,
+            "allreduces": self.total_allreduces,
+        }

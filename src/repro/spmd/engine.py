@@ -1,0 +1,539 @@
+"""SPMD Bellman-Ford and Δ-stepping over rank-local state.
+
+The functions here replay the exact bulk-synchronous schedule of the
+orchestrated engine — same scans, same allreduces, same exchanges, same
+compute charges, in the same order — but every rank computes from its own
+slice only and cross-rank data moves exclusively through the
+:class:`~repro.spmd.mailbox.Mailbox`. The equivalence tests assert
+bit-identical distances *and* identical metrics/cost against
+:mod:`repro.core.delta_stepping`, which is the mechanical proof that the
+orchestrated engine's declared traffic equals a true message-passing
+execution's.
+
+The SPMD engine covers the full paper composition: edge classification,
+IOS, push *and pull* long phases (requests and responses each a mailbox
+round), the expectation decision heuristic (rank-local partial sums
+combined by allreduce), and hybridization into Bellman-Ford.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.config import SolverConfig
+from repro.core.context import ExecutionContext, make_context
+from repro.core.distances import INF
+from repro.graph.csr import CSRGraph
+from repro.runtime.comm import RELAX_RECORD_BYTES, REQUEST_RECORD_BYTES
+from repro.runtime.machine import MachineConfig
+from repro.runtime.metrics import ComputeKind
+from repro.spmd.mailbox import Mailbox
+from repro.spmd.state import RankState, build_rank_states
+from repro.util.ranges import concat_ranges
+
+__all__ = ["spmd_bellman_ford", "spmd_delta_stepping"]
+
+
+# ----------------------------------------------------------------------
+# Shared helpers
+# ----------------------------------------------------------------------
+def _charge_compute(
+    ctx: ExecutionContext,
+    kind: ComputeKind,
+    per_rank: list[tuple[np.ndarray, np.ndarray | None]],
+    *,
+    phase_kind: str,
+    count_as_relax: bool = False,
+) -> None:
+    """Fold per-rank (global vertex ids, units) into one compute record,
+    exactly as the orchestrated engine charges it."""
+    vertices = (
+        np.concatenate([v for v, _ in per_rank])
+        if per_rank
+        else np.empty(0, np.int64)
+    )
+    if per_rank and any(u is not None for _, u in per_rank):
+        units = np.concatenate(
+            [
+                u if u is not None else np.ones(v.size, dtype=np.float64)
+                for v, u in per_rank
+            ]
+        )
+    else:
+        units = None
+    ctx.charge(kind, vertices, units, phase_kind=phase_kind,
+               count_as_relax=count_as_relax)
+
+
+def _post_relaxations(
+    state: RankState,
+    mailbox: Mailbox,
+    partition,
+    arcs: np.ndarray,
+    owner_idx: np.ndarray,
+    active: np.ndarray,
+    keep: np.ndarray | None = None,
+) -> int:
+    """Compute (dst, nd) for the given local arcs and post them."""
+    dst = state.adj[arcs]
+    nd = state.d[active[owner_idx]] + state.weights[arcs]
+    if keep is not None:
+        dst, nd = dst[keep], nd[keep]
+    mailbox.post(state.rank, np.asarray(partition.owner(dst)), dst, nd)
+    return dst.size
+
+
+def _apply_inbox(state: RankState, dst: np.ndarray, nd: np.ndarray) -> np.ndarray:
+    """Min-apply received records to the local slice; returns changed locals."""
+    if dst.size == 0:
+        return np.empty(0, dtype=np.int64)
+    local = state.to_local(dst)
+    improving = nd < state.d[local]
+    if not improving.any():
+        return np.empty(0, dtype=np.int64)
+    local, nd = local[improving], nd[improving]
+    touched = np.unique(local)
+    before = state.d[touched].copy()
+    np.minimum.at(state.d, local, nd)
+    return touched[state.d[touched] < before]
+
+
+def _active_scan_charge(ctx: ExecutionContext, states: list[RankState]) -> None:
+    per_rank = np.array([st.active.size for st in states], dtype=np.int64)
+    ctx.charge_scan(per_rank)
+
+
+def _bf_stage(
+    ctx: ExecutionContext, states: list[RankState], mailbox: Mailbox
+) -> None:
+    """Bellman-Ford iterations from the states' current active sets."""
+    while True:
+        total_active = mailbox.allreduce_sum([st.active.size for st in states])
+        if total_active == 0:
+            break
+        _active_scan_charge(ctx, states)
+        gen: list[tuple[np.ndarray, np.ndarray | None]] = []
+        for st in states:
+            arcs, owner_idx = concat_ranges(
+                st.indptr[st.active], st.indptr[st.active + 1]
+            )
+            _post_relaxations(st, mailbox, ctx.partition, arcs, owner_idx, st.active)
+            gen.append(
+                (
+                    st.to_global(st.active),
+                    st.local_degrees(st.active).astype(np.float64),
+                )
+            )
+        _charge_compute(ctx, ComputeKind.BF_RELAX, gen, phase_kind="bf")
+        inboxes = mailbox.deliver(RELAX_RECORD_BYTES, phase_kind="bf")
+        all_dst = np.concatenate([box[0] for box in inboxes])
+        _charge_compute(
+            ctx,
+            ComputeKind.BF_RELAX,
+            [(all_dst, None)],
+            phase_kind="bf",
+            count_as_relax=True,
+        )
+        ctx.metrics.note_phase("bf", int(all_dst.size))
+        for st, (dst, nd) in zip(states, inboxes):
+            st.active = _apply_inbox(st, dst, nd)
+
+
+# ----------------------------------------------------------------------
+# Entry points
+# ----------------------------------------------------------------------
+def spmd_bellman_ford(
+    graph: CSRGraph,
+    root: int,
+    machine: MachineConfig,
+) -> tuple[np.ndarray, ExecutionContext]:
+    """Rank-local Bellman-Ford; returns (distances, context-with-metrics)."""
+    config = SolverConfig(delta=2**60)
+    ctx = make_context(graph, machine, config)
+    states = build_rank_states(ctx.graph, ctx.partition, 2**60, root)
+    mailbox = Mailbox(machine.num_ranks, ctx.comm)
+    _bf_stage(ctx, states, mailbox)
+    d = np.empty(graph.num_vertices, dtype=np.int64)
+    for st in states:
+        d[st.lo : st.hi] = st.d
+    return d, ctx
+
+
+def spmd_delta_stepping(
+    graph: CSRGraph,
+    root: int,
+    machine: MachineConfig,
+    *,
+    delta: int = 25,
+    use_ios: bool = False,
+    config: SolverConfig | None = None,
+) -> tuple[np.ndarray, ExecutionContext]:
+    """Rank-local Δ-stepping; returns (distances, context-with-metrics).
+
+    Pass an explicit ``config`` to enable the full composition (pruning
+    with the expectation decision heuristic, forced push/pull modes, and
+    hybridization). The simple ``delta``/``use_ios`` keywords cover the
+    baseline variants.
+    """
+    if config is None:
+        config = SolverConfig(delta=delta, use_ios=use_ios)
+    if config.pushpull_estimator not in ("expectation",):
+        if config.use_pruning and config.pushpull_mode == "auto":
+            raise ValueError(
+                "the SPMD engine implements the expectation decision "
+                "heuristic (rank-local partial sums); use "
+                "pushpull_estimator='expectation' or a forced mode"
+            )
+    if config.collect_census:
+        raise ValueError("census collection is not implemented in SPMD mode")
+    delta = config.delta
+    ctx = make_context(graph, machine, config)
+    states = build_rank_states(ctx.graph, ctx.partition, delta, root)
+    mailbox = Mailbox(machine.num_ranks, ctx.comm)
+    bucket_ordinal = 0
+
+    while True:
+        # Next-bucket search: full unsettled scan + min allreduce.
+        total_unsettled = sum(st.unsettled_count() for st in states)
+        ctx.scan_all_ranks(total_unsettled)
+        k = mailbox.allreduce_min(
+            [st.min_unsettled_bucket(delta) for st in states]
+        )
+        if k >= INF:
+            break
+        _process_epoch_spmd(ctx, states, mailbox, int(k), bucket_ordinal)
+        bucket_ordinal += 1
+        if config.use_hybrid:
+            settled_total = mailbox.allreduce_sum(
+                [int(st.settled.sum()) for st in states]
+            )
+            n = ctx.graph.num_vertices
+            if n == 0 or settled_total / n > config.tau:
+                ctx.metrics.hybrid_switch_bucket = int(k)
+                for st in states:
+                    st.active = np.nonzero(~st.settled & (st.d < INF))[0].astype(
+                        np.int64
+                    )
+                _bf_stage(ctx, states, mailbox)
+                for st in states:
+                    st.settled |= st.d < INF
+                break
+
+    d = np.empty(graph.num_vertices, dtype=np.int64)
+    for st in states:
+        d[st.lo : st.hi] = st.d
+    return d, ctx
+
+
+# ----------------------------------------------------------------------
+# Epoch processing
+# ----------------------------------------------------------------------
+def _bucket_members_local(st: RankState, k: int, delta: int) -> np.ndarray:
+    lo_d, hi_d = k * delta, (k + 1) * delta
+    mask = (st.d >= lo_d) & (st.d < hi_d) & ~st.settled
+    return np.nonzero(mask)[0].astype(np.int64)
+
+
+def _decide_mode_spmd(
+    ctx: ExecutionContext,
+    states: list[RankState],
+    mailbox: Mailbox,
+    members_per_rank: list[np.ndarray],
+    k: int,
+    bucket_ordinal: int,
+) -> str:
+    """The expectation decision heuristic from rank-local partial sums.
+
+    Reproduces :func:`repro.core.pushpull.estimate_models` exactly: each
+    rank contributes its long-degree sum over local members (push side) and
+    its expectation-weighted request sum over local later vertices (pull
+    side); sums and maxima combine associatively, so the SPMD decision
+    equals the orchestrated one. Charges the same two allreduces.
+    """
+    cfg = ctx.config
+    if not cfg.use_pruning:
+        return "push"
+    if cfg.pushpull_mode == "push":
+        return "push"
+    if cfg.pushpull_mode == "pull":
+        return "pull"
+    if cfg.pushpull_mode == "sequence" and bucket_ordinal < len(
+        cfg.pushpull_sequence
+    ):
+        return cfg.pushpull_sequence[bucket_ordinal]
+
+    machine = ctx.machine
+    delta = cfg.delta
+    lo_d = k * delta
+    hi_d = lo_d + delta
+    w_max = max(ctx.graph.max_weight, 1)
+    p = machine.num_ranks
+
+    push_partials = []
+    pull_partials = []
+    for st, members in zip(states, members_per_rank):
+        long_deg = (st.local_degrees(members) - st.short_offsets[members]).astype(
+            np.float64
+        )
+        push_partials.append(float(long_deg.sum()))
+        later = np.nonzero(~st.settled & (st.d >= hi_d))[0]
+        if later.size:
+            d_later = st.d[later].astype(np.float64)
+            window = np.where(d_later >= INF, np.float64(w_max), d_later - lo_d)
+            if cfg.use_ios:
+                deg = st.local_degrees(later).astype(np.float64)
+                frac = np.clip(window / w_max, 0.0, 1.0)
+            else:
+                deg = (
+                    st.local_degrees(later) - st.short_offsets[later]
+                ).astype(np.float64)
+                frac = np.clip(
+                    (window - delta) / max(w_max - delta + 1, 1), 0.0, 1.0
+                )
+            pull_partials.append(float((deg * frac).sum()))
+        else:
+            pull_partials.append(0.0)
+
+    push_records = sum(push_partials)
+    push_max = max(push_partials)
+    pull_requests = sum(pull_partials)
+    pull_max = max(pull_partials)
+    pull_responses = pull_requests
+
+    push_cost = (
+        machine.beta * push_records * RELAX_RECORD_BYTES
+        + machine.alpha * p
+        + cfg.imbalance_weight * machine.t_relax * push_max
+    )
+    pull_cost = (
+        machine.beta
+        * (
+            pull_requests * REQUEST_RECORD_BYTES
+            + pull_responses * RELAX_RECORD_BYTES
+        )
+        + machine.alpha * 2 * p
+        + cfg.imbalance_weight * machine.t_request * pull_max
+    )
+    ctx.comm.allreduce(2, phase_kind="long")
+    return "push" if push_cost <= pull_cost else "pull"
+
+
+def _long_phase_push_spmd(
+    ctx: ExecutionContext,
+    states: list[RankState],
+    mailbox: Mailbox,
+    members_per_rank: list[np.ndarray],
+    k: int,
+) -> int:
+    """Push-model long phase; returns the relaxation count."""
+    cfg = ctx.config
+    hi_d = (k + 1) * cfg.delta
+    gen: list[tuple[np.ndarray, np.ndarray | None]] = []
+    for st, members in zip(states, members_per_rank):
+        long_starts = st.indptr[members] + st.short_offsets[members]
+        long_ends = st.indptr[members + 1]
+        arcs, owner_idx = concat_ranges(long_starts, long_ends)
+        _post_relaxations(st, mailbox, ctx.partition, arcs, owner_idx, members)
+        scanned = (long_ends - long_starts).astype(np.float64)
+        if cfg.use_ios:
+            s_arcs, s_owner = concat_ranges(st.indptr[members], long_starts)
+            s_nd = st.d[members[s_owner]] + st.weights[s_arcs]
+            outer = s_nd >= hi_d
+            dst = st.adj[s_arcs][outer]
+            nd = s_nd[outer]
+            mailbox.post(st.rank, np.asarray(ctx.partition.owner(dst)), dst, nd)
+            scanned += st.short_offsets[members].astype(np.float64)
+        gen.append((st.to_global(members), scanned))
+    _charge_compute(ctx, ComputeKind.LONG_PUSH_RELAX, gen, phase_kind="long")
+    inboxes = mailbox.deliver(RELAX_RECORD_BYTES, phase_kind="long")
+    all_dst = np.concatenate([box[0] for box in inboxes])
+    _charge_compute(
+        ctx,
+        ComputeKind.LONG_PUSH_RELAX,
+        [(all_dst, None)],
+        phase_kind="long",
+        count_as_relax=True,
+    )
+    ctx.metrics.note_phase("long", int(all_dst.size))
+    for st, (dst, nd) in zip(states, inboxes):
+        _apply_inbox(st, dst, nd)
+    return int(all_dst.size)
+
+
+def _long_phase_pull_spmd(
+    ctx: ExecutionContext,
+    states: list[RankState],
+    mailbox: Mailbox,
+    members_per_rank: list[np.ndarray],
+    k: int,
+) -> dict[str, int]:
+    """Pull-model long phase: request and response mailbox rounds.
+
+    Returns the phase stats (requests/responses/relaxations). Only valid
+    for undirected graphs (rank-local adjacency doubles as in-edges),
+    matching the paper's setting.
+    """
+    cfg = ctx.config
+    delta = cfg.delta
+    lo_d = k * delta
+    hi_d = lo_d + delta
+
+    # Round 1: later-bucket vertices issue requests along eq.-(1) arcs.
+    gen: list[tuple[np.ndarray, np.ndarray | None]] = []
+    total_later = 0
+    for st in states:
+        later = np.nonzero(~st.settled & (st.d >= hi_d))[0].astype(np.int64)
+        total_later += later.size
+        if cfg.use_ios:
+            starts = st.indptr[later]
+        else:
+            starts = st.indptr[later] + st.short_offsets[later]
+        ends = st.indptr[later + 1]
+        arcs, owner_idx = concat_ranges(starts, ends)
+        req_u = st.adj[arcs]
+        req_w = st.weights[arcs]
+        passes = req_w < st.d[later[owner_idx]] - lo_d
+        req_u = req_u[passes]
+        req_w = req_w[passes]
+        req_v = st.to_global(later[owner_idx[passes]])
+        mailbox.post(
+            st.rank, np.asarray(ctx.partition.owner(req_u)), req_u, req_v, req_w
+        )
+        gen_units = np.bincount(owner_idx[passes], minlength=later.size).astype(
+            np.float64
+        )
+        gen_units += 1.0
+        gen.append((st.to_global(later), gen_units))
+
+    if total_later == 0:
+        ctx.metrics.note_phase("long", 0)
+        return {"mode": "pull", "relaxations": 0, "requests": 0, "responses": 0}
+
+    _charge_compute(ctx, ComputeKind.PULL_REQUEST, gen, phase_kind="long")
+    req_inboxes = mailbox.deliver(
+        REQUEST_RECORD_BYTES, phase_kind="long", num_columns=3
+    )
+    all_req_u = np.concatenate([box[0] for box in req_inboxes])
+    _charge_compute(
+        ctx,
+        ComputeKind.PULL_REQUEST,
+        [(all_req_u, None)],
+        phase_kind="long",
+        count_as_relax=True,
+    )
+
+    # Round 2: owners of current-bucket sources respond.
+    for st, (req_u, req_v, req_w) in zip(states, req_inboxes):
+        if req_u.size == 0:
+            continue
+        local_u = st.to_local(req_u)
+        lo_mask = (
+            st.settled[local_u]
+            & (st.d[local_u] >= lo_d)
+            & (st.d[local_u] < hi_d)
+        )
+        resp_v = req_v[lo_mask]
+        nd = st.d[local_u[lo_mask]] + req_w[lo_mask]
+        mailbox.post(st.rank, np.asarray(ctx.partition.owner(resp_v)), resp_v, nd)
+
+    resp_inboxes = mailbox.deliver(RELAX_RECORD_BYTES, phase_kind="long")
+    all_resp_v = np.concatenate([box[0] for box in resp_inboxes])
+    _charge_compute(
+        ctx,
+        ComputeKind.PULL_RESPONSE,
+        [(all_resp_v, None)],
+        phase_kind="long",
+        count_as_relax=True,
+    )
+    ctx.metrics.note_phase("long", int(all_req_u.size + all_resp_v.size))
+    for st, (dst, nd) in zip(states, resp_inboxes):
+        _apply_inbox(st, dst, nd)
+    return {
+        "mode": "pull",
+        "relaxations": int(all_req_u.size + all_resp_v.size),
+        "requests": int(all_req_u.size),
+        "responses": int(all_resp_v.size),
+    }
+
+
+def _process_epoch_spmd(
+    ctx: ExecutionContext,
+    states: list[RankState],
+    mailbox: Mailbox,
+    k: int,
+    bucket_ordinal: int,
+) -> None:
+    cfg = ctx.config
+    delta = cfg.delta
+    hi_d = (k + 1) * delta
+
+    # Epoch start: identify members (scan of the unsettled set).
+    total_unsettled = sum(st.unsettled_count() for st in states)
+    ctx.scan_all_ranks(total_unsettled)
+    for st in states:
+        st.active = _bucket_members_local(st, k, delta)
+
+    # --- Stage 1: short phases.
+    while True:
+        total_active = mailbox.allreduce_sum([st.active.size for st in states])
+        if total_active == 0:
+            break
+        _active_scan_charge(ctx, states)
+        gen: list[tuple[np.ndarray, np.ndarray | None]] = []
+        for st in states:
+            starts = st.indptr[st.active]
+            ends = starts + st.short_offsets[st.active]
+            arcs, owner_idx = concat_ranges(starts, ends)
+            keep = None
+            if cfg.use_ios:
+                nd = st.d[st.active[owner_idx]] + st.weights[arcs]
+                keep = nd < hi_d
+            _post_relaxations(
+                st, mailbox, ctx.partition, arcs, owner_idx, st.active, keep
+            )
+            gen.append(
+                (st.to_global(st.active), (ends - starts).astype(np.float64))
+            )
+        _charge_compute(ctx, ComputeKind.SHORT_RELAX, gen, phase_kind="short")
+        inboxes = mailbox.deliver(RELAX_RECORD_BYTES, phase_kind="short")
+        all_dst = np.concatenate([box[0] for box in inboxes])
+        _charge_compute(
+            ctx,
+            ComputeKind.SHORT_RELAX,
+            [(all_dst, None)],
+            phase_kind="short",
+            count_as_relax=True,
+        )
+        ctx.metrics.note_phase("short", int(all_dst.size))
+        for st, (dst, nd) in zip(states, inboxes):
+            changed = _apply_inbox(st, dst, nd)
+            if changed.size:
+                in_bucket = (st.d[changed] >= k * delta) & (st.d[changed] < hi_d)
+                st.active = changed[in_bucket]
+            else:
+                st.active = changed
+
+    # --- Settle and run the long phase.
+    members_per_rank: list[np.ndarray] = []
+    members_count = 0
+    for st in states:
+        members = _bucket_members_local(st, k, delta)
+        st.settled[members] = True
+        members_per_rank.append(members)
+        members_count += members.size
+
+    mode = _decide_mode_spmd(ctx, states, mailbox, members_per_rank, k, bucket_ordinal)
+    if mode == "push":
+        if members_count == 0:
+            ctx.metrics.note_phase("long", 0)
+            stats: dict[str, int | str] = {"mode": "push", "relaxations": 0}
+        else:
+            relax = _long_phase_push_spmd(
+                ctx, states, mailbox, members_per_rank, k
+            )
+            stats = {"mode": "push", "relaxations": relax}
+    else:
+        stats = _long_phase_pull_spmd(ctx, states, mailbox, members_per_rank, k)
+    stats["bucket"] = k
+    stats["members"] = int(members_count)
+    ctx.metrics.note_bucket(stats)

@@ -1,0 +1,132 @@
+"""Per-rank mailboxes: the only channel between SPMD ranks.
+
+A :class:`Mailbox` models one bulk-synchronous exchange round: during a
+superstep every rank posts ``(dst_vertex, payload...)`` record batches
+addressed by destination rank; at the superstep boundary :meth:`deliver`
+moves them to the receivers (counting the traffic through the accounting
+communicator) and hands each rank exactly the records addressed to it.
+Nothing else crosses rank boundaries.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.runtime.comm import Communicator
+
+__all__ = ["Mailbox"]
+
+
+class Mailbox:
+    """Bulk-synchronous record exchange between ``num_ranks`` ranks."""
+
+    def __init__(self, num_ranks: int, comm: Communicator) -> None:
+        if num_ranks < 1:
+            raise ValueError("num_ranks must be >= 1")
+        self.num_ranks = num_ranks
+        self.comm = comm
+        self._outbox: list[list[tuple[int, tuple[np.ndarray, ...]]]] = [
+            [] for _ in range(num_ranks)
+        ]
+
+    def post(
+        self,
+        src_rank: int,
+        dst_ranks: np.ndarray,
+        *columns: np.ndarray,
+    ) -> None:
+        """Queue records from ``src_rank``; ``columns`` are parallel arrays
+        (first column must be the destination vertex ids)."""
+        if not 0 <= src_rank < self.num_ranks:
+            raise IndexError(f"rank {src_rank} out of range")
+        if not columns:
+            raise ValueError("at least one record column required")
+        dst_ranks = np.asarray(dst_ranks, dtype=np.int64)
+        for col in columns:
+            if np.asarray(col).shape != dst_ranks.shape:
+                raise ValueError("record columns must align with dst_ranks")
+        if dst_ranks.size == 0:
+            return
+        order = np.argsort(dst_ranks, kind="stable")
+        sorted_dst = dst_ranks[order]
+        sorted_cols = [np.asarray(c)[order] for c in columns]
+        bounds = np.nonzero(np.diff(sorted_dst))[0] + 1
+        starts = np.concatenate(([0], bounds))
+        ends = np.concatenate((bounds, [sorted_dst.size]))
+        for s, e in zip(starts, ends):
+            dst = int(sorted_dst[s])
+            self._outbox[src_rank].append(
+                (dst, tuple(c[s:e] for c in sorted_cols))
+            )
+
+    def deliver(
+        self,
+        record_bytes: int,
+        *,
+        phase_kind: str = "other",
+        num_columns: int = 2,
+    ) -> list[tuple[np.ndarray, ...]]:
+        """Close the superstep: account the traffic and return, per receiving
+        rank, the concatenated record columns addressed to it."""
+        p = self.num_ranks
+        # Account every queued record with its true (src, dst) rank pair.
+        src_list = []
+        dst_list = []
+        for src in range(p):
+            for dst, cols in self._outbox[src]:
+                count = cols[0].size
+                src_list.append(np.full(count, src, dtype=np.int64))
+                dst_list.append(np.full(count, dst, dtype=np.int64))
+        if src_list:
+            self.comm.exchange_by_rank(
+                np.concatenate(src_list),
+                np.concatenate(dst_list),
+                record_bytes,
+                phase_kind=phase_kind,
+            )
+        else:
+            self.comm.exchange_by_rank(
+                np.empty(0, dtype=np.int64),
+                np.empty(0, dtype=np.int64),
+                record_bytes,
+                phase_kind=phase_kind,
+            )
+        # Deliver.
+        inbox: list[list[tuple[np.ndarray, ...]]] = [[] for _ in range(p)]
+        for src in range(p):
+            for dst, cols in self._outbox[src]:
+                if len(cols) != num_columns:
+                    raise ValueError(
+                        f"posted {len(cols)} columns, deliver expects "
+                        f"{num_columns}"
+                    )
+                inbox[dst].append(cols)
+        self._outbox = [[] for _ in range(p)]
+        out: list[tuple[np.ndarray, ...]] = []
+        for dst in range(p):
+            if inbox[dst]:
+                out.append(
+                    tuple(
+                        np.concatenate([batch[i] for batch in inbox[dst]])
+                        for i in range(num_columns)
+                    )
+                )
+            else:
+                out.append(
+                    tuple(np.empty(0, dtype=np.int64) for _ in range(num_columns))
+                )
+        return out
+
+    def allreduce_sum(self, values: list[int | float]) -> int | float:
+        """Sum a per-rank scalar (counted as one allreduce)."""
+        if len(values) != self.num_ranks:
+            raise ValueError("need one value per rank")
+        self.comm.allreduce(1, phase_kind="bucket")
+        return sum(values)
+
+    def allreduce_min(self, values: list[int | float]) -> int | float:
+        """Minimum of a per-rank scalar (counted as one allreduce)."""
+        if len(values) != self.num_ranks:
+            raise ValueError("need one value per rank")
+        self.comm.allreduce(1, phase_kind="bucket")
+        return min(values)

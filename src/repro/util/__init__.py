@@ -1,0 +1,6 @@
+"""Small shared utilities (vectorised range concatenation, table printing)."""
+
+from repro.util.ranges import concat_ranges
+from repro.util.tables import format_table
+
+__all__ = ["concat_ranges", "format_table"]

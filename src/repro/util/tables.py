@@ -1,0 +1,47 @@
+"""Plain-text table formatting for benchmark output.
+
+The benchmark harness prints the same rows/series the paper's tables and
+figures report; this helper renders them readably without any plotting
+dependency.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Iterable, Mapping
+
+__all__ = ["format_table"]
+
+
+def _fmt(value: Any) -> str:
+    if isinstance(value, float):
+        if value == 0:
+            return "0"
+        if abs(value) >= 1000 or abs(value) < 0.001:
+            return f"{value:.3g}"
+        return f"{value:.3f}".rstrip("0").rstrip(".")
+    return str(value)
+
+
+def format_table(rows: Iterable[Mapping[str, Any]], title: str | None = None) -> str:
+    """Render a list of dict rows as an aligned plain-text table."""
+    rows = list(rows)
+    if not rows:
+        return (title + "\n" if title else "") + "(no rows)"
+    columns: list[str] = []
+    for row in rows:
+        for key in row:
+            if key not in columns:
+                columns.append(key)
+    cells = [[_fmt(row.get(c, "")) for c in columns] for row in rows]
+    widths = [
+        max(len(c), max(len(line[i]) for line in cells)) for i, c in enumerate(columns)
+    ]
+    out: list[str] = []
+    if title:
+        out.append(title)
+    header = "  ".join(c.rjust(w) for c, w in zip(columns, widths))
+    out.append(header)
+    out.append("  ".join("-" * w for w in widths))
+    for line in cells:
+        out.append("  ".join(v.rjust(w) for v, w in zip(line, widths)))
+    return "\n".join(out)

@@ -1,0 +1,142 @@
+"""Unit tests for the analysis drivers (oracle, phase stats, sweeps)."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.oracle import evaluate_decision_sequences
+from repro.analysis.phase_stats import (
+    algorithm_comparison,
+    bucket_census_table,
+    phase_relaxation_series,
+)
+from repro.analysis.sweep import delta_sweep, weak_scaling
+from repro.core.config import SolverConfig
+from repro.core.solver import solve_sssp
+from repro.graph.rmat import RMAT1, RMAT2
+
+
+class TestPhaseStats:
+    def test_phase_series_matches_metrics(self, rmat1_small):
+        res = solve_sssp(rmat1_small, 3, algorithm="delta", delta=25,
+                         num_ranks=2, threads_per_rank=2)
+        series = phase_relaxation_series(res.metrics)
+        assert len(series) == res.metrics.total_phases
+        assert sum(r["relaxations"] for r in series) == res.metrics.total_relaxations
+        assert {r["kind"] for r in series} <= {"short", "long", "bf"}
+
+    def test_long_phases_dominate_relaxations(self, rmat1_small):
+        # Fig. 4: long phases carry most of the work for delta << w_max.
+        res = solve_sssp(rmat1_small, 3, algorithm="delta", delta=25,
+                         num_ranks=2, threads_per_rank=2)
+        series = phase_relaxation_series(res.metrics)
+        long_work = sum(r["relaxations"] for r in series if r["kind"] == "long")
+        short_work = sum(r["relaxations"] for r in series if r["kind"] == "short")
+        assert long_work > short_work
+
+    def test_census_table(self, rmat1_small):
+        cfg = SolverConfig(delta=25, use_pruning=True, collect_census=True)
+        res = solve_sssp(rmat1_small, 3, algorithm="census", config=cfg,
+                         num_ranks=2, threads_per_rank=2)
+        table = bucket_census_table(res.metrics)
+        assert table
+        assert {"self_edges", "backward_edges", "forward_edges"} <= set(table[0])
+
+    def test_algorithm_comparison_rows(self, rmat1_small):
+        rows = algorithm_comparison(
+            rmat1_small, 3,
+            [("Del-25", "delta", 25), ("OPT-25", "opt", 25)],
+            num_ranks=2, threads_per_rank=2,
+        )
+        assert [r["algorithm"] for r in rows] == ["Del-25", "OPT-25"]
+        assert all(r["relaxations"] > 0 for r in rows)
+
+
+class TestDeltaSweep:
+    def test_rows_per_delta(self, rmat1_small):
+        rows = delta_sweep(rmat1_small, 3, [1, 25, 100],
+                           num_ranks=2, threads_per_rank=2)
+        assert [r["delta"] for r in rows] == [1, 25, 100]
+
+    def test_mid_delta_beats_dijkstra(self, rmat1_small):
+        rows = delta_sweep(rmat1_small, 3, [1, 25],
+                           num_ranks=2, threads_per_rank=2)
+        assert rows[1]["gteps"] > rows[0]["gteps"]
+
+    def test_overrides_applied(self, rmat1_small):
+        rows = delta_sweep(rmat1_small, 3, [25], algorithm="opt",
+                           num_ranks=2, threads_per_rank=2,
+                           config_overrides={"tau": 0.0})
+        assert rows[0]["buckets"] == 1
+
+
+class TestWeakScaling:
+    def test_rows_shape(self):
+        rows = weak_scaling([1, 2], RMAT1, vertices_per_rank_log2=8,
+                            algorithms=[("A", "delta", 25), ("B", "opt", 25)],
+                            threads_per_rank=2)
+        assert len(rows) == 4
+        assert rows[0]["scale"] == 8 and rows[2]["scale"] == 9
+
+    def test_rejects_non_power_of_two(self):
+        with pytest.raises(ValueError):
+            weak_scaling([3], RMAT1, vertices_per_rank_log2=8)
+
+    def test_runs_have_work(self):
+        rows = weak_scaling([1, 2, 4], RMAT2, vertices_per_rank_log2=8,
+                            threads_per_rank=2)
+        assert all(r["relaxations"] > 0 for r in rows)
+
+    def test_machine_factory_respected(self):
+        from repro.runtime.machine import MachineConfig
+
+        seen = []
+
+        def factory(nodes):
+            seen.append(nodes)
+            return MachineConfig(num_ranks=nodes, threads_per_rank=1)
+
+        weak_scaling([1, 2], RMAT1, vertices_per_rank_log2=7,
+                     machine_factory=factory)
+        assert seen == [1, 2]
+
+
+class TestOracle:
+    def test_exact_estimator_is_optimal(self, rmat1_small):
+        from repro.graph.roots import choose_root
+
+        root = choose_root(rmat1_small, seed=1)
+        cfg = SolverConfig(delta=25, use_ios=True, use_pruning=True,
+                           use_hybrid=True, pushpull_estimator="exact")
+        rep = evaluate_decision_sequences(
+            rmat1_small, root, config=cfg, num_ranks=2, threads_per_rank=2
+        )
+        assert rep.heuristic_is_optimal
+        assert rep.slowdown_vs_best == pytest.approx(1.0)
+        assert len(rep.all_times) == 2**rep.num_buckets
+
+    def test_expectation_estimator_near_optimal(self, rmat1_small):
+        from repro.graph.roots import choose_root
+
+        root = choose_root(rmat1_small, seed=2)
+        rep = evaluate_decision_sequences(
+            rmat1_small, root, delta=25, num_ranks=2, threads_per_rank=2
+        )
+        assert rep.slowdown_vs_best < 1.25
+
+    def test_decision_overhead_nonnegative(self, rmat1_small):
+        rep = evaluate_decision_sequences(
+            rmat1_small, 3, delta=25, num_ranks=2, threads_per_rank=2
+        )
+        assert rep.decision_overhead >= 0
+
+    def test_requires_pruning(self, rmat1_small):
+        with pytest.raises(ValueError, match="use_pruning"):
+            evaluate_decision_sequences(
+                rmat1_small, 3, config=SolverConfig(delta=25), num_ranks=2
+            )
+
+    def test_best_no_worse_than_worst(self, rmat1_small):
+        rep = evaluate_decision_sequences(
+            rmat1_small, 3, delta=25, num_ranks=2, threads_per_rank=2
+        )
+        assert rep.best_time <= rep.worst_time

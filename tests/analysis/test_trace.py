@@ -1,0 +1,67 @@
+"""Unit tests for the execution-trace timeline."""
+
+import pytest
+
+from repro.analysis.trace import render_timeline, time_by_phase_kind, timeline
+from repro.core.solver import solve_sssp
+from repro.runtime.costmodel import evaluate_cost
+from repro.runtime.machine import MachineConfig
+from repro.runtime.metrics import Metrics
+
+
+@pytest.fixture(scope="module")
+def run(rmat1_small):
+    machine = MachineConfig(num_ranks=4, threads_per_rank=4)
+    res = solve_sssp(rmat1_small, 3, algorithm="opt", delta=25, machine=machine)
+    return res, machine
+
+
+class TestTimeline:
+    def test_one_row_per_record(self, run):
+        res, machine = run
+        rows = timeline(res.metrics, machine)
+        assert len(rows) == len(res.metrics.records)
+
+    def test_cumulative_time_matches_cost_model(self, run):
+        res, machine = run
+        rows = timeline(res.metrics, machine)
+        total = evaluate_cost(res.metrics, machine).total_time
+        assert rows[-1]["t_s"] == pytest.approx(total)
+
+    def test_costs_nonnegative_and_monotone(self, run):
+        res, machine = run
+        rows = timeline(res.metrics, machine)
+        assert all(r["cost_s"] >= 0 for r in rows)
+        ts = [r["t_s"] for r in rows]
+        assert all(b >= a for a, b in zip(ts, ts[1:]))
+
+    def test_empty_metrics(self):
+        machine = MachineConfig(num_ranks=1, threads_per_rank=1)
+        assert timeline(Metrics(num_ranks=1, threads_per_rank=1), machine) == []
+
+
+class TestAggregation:
+    def test_phase_kinds_partition_total(self, run):
+        res, machine = run
+        by_kind = time_by_phase_kind(res.metrics, machine)
+        total = evaluate_cost(res.metrics, machine).total_time
+        assert sum(by_kind.values()) == pytest.approx(total)
+
+    def test_bucket_share_matches_cost_breakdown(self, run):
+        res, machine = run
+        by_kind = time_by_phase_kind(res.metrics, machine)
+        cost = evaluate_cost(res.metrics, machine)
+        assert by_kind.get("bucket", 0.0) == pytest.approx(cost.bucket_time)
+
+
+class TestRendering:
+    def test_render_contains_total_and_rows(self, run):
+        res, machine = run
+        text = render_timeline(res.metrics, machine, top=5)
+        assert "total simulated time" in text
+        assert text.count("\n") == 5
+
+    def test_render_empty(self):
+        machine = MachineConfig(num_ranks=1, threads_per_rank=1)
+        text = render_timeline(Metrics(num_ranks=1, threads_per_rank=1), machine)
+        assert "0 records" in text

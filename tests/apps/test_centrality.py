@@ -1,0 +1,123 @@
+"""Unit tests for SSSP-based centrality, cross-checked against networkx."""
+
+import numpy as np
+import pytest
+
+from repro.apps.centrality import (
+    betweenness_centrality,
+    closeness_centrality,
+    sssp_distances,
+)
+from repro.graph.builder import from_undirected_edges
+from repro.graph.rmat import rmat_graph
+
+
+def to_networkx(graph):
+    import networkx as nx
+
+    nxg = nx.Graph()
+    nxg.add_nodes_from(range(graph.num_vertices))
+    tails, heads, weights = graph.to_edge_list()
+    for a, b, w in zip(tails.tolist(), heads.tolist(), weights.tolist()):
+        if a < b:
+            nxg.add_edge(a, b, weight=w)
+    return nxg
+
+
+@pytest.fixture(scope="module")
+def random_graph():
+    rng = np.random.default_rng(5)
+    n, m = 30, 60
+    t = rng.integers(0, n, m)
+    h = rng.integers(0, n, m)
+    w = rng.integers(1, 10, m)
+    return from_undirected_edges(t, h, w, n)
+
+
+class TestSsspDistances:
+    def test_matches_reference(self, random_graph):
+        from repro.core.reference import dijkstra_reference
+
+        d = sssp_distances(random_graph, 0)
+        assert np.array_equal(d, dijkstra_reference(random_graph, 0))
+
+
+class TestCloseness:
+    def test_matches_networkx_exactly(self, random_graph):
+        import networkx as nx
+
+        nxg = to_networkx(random_graph)
+        ref = nx.closeness_centrality(nxg, distance="weight", wf_improved=True)
+        ours = closeness_centrality(
+            random_graph, sources=np.arange(30),
+            num_ranks=2, threads_per_rank=2,
+        )
+        for v in range(30):
+            assert ours[v] == pytest.approx(ref[v], abs=1e-12)
+
+    def test_isolated_source_zero(self, disconnected_graph):
+        out = closeness_centrality(
+            disconnected_graph, sources=np.array([4]),
+            num_ranks=1, threads_per_rank=1,
+        )
+        assert out[4] == 0.0
+
+    def test_sampling(self, random_graph):
+        out = closeness_centrality(random_graph, num_sources=5, seed=3,
+                                   num_ranks=2, threads_per_rank=2)
+        assert len(out) == 5
+
+
+class TestBetweenness:
+    def test_matches_networkx_exactly(self, random_graph):
+        import networkx as nx
+
+        nxg = to_networkx(random_graph)
+        ref = nx.betweenness_centrality(nxg, weight="weight", normalized=True)
+        ours = betweenness_centrality(
+            random_graph, sources=np.arange(30),
+            num_ranks=2, threads_per_rank=2,
+        )
+        for v in range(30):
+            assert ours[v] == pytest.approx(ref[v], abs=1e-9)
+
+    def test_unnormalized_matches_networkx(self, random_graph):
+        import networkx as nx
+
+        nxg = to_networkx(random_graph)
+        ref = nx.betweenness_centrality(nxg, weight="weight", normalized=False)
+        ours = betweenness_centrality(
+            random_graph, sources=np.arange(30), normalized=False,
+            num_ranks=2, threads_per_rank=2,
+        )
+        for v in range(30):
+            assert ours[v] == pytest.approx(ref[v], abs=1e-9)
+
+    def test_path_graph_middle_dominates(self, path_graph):
+        bc = betweenness_centrality(
+            path_graph, sources=np.arange(5), normalized=False,
+            num_ranks=1, threads_per_rank=1,
+        )
+        # middle of a path carries the most pairs: 0<1<2>3>0 symmetric
+        assert bc[2] == bc.max()
+        assert bc[0] == bc[4] == 0.0
+
+    def test_rejects_zero_weights(self):
+        g = from_undirected_edges(
+            np.array([0, 1]), np.array([1, 2]), np.array([0, 3]), 3
+        )
+        with pytest.raises(ValueError, match="positive"):
+            betweenness_centrality(g, sources=np.array([0]))
+
+    def test_sampled_approximation_correlates(self):
+        g = rmat_graph(scale=8, seed=11)
+        exact = betweenness_centrality(
+            g, sources=np.arange(g.num_vertices),
+            num_ranks=1, threads_per_rank=1,
+        )
+        approx = betweenness_centrality(
+            g, num_sources=64, seed=1, num_ranks=1, threads_per_rank=1
+        )
+        top_exact = set(np.argsort(exact)[-10:].tolist())
+        top_approx = set(np.argsort(approx)[-10:].tolist())
+        assert len(top_exact & top_approx) >= 5

@@ -1,0 +1,71 @@
+"""Unit tests for the Graph 500 SSSP benchmark protocol."""
+
+import numpy as np
+import pytest
+
+from repro.apps.graph500 import _harmonic_mean, run_graph500
+
+
+class TestHarmonicMean:
+    def test_known_value(self):
+        assert _harmonic_mean(np.array([1.0, 2.0])) == pytest.approx(4 / 3)
+
+    def test_singleton(self):
+        assert _harmonic_mean(np.array([5.0])) == pytest.approx(5.0)
+
+    def test_degenerate(self):
+        assert _harmonic_mean(np.array([])) == 0.0
+        assert _harmonic_mean(np.array([0.0, 1.0])) == 0.0
+
+    def test_below_arithmetic_mean(self):
+        v = np.array([1.0, 3.0, 9.0])
+        assert _harmonic_mean(v) < v.mean()
+
+
+class TestRunGraph500:
+    def test_protocol_runs_and_validates(self):
+        res = run_graph500(9, num_roots=6, num_ranks=4, threads_per_rank=2,
+                           seed=1)
+        assert res.all_valid
+        assert res.num_roots == 6
+        assert len(res.per_root) == 6
+        assert res.min_gteps <= res.harmonic_mean_gteps <= res.max_gteps
+        assert all(r["valid"] for r in res.per_root)
+        assert all(r["reached"] >= 1 for r in res.per_root)
+
+    def test_distinct_roots(self):
+        res = run_graph500(9, num_roots=6, num_ranks=2, threads_per_rank=2)
+        roots = [r["root"] for r in res.per_root]
+        assert len(set(roots)) == len(roots)
+
+    def test_harmonic_mean_is_official_statistic(self):
+        res = run_graph500(9, num_roots=5, num_ranks=2, threads_per_rank=2)
+        teps = np.array([r["sim_gteps"] for r in res.per_root])
+        assert res.harmonic_mean_gteps == pytest.approx(_harmonic_mean(teps))
+        assert res.mean_gteps == pytest.approx(teps.mean())
+
+    def test_custom_graph(self, rmat1_small):
+        res = run_graph500(0, graph=rmat1_small, num_roots=4,
+                           num_ranks=2, threads_per_rank=2)
+        assert res.num_edges == rmat1_small.num_undirected_edges
+        assert res.all_valid
+
+    def test_algorithm_choice_respected(self):
+        a = run_graph500(9, num_roots=3, algorithm="delta",
+                         num_ranks=2, threads_per_rank=2, seed=4)
+        b = run_graph500(9, num_roots=3, algorithm="opt",
+                         num_ranks=2, threads_per_rank=2, seed=4)
+        # same graph/roots, different work profile
+        ra = [r["relaxations"] for r in a.per_root]
+        rb = [r["relaxations"] for r in b.per_root]
+        assert ra != rb
+
+    def test_invalid_num_roots(self):
+        with pytest.raises(ValueError):
+            run_graph500(9, num_roots=0)
+
+    def test_summary_keys(self):
+        res = run_graph500(8, num_roots=2, num_ranks=2, threads_per_rank=2)
+        assert {"scale", "m", "roots", "valid", "hmean_gteps"} <= set(
+            res.summary()
+        )

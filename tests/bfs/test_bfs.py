@@ -1,0 +1,131 @@
+"""Unit tests for direction-optimizing BFS."""
+
+import numpy as np
+import pytest
+
+from repro.bfs import run_bfs
+from repro.bfs.engine import UNVISITED
+from repro.graph.builder import from_undirected_edges
+from repro.graph.rmat import rmat_graph
+from repro.graph.roots import choose_root
+
+
+def hop_reference(graph, root):
+    """Plain queue BFS for cross-checking."""
+    from collections import deque
+
+    levels = np.full(graph.num_vertices, -1, dtype=np.int64)
+    levels[root] = 0
+    q = deque([root])
+    while q:
+        u = q.popleft()
+        for v in graph.neighbors(u):
+            if levels[v] == -1:
+                levels[v] = levels[u] + 1
+                q.append(int(v))
+    return levels
+
+
+class TestCorrectness:
+    @pytest.mark.parametrize("direction", ["auto", "top-down", "bottom-up"])
+    def test_levels_match_reference(self, rmat1_small, direction):
+        root = choose_root(rmat1_small, seed=0)
+        res = run_bfs(rmat1_small, root, direction=direction,
+                      num_ranks=4, threads_per_rank=4)
+        assert np.array_equal(res.levels, hop_reference(rmat1_small, root))
+
+    def test_path_graph_levels(self, path_graph):
+        res = run_bfs(path_graph, 0, num_ranks=2, threads_per_rank=2)
+        assert list(res.levels) == [0, 1, 2, 3, 4]
+
+    def test_disconnected(self, disconnected_graph):
+        res = run_bfs(disconnected_graph, 0, num_ranks=2, threads_per_rank=2)
+        assert res.levels[1] == 1
+        assert res.levels[2] == UNVISITED
+        assert res.num_reached == 2
+
+    def test_parent_tree_consistent(self, rmat1_small):
+        root = choose_root(rmat1_small, seed=1)
+        res = run_bfs(rmat1_small, root, num_ranks=4, threads_per_rank=4)
+        assert res.parent[root] == UNVISITED
+        for v in np.nonzero(res.levels > 0)[0]:
+            p = int(res.parent[v])
+            assert res.levels[p] == res.levels[v] - 1
+            assert v in rmat1_small.neighbors(p)
+
+    def test_star_graph_one_level(self, star_graph):
+        res = run_bfs(star_graph, 0, num_ranks=2, threads_per_rank=2)
+        assert res.num_levels == 2  # expansion level + empty-check level
+        assert np.all(res.levels[1:] == 1)
+
+    def test_invalid_root(self, path_graph):
+        with pytest.raises(ValueError):
+            run_bfs(path_graph, 99)
+
+    def test_invalid_direction(self, path_graph):
+        with pytest.raises(ValueError, match="direction"):
+            run_bfs(path_graph, 0, direction="sideways")
+
+
+class TestDirectionOptimization:
+    def test_auto_switches_on_rmat(self):
+        g = rmat_graph(scale=11, seed=4)
+        root = choose_root(g, seed=0)
+        res = run_bfs(g, root, num_ranks=4, threads_per_rank=4)
+        dirs = set(res.direction_per_level)
+        assert "top-down" in dirs and "bottom-up" in dirs
+
+    def test_auto_examines_fewer_edges_than_top_down(self):
+        g = rmat_graph(scale=11, seed=4)
+        root = choose_root(g, seed=0)
+        auto = run_bfs(g, root, direction="auto", num_ranks=4, threads_per_rank=4)
+        td = run_bfs(g, root, direction="top-down", num_ranks=4, threads_per_rank=4)
+        assert auto.metrics.total_relaxations < td.metrics.total_relaxations
+
+    def test_top_down_relaxes_frontier_arcs_exactly(self, rmat1_small):
+        root = choose_root(rmat1_small, seed=0)
+        res = run_bfs(rmat1_small, root, direction="top-down",
+                      num_ranks=2, threads_per_rank=2)
+        reached = res.levels >= 0
+        expected = int(rmat1_small.degrees[reached].sum())
+        assert res.metrics.total_relaxations == expected
+
+    def test_forced_modes_report_uniform_directions(self, rmat1_small):
+        root = choose_root(rmat1_small, seed=0)
+        for direction in ("top-down", "bottom-up"):
+            res = run_bfs(rmat1_small, root, direction=direction,
+                          num_ranks=2, threads_per_rank=2)
+            assert set(res.direction_per_level) == {direction}
+
+
+class TestAccounting:
+    def test_gteps_positive(self, rmat1_small):
+        res = run_bfs(rmat1_small, choose_root(rmat1_small, seed=0),
+                      num_ranks=4, threads_per_rank=4)
+        assert res.gteps > 0
+        assert res.cost.total_time > 0
+
+    def test_bottom_up_pays_bitmap_broadcast(self, rmat1_small):
+        root = choose_root(rmat1_small, seed=0)
+        td = run_bfs(rmat1_small, root, direction="top-down",
+                     num_ranks=4, threads_per_rank=4)
+        bu = run_bfs(rmat1_small, root, direction="bottom-up",
+                     num_ranks=4, threads_per_rank=4)
+        # bottom-up moves bitmap bytes every level
+        assert bu.metrics.total_bytes > 0
+        # single-rank run: no bitmap traffic at all
+        solo = run_bfs(rmat1_small, root, direction="bottom-up",
+                       num_ranks=1, threads_per_rank=4)
+        assert solo.metrics.total_bytes == 0
+
+    def test_faster_than_sssp_but_same_ballpark(self):
+        """The paper's Fig. 1 observation: SSSP within 2-5x of BFS."""
+        from repro.core.solver import solve_sssp
+
+        g = rmat_graph(scale=12, seed=1)
+        root = choose_root(g, seed=0)
+        machine_kwargs = dict(num_ranks=8, threads_per_rank=16)
+        bfs = run_bfs(g, root, **machine_kwargs)
+        sssp = solve_sssp(g, root, algorithm="lb-opt", delta=25, **machine_kwargs)
+        ratio = bfs.gteps / sssp.gteps
+        assert 1.5 < ratio < 8.0

@@ -1,0 +1,93 @@
+"""Shared fixtures: small deterministic graphs and machine shapes."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.graph.builder import from_undirected_edges
+from repro.graph.csr import CSRGraph
+from repro.graph.rmat import RMAT1, RMAT2, rmat_graph
+from repro.runtime.machine import MachineConfig
+
+
+@pytest.fixture
+def path_graph() -> CSRGraph:
+    """0 -5- 1 -3- 2 -7- 3 -1- 4 (weighted path)."""
+    tails = np.array([0, 1, 2, 3])
+    heads = np.array([1, 2, 3, 4])
+    weights = np.array([5, 3, 7, 1])
+    return from_undirected_edges(tails, heads, weights, 5)
+
+
+@pytest.fixture
+def star_graph() -> CSRGraph:
+    """Hub 0 connected to 1..8 with weights 1..8."""
+    heads = np.arange(1, 9)
+    tails = np.zeros(8, dtype=np.int64)
+    weights = np.arange(1, 9)
+    return from_undirected_edges(tails, heads, weights, 9)
+
+
+@pytest.fixture
+def diamond_graph() -> CSRGraph:
+    """Two routes 0->3: 0-1-3 (1+1) and 0-2-3 (5+5); plus chord 1-2 (1)."""
+    tails = np.array([0, 1, 0, 2, 1])
+    heads = np.array([1, 3, 2, 3, 2])
+    weights = np.array([1, 1, 5, 5, 1])
+    return from_undirected_edges(tails, heads, weights, 4)
+
+
+@pytest.fixture
+def disconnected_graph() -> CSRGraph:
+    """Two components {0,1} and {2,3}; vertex 4 isolated."""
+    tails = np.array([0, 2])
+    heads = np.array([1, 3])
+    weights = np.array([2, 4])
+    return from_undirected_edges(tails, heads, weights, 5)
+
+
+@pytest.fixture
+def fig6_graph() -> CSRGraph:
+    """The paper's Fig. 6 pull-benefit example.
+
+    A root connected to a 5-clique with weight-10 edges; each clique vertex
+    connected to its own isolated (degree-1) pendant vertex with weight 10.
+    Run with Δ = 5: the root settles in bucket 0, the clique in bucket 2,
+    the pendants in bucket 4.
+    """
+    clique = np.arange(1, 6)
+    pend = np.arange(6, 11)
+    tails = [np.zeros(5, dtype=np.int64)]
+    heads = [clique]
+    # clique edges
+    cu, cv = np.triu_indices(5, k=1)
+    tails.append(clique[cu])
+    heads.append(clique[cv])
+    # pendants
+    tails.append(clique)
+    heads.append(pend)
+    tails_arr = np.concatenate(tails)
+    heads_arr = np.concatenate(heads)
+    weights = np.full(tails_arr.size, 10, dtype=np.int64)
+    return from_undirected_edges(tails_arr, heads_arr, weights, 11)
+
+
+@pytest.fixture(scope="session")
+def rmat1_small() -> CSRGraph:
+    return rmat_graph(scale=9, seed=42, params=RMAT1)
+
+
+@pytest.fixture(scope="session")
+def rmat2_small() -> CSRGraph:
+    return rmat_graph(scale=9, seed=43, params=RMAT2)
+
+
+@pytest.fixture
+def machine4() -> MachineConfig:
+    return MachineConfig(num_ranks=4, threads_per_rank=4)
+
+
+@pytest.fixture
+def machine1() -> MachineConfig:
+    return MachineConfig(num_ranks=1, threads_per_rank=1)

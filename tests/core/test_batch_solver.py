@@ -1,0 +1,78 @@
+"""Unit tests for the multi-root BatchSolver."""
+
+import numpy as np
+import pytest
+
+from repro.core.config import SolverConfig
+from repro.core.reference import dijkstra_reference
+from repro.core.solver import BatchSolver, solve_sssp
+from repro.graph.roots import choose_roots
+
+
+class TestBatchSolver:
+    def test_matches_solve_sssp(self, rmat1_small):
+        solver = BatchSolver(rmat1_small, algorithm="opt", delta=25,
+                             num_ranks=4, threads_per_rank=2)
+        for root in choose_roots(rmat1_small, 4, seed=1):
+            batch = solver.solve(int(root))
+            single = solve_sssp(rmat1_small, int(root), algorithm="opt",
+                                delta=25, num_ranks=4, threads_per_rank=2)
+            assert np.array_equal(batch.distances, single.distances)
+            assert batch.metrics.summary() == single.metrics.summary()
+            assert batch.gteps == pytest.approx(single.gteps)
+
+    def test_solve_many(self, rmat1_small):
+        solver = BatchSolver(rmat1_small, num_ranks=2, threads_per_rank=2)
+        roots = choose_roots(rmat1_small, 3, seed=2)
+        results = solver.solve_many(roots, validate=True)
+        assert len(results) == 3
+        assert [r.root for r in results] == [int(x) for x in roots]
+
+    def test_metrics_independent_per_root(self, rmat1_small):
+        solver = BatchSolver(rmat1_small, num_ranks=2, threads_per_rank=2)
+        a = solver.solve(3)
+        b = solver.solve(3)
+        assert a.metrics is not b.metrics
+        assert a.metrics.summary() == b.metrics.summary()
+
+    def test_with_vertex_splitting(self, rmat1_small):
+        cfg = SolverConfig(delta=25, use_ios=True, use_pruning=True,
+                           use_hybrid=True, intra_lb=True,
+                           inter_split=True, split_degree=24)
+        solver = BatchSolver(rmat1_small, algorithm="split", config=cfg,
+                             num_ranks=4, threads_per_rank=2)
+        assert solver.num_proxies > 0
+        root = int(choose_roots(rmat1_small, 1, seed=3)[0])
+        res = solver.solve(root, validate=True)
+        assert np.array_equal(res.distances, dijkstra_reference(rmat1_small, root))
+        assert res.num_edges == rmat1_small.num_undirected_edges
+
+    def test_split_rejects_directed(self):
+        from repro.graph.builder import from_edges
+
+        g = from_edges(np.array([0]), np.array([1]), np.array([1]), 2)
+        cfg = SolverConfig(delta=25, inter_split=True)
+        with pytest.raises(ValueError, match="undirected"):
+            BatchSolver(g, algorithm="x", config=cfg, num_ranks=2)
+
+    def test_preprocessing_shared(self, rmat1_small):
+        # the work graph is sorted once; per-root solves reuse the object
+        solver = BatchSolver(rmat1_small, num_ranks=2, threads_per_rank=2)
+        g1 = solver._work_graph
+        solver.solve(3)
+        assert solver._work_graph is g1
+
+    def test_faster_than_repeated_solves_on_unsorted_graph(self, rmat2_small):
+        import time
+
+        roots = [int(r) for r in choose_roots(rmat2_small, 4, seed=5)]
+        t0 = time.perf_counter()
+        solver = BatchSolver(rmat2_small, num_ranks=2, threads_per_rank=2)
+        solver.solve_many(roots)
+        batched = time.perf_counter() - t0
+        t0 = time.perf_counter()
+        for r in roots:
+            solve_sssp(rmat2_small, r, num_ranks=2, threads_per_rank=2)
+        repeated = time.perf_counter() - t0
+        # only a smoke check: batched must not be slower by a wide margin
+        assert batched < repeated * 1.5

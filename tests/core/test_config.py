@@ -1,0 +1,88 @@
+"""Unit tests for solver configuration and presets."""
+
+import pytest
+
+from repro.core.config import DELTA_INFINITY, PRESETS, SolverConfig, preset
+
+
+class TestSolverConfig:
+    def test_defaults(self):
+        cfg = SolverConfig()
+        assert cfg.delta == 25
+        assert not cfg.use_ios and not cfg.use_pruning and not cfg.use_hybrid
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            SolverConfig(delta=0)
+        with pytest.raises(ValueError):
+            SolverConfig(tau=1.5)
+        with pytest.raises(ValueError):
+            SolverConfig(pushpull_mode="maybe")
+        with pytest.raises(ValueError):
+            SolverConfig(pushpull_sequence=("push", "shove"))
+        with pytest.raises(ValueError):
+            SolverConfig(imbalance_weight=-1)
+        with pytest.raises(ValueError):
+            SolverConfig(pushpull_estimator="guess")
+
+    def test_bellman_ford_detection(self):
+        assert SolverConfig(delta=DELTA_INFINITY).is_bellman_ford
+        assert not SolverConfig(delta=25).is_bellman_ford
+
+    def test_derived_heavy_degree(self):
+        cfg = SolverConfig()
+        assert cfg.derived_heavy_degree(10.0) == 40
+        assert SolverConfig(heavy_degree=7).derived_heavy_degree(10.0) == 7
+        assert cfg.derived_heavy_degree(0.1) == 8  # floor
+
+    def test_derived_split_degree(self):
+        cfg = SolverConfig()
+        assert cfg.derived_split_degree(10.0) == 160
+        assert SolverConfig(split_degree=99).derived_split_degree(10.0) == 99
+        assert cfg.derived_split_degree(0.1) == 64  # floor
+
+    def test_evolve(self):
+        cfg = SolverConfig().evolve(delta=7, use_ios=True)
+        assert cfg.delta == 7 and cfg.use_ios
+
+
+class TestPresets:
+    def test_all_presets_constructible(self):
+        for name in PRESETS:
+            cfg = preset(name, 25)
+            assert isinstance(cfg, SolverConfig)
+
+    def test_dijkstra_is_delta_one(self):
+        assert preset("dijkstra").delta == 1
+
+    def test_bellman_ford_is_delta_infinity(self):
+        assert preset("bellman-ford").is_bellman_ford
+
+    def test_del_is_plain(self):
+        cfg = preset("delta", 40)
+        assert cfg.delta == 40
+        assert not cfg.use_pruning and not cfg.use_hybrid
+
+    def test_prune_composition(self):
+        cfg = preset("prune", 25)
+        assert cfg.use_ios and cfg.use_pruning and not cfg.use_hybrid
+
+    def test_opt_composition(self):
+        cfg = preset("opt", 25)
+        assert cfg.use_ios and cfg.use_pruning and cfg.use_hybrid
+        assert cfg.tau == 0.4
+
+    def test_lb_opt_composition(self):
+        cfg = preset("lb-opt", 25)
+        assert cfg.intra_lb and not cfg.inter_split
+
+    def test_lb_opt_split_composition(self):
+        cfg = preset("lb-opt-split", 25)
+        assert cfg.intra_lb and cfg.inter_split
+
+    def test_unknown_preset(self):
+        with pytest.raises(ValueError, match="unknown algorithm"):
+            preset("quantum")
+
+    def test_case_insensitive(self):
+        assert preset("OPT", 25) == preset("opt", 25)

@@ -1,0 +1,98 @@
+"""Unit tests for the execution context and its preprocessing."""
+
+import numpy as np
+import pytest
+
+from repro.core.config import SolverConfig
+from repro.core.context import make_context
+from repro.runtime.machine import MachineConfig
+from repro.runtime.metrics import ComputeKind
+
+
+def ctx_for(graph, *, delta=25, ranks=2, threads=2, **cfg):
+    machine = MachineConfig(num_ranks=ranks, threads_per_rank=threads)
+    return make_context(graph, machine, SolverConfig(delta=delta, **cfg))
+
+
+class TestMakeContext:
+    def test_graph_is_weight_sorted(self, rmat1_small):
+        ctx = ctx_for(rmat1_small)
+        for u in range(0, ctx.graph.num_vertices, 53):
+            assert np.all(np.diff(ctx.graph.neighbor_weights(u)) >= 0)
+
+    def test_short_long_tables_consistent(self, rmat1_small):
+        ctx = ctx_for(rmat1_small, delta=25)
+        assert np.array_equal(
+            ctx.short_offsets + ctx.long_degrees, ctx.graph.degrees
+        )
+        # short offsets count exactly the arcs lighter than delta
+        assert ctx.short_offsets.sum() == (ctx.graph.weights < 25).sum()
+
+    def test_partition_matches_machine(self, rmat1_small):
+        ctx = ctx_for(rmat1_small, ranks=4)
+        assert ctx.partition.num_ranks == 4
+        assert ctx.partition.num_vertices == rmat1_small.num_vertices
+
+    def test_heavy_threshold_disabled_without_lb(self, rmat1_small):
+        ctx = ctx_for(rmat1_small)
+        assert ctx.heavy_threshold == float("inf")
+
+    def test_heavy_threshold_derived_with_lb(self, rmat1_small):
+        ctx = ctx_for(rmat1_small, intra_lb=True)
+        assert ctx.heavy_threshold < float("inf")
+        assert ctx.heavy_threshold >= 8
+
+
+class TestCharging:
+    def test_charge_records_compute(self, path_graph):
+        ctx = ctx_for(path_graph)
+        ctx.charge(
+            ComputeKind.SHORT_RELAX,
+            np.array([0, 1]),
+            np.array([3.0, 4.0]),
+            phase_kind="short",
+        )
+        rec = ctx.metrics.records[-1]
+        assert rec.comp_total == 7.0
+        assert ctx.metrics.total_relaxations == 0  # not counted by default
+
+    def test_charge_count_as_relax(self, path_graph):
+        ctx = ctx_for(path_graph)
+        ctx.charge(
+            ComputeKind.SHORT_RELAX,
+            np.array([0, 1]),
+            None,
+            phase_kind="short",
+            count_as_relax=True,
+        )
+        assert ctx.metrics.total_relaxations == 2
+
+    def test_charge_scan_uniform_within_rank(self, path_graph):
+        ctx = ctx_for(path_graph, ranks=2, threads=2)
+        ctx.charge_scan(np.array([4, 2]))
+        rec = ctx.metrics.records[-1]
+        assert rec.kind == ComputeKind.BUCKET_SCAN.value
+        assert rec.comp_max == 2.0  # 4 vertices over 2 threads
+        assert rec.phase_kind == "bucket"
+
+    def test_charge_scan_shape_checked(self, path_graph):
+        ctx = ctx_for(path_graph, ranks=2)
+        with pytest.raises(ValueError):
+            ctx.charge_scan(np.array([1, 2, 3]))
+
+    def test_scan_all_ranks_defaults_to_n(self, path_graph):
+        ctx = ctx_for(path_graph, ranks=2, threads=1)
+        ctx.scan_all_ranks()
+        rec = ctx.metrics.records[-1]
+        assert rec.comp_total == pytest.approx(path_graph.num_vertices)
+
+    def test_charge_with_lb_spreads_heavy(self, star_graph):
+        ctx = ctx_for(star_graph, ranks=1, threads=4, intra_lb=True, heavy_degree=2)
+        ctx.charge(
+            ComputeKind.LONG_PUSH_RELAX,
+            np.array([0]),
+            np.array([8.0]),
+            phase_kind="long",
+        )
+        rec = ctx.metrics.records[-1]
+        assert rec.comp_max == pytest.approx(2.0)  # 8 units over 4 threads

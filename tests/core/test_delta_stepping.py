@@ -1,0 +1,212 @@
+"""Unit tests for the Δ-stepping engine and its variants."""
+
+import numpy as np
+import pytest
+
+from repro.core.config import SolverConfig
+from repro.core.context import make_context
+from repro.core.delta_stepping import DeltaSteppingEngine
+from repro.core.distances import INF
+from repro.core.reference import dijkstra_reference
+from repro.runtime.machine import MachineConfig
+
+
+def run(graph, root, *, ranks=2, threads=2, **cfg_kwargs):
+    machine = MachineConfig(num_ranks=ranks, threads_per_rank=threads)
+    ctx = make_context(graph, machine, SolverConfig(**cfg_kwargs))
+    d = DeltaSteppingEngine(ctx).run(root)
+    return d, ctx.metrics
+
+
+class TestCorrectnessAcrossVariants:
+    @pytest.mark.parametrize("delta", [1, 2, 5, 25, 100, 1000])
+    def test_deltas_on_path(self, path_graph, delta):
+        d, _ = run(path_graph, 0, delta=delta)
+        assert np.array_equal(d, dijkstra_reference(path_graph, 0))
+
+    @pytest.mark.parametrize("delta", [1, 10, 25, 64, 300])
+    def test_deltas_on_rmat(self, rmat1_small, delta):
+        d, _ = run(rmat1_small, 7, delta=delta, ranks=4)
+        assert np.array_equal(d, dijkstra_reference(rmat1_small, 7))
+
+    @pytest.mark.parametrize(
+        "flags",
+        [
+            {},
+            {"use_ios": True},
+            {"use_ios": True, "use_pruning": True},
+            {"use_pruning": True, "pushpull_mode": "pull"},
+            {"use_pruning": True, "pushpull_mode": "push"},
+            {"use_ios": True, "use_pruning": True, "use_hybrid": True},
+            {"use_hybrid": True},
+            {"use_ios": True, "use_pruning": True, "use_hybrid": True,
+             "pushpull_estimator": "exact"},
+            {"use_ios": True, "use_pruning": True, "use_hybrid": True,
+             "intra_lb": True},
+        ],
+        ids=[
+            "plain", "ios", "prune", "pull-only", "push-only", "opt",
+            "hybrid-only", "opt-exact", "opt-lb",
+        ],
+    )
+    def test_optimisation_combinations(self, rmat2_small, flags):
+        d, _ = run(rmat2_small, 11, delta=25, ranks=4, **flags)
+        assert np.array_equal(d, dijkstra_reference(rmat2_small, 11))
+
+    def test_disconnected_unreached_stay_inf(self, disconnected_graph):
+        d, _ = run(disconnected_graph, 0, delta=25)
+        assert d[2] == INF and d[3] == INF and d[4] == INF
+
+    def test_isolated_root(self, disconnected_graph):
+        d, _ = run(disconnected_graph, 4, delta=25)
+        assert d[4] == 0
+        assert np.all(d[:4] == INF)
+
+    def test_zero_weight_edges_propagate_in_bucket(self):
+        from repro.graph.builder import from_undirected_edges
+
+        # chain with zero-weight middle edge: 0 -2- 1 -0- 2 -3- 3
+        g = from_undirected_edges(
+            np.array([0, 1, 2]), np.array([1, 2, 3]), np.array([2, 0, 3]), 4
+        )
+        d, _ = run(g, 0, delta=5)
+        assert list(d) == [0, 2, 2, 5]
+
+
+class TestDijkstraMode:
+    def test_delta_one_relaxes_each_arc_once(self, rmat1_small):
+        # Dial's variant relaxes every arc exactly once: 2m relaxations.
+        d, metrics = run(rmat1_small, 3, delta=1)
+        assert metrics.total_relaxations == rmat1_small.num_arcs
+        assert np.array_equal(d, dijkstra_reference(rmat1_small, 3))
+
+    def test_delta_one_bucket_count_is_distinct_distances(self, path_graph):
+        d, metrics = run(path_graph, 0, delta=1)
+        distinct = len({int(x) for x in d if x < INF})
+        assert metrics.buckets_processed == distinct
+
+
+class TestWorkPhaseTradeoffs:
+    """The relationships of Section II-B."""
+
+    def test_work_ordering_dijkstra_le_delta_le_bf(self, rmat1_small):
+        _, dij = run(rmat1_small, 3, delta=1)
+        _, mid = run(rmat1_small, 3, delta=25)
+        from repro.core.config import DELTA_INFINITY
+
+        _, bf = run(rmat1_small, 3, delta=DELTA_INFINITY)
+        assert (
+            dij.total_relaxations
+            <= mid.total_relaxations
+            <= bf.total_relaxations
+        )
+
+    def test_phase_ordering_bf_le_delta_le_dijkstra(self, rmat1_small):
+        _, dij = run(rmat1_small, 3, delta=1)
+        _, mid = run(rmat1_small, 3, delta=25)
+        from repro.core.config import DELTA_INFINITY
+
+        _, bf = run(rmat1_small, 3, delta=DELTA_INFINITY)
+        assert bf.total_phases <= mid.total_phases <= dij.total_phases
+
+
+class TestIos:
+    def test_ios_preserves_distances(self, rmat2_small):
+        base, _ = run(rmat2_small, 9, delta=25)
+        ios, _ = run(rmat2_small, 9, delta=25, use_ios=True)
+        assert np.array_equal(base, ios)
+
+    def test_ios_reduces_short_relaxations(self, rmat1_small):
+        _, base = run(rmat1_small, 3, delta=64)
+        _, ios = run(rmat1_small, 3, delta=64, use_ios=True)
+        base_short = base.relaxations_by_kind().get("short_relax", 0)
+        ios_short = ios.relaxations_by_kind().get("short_relax", 0)
+        assert ios_short < base_short
+
+    def test_ios_does_not_change_long_relaxations_without_pruning(
+        self, rmat1_small
+    ):
+        # IOS moves outer-short arcs into the long phase, so long-phase
+        # records grow by exactly the outer-short count while short-phase
+        # records shrink; total work never grows.
+        _, base = run(rmat1_small, 3, delta=64)
+        _, ios = run(rmat1_small, 3, delta=64, use_ios=True)
+        assert ios.total_relaxations <= base.total_relaxations
+
+
+class TestHybrid:
+    def test_hybrid_reduces_buckets(self, rmat2_small):
+        _, base = run(rmat2_small, 9, delta=10)
+        _, hyb = run(rmat2_small, 9, delta=10, use_hybrid=True)
+        assert hyb.buckets_processed < base.buckets_processed
+        assert hyb.bf_phases > 0
+
+    def test_hybrid_records_switch_bucket(self, rmat2_small):
+        _, hyb = run(rmat2_small, 9, delta=10, use_hybrid=True)
+        assert hyb.hybrid_switch_bucket >= 0
+
+    def test_tau_one_never_switches(self, rmat2_small):
+        _, m = run(rmat2_small, 9, delta=10, use_hybrid=True, tau=1.0)
+        assert m.hybrid_switch_bucket == -1
+        assert m.bf_phases == 0
+
+    def test_tau_zero_switches_after_first_bucket(self, rmat2_small):
+        _, m = run(rmat2_small, 9, delta=10, use_hybrid=True, tau=0.0)
+        assert m.buckets_processed == 1
+
+
+class TestPushPullModes:
+    def test_forced_pull_marks_buckets(self, rmat1_small):
+        _, m = run(
+            rmat1_small, 3, delta=25, use_pruning=True, pushpull_mode="pull"
+        )
+        assert m.pull_buckets == m.buckets_processed
+
+    def test_forced_push_marks_buckets(self, rmat1_small):
+        _, m = run(
+            rmat1_small, 3, delta=25, use_pruning=True, pushpull_mode="push"
+        )
+        assert m.push_buckets == m.buckets_processed
+
+    def test_sequence_replay(self, rmat1_small):
+        _, auto = run(rmat1_small, 3, delta=25, use_pruning=True)
+        seq = tuple(str(s["mode"]) for s in auto.per_bucket_stats)
+        d_seq, replay = run(
+            rmat1_small,
+            3,
+            delta=25,
+            use_pruning=True,
+            pushpull_mode="sequence",
+            pushpull_sequence=seq,
+        )
+        replay_seq = tuple(str(s["mode"]) for s in replay.per_bucket_stats)
+        assert replay_seq == seq
+        assert np.array_equal(d_seq, dijkstra_reference(rmat1_small, 3))
+
+    def test_pruning_reduces_relaxations(self, rmat1_small):
+        _, base = run(rmat1_small, 3, delta=25)
+        _, pruned = run(
+            rmat1_small, 3, delta=25, use_ios=True, use_pruning=True
+        )
+        assert pruned.total_relaxations < base.total_relaxations
+
+
+class TestCensus:
+    def test_census_collected_when_enabled(self, rmat1_small):
+        _, m = run(
+            rmat1_small, 3, delta=25, use_pruning=True, collect_census=True
+        )
+        assert m.per_bucket_stats
+        for row in m.per_bucket_stats:
+            assert {"self_edges", "backward_edges", "forward_edges",
+                    "pull_requests"} <= set(row)
+
+    def test_census_edge_classes_sum_to_push_relaxations(self, rmat1_small):
+        _, m = run(
+            rmat1_small, 3, delta=25, use_pruning=True, collect_census=True
+        )
+        for row in m.per_bucket_stats:
+            assert (
+                row["self_edges"] + row["backward_edges"] + row["forward_edges"]
+                == row["push_relaxations"]
+            )

@@ -1,0 +1,127 @@
+"""Directed-graph support: the pull model over explicit reverse adjacency.
+
+On undirected (symmetrized) graphs a vertex's adjacency list doubles as its
+in-edge list, which is what the paper's pull model implicitly relies on.
+The engine also supports genuinely directed graphs via a reverse graph in
+the execution context; these tests pin that path.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.config import DELTA_INFINITY, SolverConfig
+from repro.core.context import make_context
+from repro.core.distances import INF
+from repro.core.reference import dijkstra_reference
+from repro.core.solver import solve_sssp
+from repro.core.validation import validate_sssp_structure
+from repro.graph.builder import from_edges
+from repro.runtime.machine import MachineConfig
+
+
+def directed_cycle(n=6, w=3):
+    t = np.arange(n)
+    h = (t + 1) % n
+    return from_edges(t, h, np.full(n, w), n)
+
+
+def random_directed(seed=0, n=64, m=400):
+    rng = np.random.default_rng(seed)
+    return from_edges(
+        rng.integers(0, n, m),
+        rng.integers(0, n, m),
+        rng.integers(1, 60, m),
+        n,
+    )
+
+
+class TestContextReverseTables:
+    def test_reverse_built_for_directed(self):
+        g = random_directed()
+        ctx = make_context(g, MachineConfig(num_ranks=2, threads_per_rank=2),
+                           SolverConfig(delta=25))
+        assert ctx.reverse_graph is not None
+        assert ctx.in_graph is ctx.reverse_graph
+        # reverse degrees == in-degrees
+        indeg = np.bincount(g.adj, minlength=g.num_vertices)
+        assert np.array_equal(ctx.reverse_graph.degrees, indeg)
+
+    def test_no_reverse_for_undirected(self, rmat1_small):
+        ctx = make_context(
+            rmat1_small, MachineConfig(num_ranks=2, threads_per_rank=2),
+            SolverConfig(delta=25),
+        )
+        assert ctx.reverse_graph is None
+        assert ctx.in_graph is ctx.graph
+
+    def test_reverse_tables_consistent(self):
+        g = random_directed(3)
+        ctx = make_context(g, MachineConfig(num_ranks=2, threads_per_rank=2),
+                           SolverConfig(delta=25))
+        assert np.array_equal(
+            ctx.in_short_offsets + ctx.in_long_degrees,
+            ctx.reverse_graph.degrees,
+        )
+
+
+class TestDirectedCorrectness:
+    def test_cycle_distances(self):
+        g = directed_cycle(6, w=3)
+        res = solve_sssp(g, 0, algorithm="delta", delta=5,
+                         num_ranks=2, threads_per_rank=2)
+        assert list(res.distances) == [0, 3, 6, 9, 12, 15]
+
+    def test_one_way_reachability(self):
+        # arcs only 0->1->2; from 2 nothing is reachable
+        g = from_edges(np.array([0, 1]), np.array([1, 2]), np.array([2, 2]), 3)
+        res = solve_sssp(g, 2, algorithm="delta", delta=5,
+                         num_ranks=1, threads_per_rank=1)
+        assert res.distances[2] == 0
+        assert res.distances[0] == INF and res.distances[1] == INF
+
+    @pytest.mark.parametrize(
+        "flags",
+        [
+            {},
+            {"use_ios": True},
+            {"use_ios": True, "use_pruning": True},
+            {"use_pruning": True, "pushpull_mode": "pull"},
+            {"use_ios": True, "use_pruning": True, "use_hybrid": True},
+            {"use_ios": True, "use_pruning": True, "use_hybrid": True,
+             "pushpull_estimator": "exact"},
+            {"use_ios": True, "use_pruning": True,
+             "pushpull_estimator": "histogram"},
+        ],
+        ids=["plain", "ios", "prune", "pull-only", "opt", "opt-exact",
+             "histogram"],
+    )
+    @pytest.mark.parametrize("seed", [0, 1, 2])
+    def test_variants_match_reference(self, flags, seed):
+        g = random_directed(seed)
+        cfg = SolverConfig(delta=20, **flags)
+        res = solve_sssp(g, 5, algorithm="dir", config=cfg,
+                         num_ranks=3, threads_per_rank=2)
+        assert np.array_equal(res.distances, dijkstra_reference(g, 5))
+
+    def test_bellman_ford_directed(self):
+        g = random_directed(7)
+        cfg = SolverConfig(delta=DELTA_INFINITY)
+        res = solve_sssp(g, 5, algorithm="bf", config=cfg,
+                         num_ranks=2, threads_per_rank=2)
+        assert np.array_equal(res.distances, dijkstra_reference(g, 5))
+
+    def test_structural_validation_directed(self):
+        g = random_directed(9)
+        d = dijkstra_reference(g, 5)
+        assert validate_sssp_structure(g, 5, d).valid
+        bad = d.copy()
+        reached = np.nonzero((bad < INF) & (np.arange(g.num_vertices) != 5))[0]
+        bad[reached[0]] += 1
+        assert not validate_sssp_structure(g, 5, bad).valid
+
+    def test_split_rejected_on_directed(self):
+        g = random_directed(1)
+        cfg = SolverConfig(delta=20, inter_split=True)
+        with pytest.raises(ValueError, match="undirected"):
+            solve_sssp(g, 5, algorithm="x", config=cfg,
+                       num_ranks=2, threads_per_rank=2)

@@ -1,0 +1,91 @@
+"""Unit tests for the sequential references and validation."""
+
+import numpy as np
+import pytest
+
+from repro.core.distances import INF
+from repro.core.reference import (
+    DistanceMismatch,
+    dijkstra_reference,
+    scipy_reference,
+    validate_distances,
+)
+from repro.graph.builder import from_undirected_edges
+
+
+class TestDijkstraReference:
+    def test_path_graph(self, path_graph):
+        d = dijkstra_reference(path_graph, 0)
+        assert list(d) == [0, 5, 8, 15, 16]
+
+    def test_other_root(self, path_graph):
+        d = dijkstra_reference(path_graph, 4)
+        assert list(d) == [16, 11, 8, 1, 0]
+
+    def test_diamond_shortcut(self, diamond_graph):
+        d = dijkstra_reference(diamond_graph, 0)
+        # 0-1 (1), 0-1-2 (2), 0-1-3 (2)
+        assert list(d) == [0, 1, 2, 2]
+
+    def test_disconnected(self, disconnected_graph):
+        d = dijkstra_reference(disconnected_graph, 0)
+        assert d[1] == 2
+        assert d[2] == INF and d[3] == INF and d[4] == INF
+
+    def test_zero_weight_edges(self):
+        g = from_undirected_edges(
+            np.array([0, 1]), np.array([1, 2]), np.array([0, 3]), 3
+        )
+        d = dijkstra_reference(g, 0)
+        assert list(d) == [0, 0, 3]
+
+    def test_matches_networkx(self, rmat1_small):
+        import networkx as nx
+
+        g = rmat1_small
+        nxg = nx.Graph()
+        nxg.add_nodes_from(range(g.num_vertices))
+        tails, heads, weights = g.to_edge_list()
+        for t, h, w in zip(tails.tolist(), heads.tolist(), weights.tolist()):
+            nxg.add_edge(t, h, weight=w)
+        root = 1
+        nx_dist = nx.single_source_dijkstra_path_length(nxg, root)
+        ours = dijkstra_reference(g, root)
+        for v in range(g.num_vertices):
+            expected = nx_dist.get(v, None)
+            if expected is None:
+                assert ours[v] == INF
+            else:
+                assert ours[v] == expected
+
+
+class TestScipyReference:
+    def test_agrees_with_heap_dijkstra(self, rmat1_small):
+        a = dijkstra_reference(rmat1_small, 3)
+        b = scipy_reference(rmat1_small, 3)
+        assert np.array_equal(a, b)
+
+    def test_rejects_zero_weights(self):
+        g = from_undirected_edges(np.array([0]), np.array([1]), np.array([0]), 2)
+        with pytest.raises(ValueError, match="positive"):
+            scipy_reference(g, 0)
+
+
+class TestValidateDistances:
+    def test_accepts_correct(self, path_graph):
+        d = dijkstra_reference(path_graph, 0)
+        validate_distances(d, path_graph, 0)
+
+    def test_rejects_wrong_value(self, path_graph):
+        d = dijkstra_reference(path_graph, 0)
+        d[3] += 1
+        with pytest.raises(DistanceMismatch, match="vertex 3"):
+            validate_distances(d, path_graph, 0)
+
+    def test_rejects_wrong_shape(self, path_graph):
+        with pytest.raises(DistanceMismatch, match="shape"):
+            validate_distances(np.zeros(3), path_graph, 0)
+
+    def test_explicit_reference(self, path_graph):
+        ref = dijkstra_reference(path_graph, 0)
+        validate_distances(ref.copy(), path_graph, 0, reference=ref)

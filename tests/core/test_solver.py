@@ -1,0 +1,139 @@
+"""Unit tests for the solve_sssp front-end."""
+
+import numpy as np
+import pytest
+
+from repro.core.config import SolverConfig
+from repro.core.reference import DistanceMismatch, dijkstra_reference
+from repro.core.solver import solve_sssp
+from repro.runtime.machine import MachineConfig
+
+
+class TestSolveSssp:
+    def test_all_presets_validate(self, rmat1_small):
+        for algo in (
+            "dijkstra",
+            "bellman-ford",
+            "delta",
+            "prune",
+            "opt",
+            "lb-opt",
+            "lb-opt-split",
+        ):
+            res = solve_sssp(
+                rmat1_small, 3, algorithm=algo, delta=25,
+                num_ranks=4, threads_per_rank=2, validate=True,
+            )
+            assert res.num_vertices == rmat1_small.num_vertices
+
+    def test_result_fields(self, rmat1_small):
+        res = solve_sssp(rmat1_small, 3, algorithm="opt", num_ranks=2, threads_per_rank=2)
+        assert res.num_edges == rmat1_small.num_undirected_edges
+        assert res.gteps > 0
+        assert res.cost.total_time > 0
+        assert res.wall_time_s > 0
+        assert res.root == 3
+        assert res.algorithm == "opt-25"
+        assert 0 < res.num_reached <= res.num_vertices
+
+    def test_summary_keys(self, rmat1_small):
+        row = solve_sssp(rmat1_small, 3, num_ranks=2, threads_per_rank=2).summary()
+        assert {"algorithm", "gteps", "relaxations", "buckets", "time_s"} <= set(row)
+
+    def test_explicit_config_overrides_preset(self, rmat1_small):
+        cfg = SolverConfig(delta=10, use_hybrid=True)
+        res = solve_sssp(
+            rmat1_small, 3, algorithm="custom", config=cfg,
+            num_ranks=2, threads_per_rank=2,
+        )
+        assert res.config.delta == 10
+        assert res.algorithm == "custom"
+
+    def test_explicit_machine(self, rmat1_small):
+        m = MachineConfig(num_ranks=16, threads_per_rank=1)
+        res = solve_sssp(rmat1_small, 3, machine=m)
+        assert res.machine.num_ranks == 16
+
+    def test_split_maps_distances_back(self):
+        from repro.graph.rmat import rmat_graph
+
+        g = rmat_graph(scale=8, seed=7)
+        ref = dijkstra_reference(g, 11)
+        res = solve_sssp(
+            g, 11, algorithm="lb-opt-split", delta=25,
+            num_ranks=4, threads_per_rank=2,
+            config=None,
+        )
+        assert res.distances.shape == (g.num_vertices,)
+        assert np.array_equal(res.distances, ref)
+
+    def test_split_reports_proxies(self):
+        from repro.graph.rmat import rmat_graph
+
+        g = rmat_graph(scale=9, seed=7)
+        cfg = SolverConfig(
+            delta=25, use_ios=True, use_pruning=True, use_hybrid=True,
+            intra_lb=True, inter_split=True, split_degree=32,
+        )
+        res = solve_sssp(g, 11, algorithm="split", config=cfg,
+                         num_ranks=4, threads_per_rank=2, validate=True)
+        assert res.num_proxies > 0
+        # TEPS computed against the *original* edge count
+        assert res.num_edges == g.num_undirected_edges
+
+    def test_validate_raises_on_bug(self, rmat1_small, monkeypatch):
+        # Corrupt the engine output to prove validation is live.
+        from repro.core import delta_stepping
+
+        original = delta_stepping.DeltaSteppingEngine.run
+
+        def broken(self, root):
+            d = original(self, root)
+            d[d.argmax()] = 1
+            return d
+
+        monkeypatch.setattr(delta_stepping.DeltaSteppingEngine, "run", broken)
+        with pytest.raises(DistanceMismatch):
+            solve_sssp(rmat1_small, 3, validate=True, num_ranks=2, threads_per_rank=2)
+
+    def test_deterministic_metrics(self, rmat1_small):
+        a = solve_sssp(rmat1_small, 3, algorithm="opt", num_ranks=4, threads_per_rank=2)
+        b = solve_sssp(rmat1_small, 3, algorithm="opt", num_ranks=4, threads_per_rank=2)
+        assert a.metrics.summary() == b.metrics.summary()
+        assert a.gteps == b.gteps
+
+    def test_gteps_consistent_with_cost(self, rmat1_small):
+        res = solve_sssp(rmat1_small, 3, num_ranks=2, threads_per_rank=2)
+        assert res.gteps == pytest.approx(
+            res.num_edges / res.cost.total_time / 1e9
+        )
+
+
+class TestPaperShapeOnSmallGraphs:
+    """Coarse qualitative checks of the headline claims at test scale."""
+
+    def test_opt_beats_baseline_delta(self, rmat1_small):
+        base = solve_sssp(rmat1_small, 3, algorithm="delta", delta=25,
+                          num_ranks=4, threads_per_rank=2)
+        opt = solve_sssp(rmat1_small, 3, algorithm="opt", delta=25,
+                         num_ranks=4, threads_per_rank=2)
+        assert opt.gteps > base.gteps
+
+    def test_pruning_cuts_relaxations(self, rmat1_small):
+        base = solve_sssp(rmat1_small, 3, algorithm="delta", delta=25,
+                          num_ranks=4, threads_per_rank=2)
+        prune = solve_sssp(rmat1_small, 3, algorithm="prune", delta=25,
+                           num_ranks=4, threads_per_rank=2)
+        assert prune.metrics.total_relaxations < base.metrics.total_relaxations
+
+    def test_hybrid_cuts_buckets(self, rmat2_small):
+        prune = solve_sssp(rmat2_small, 3, algorithm="prune", delta=25,
+                           num_ranks=4, threads_per_rank=2)
+        opt = solve_sssp(rmat2_small, 3, algorithm="opt", delta=25,
+                         num_ranks=4, threads_per_rank=2)
+        assert opt.metrics.buckets_processed < prune.metrics.buckets_processed
+
+    def test_dijkstra_relaxes_2m(self, rmat1_small):
+        res = solve_sssp(rmat1_small, 3, algorithm="dijkstra",
+                         num_ranks=2, threads_per_rank=2)
+        assert res.metrics.total_relaxations == rmat1_small.num_arcs

@@ -1,0 +1,100 @@
+"""Δ-stepping theory invariants (Section II / Meyer–Sanders).
+
+These pin the algorithmic guarantees the paper's correctness rests on,
+checked against the engine's observable behaviour:
+
+- epoch ``k`` settles exactly the vertices whose final distance lies in
+  ``[kΔ, (k+1)Δ)`` (the recorded member counts must partition the reached
+  set by final-distance bucket);
+- the processed bucket sequence is strictly increasing;
+- Bellman-Ford's productive phase count is bounded by the shortest-path
+  tree's hop depth;
+- Dijkstra mode (Δ=1) processes exactly one bucket per distinct finite
+  distance.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.config import DELTA_INFINITY, SolverConfig
+from repro.core.context import make_context
+from repro.core.delta_stepping import DeltaSteppingEngine
+from repro.core.distances import INF
+from repro.core.paths import build_parent_tree, tree_depths
+from repro.runtime.machine import MachineConfig
+
+
+def run(graph, root, **cfg):
+    machine = MachineConfig(num_ranks=4, threads_per_rank=2)
+    ctx = make_context(graph, machine, SolverConfig(**cfg))
+    d = DeltaSteppingEngine(ctx).run(root)
+    return d, ctx.metrics
+
+
+class TestEpochSettlement:
+    @pytest.mark.parametrize("delta", [5, 25, 80])
+    def test_members_partition_reached_set_by_bucket(self, rmat1_small, delta):
+        d, metrics = run(rmat1_small, 3, delta=delta)
+        reached = d[d < INF]
+        # final-distance census per processed bucket
+        for stats in metrics.per_bucket_stats:
+            k = stats["bucket"]
+            in_bucket = int(
+                ((reached >= k * delta) & (reached < (k + 1) * delta)).sum()
+            )
+            assert stats["members"] == in_bucket
+        # and the processed buckets cover every reached vertex
+        total_members = sum(s["members"] for s in metrics.per_bucket_stats)
+        assert total_members == reached.size
+
+    @pytest.mark.parametrize("delta", [5, 25])
+    def test_bucket_sequence_strictly_increasing(self, rmat2_small, delta):
+        _, metrics = run(rmat2_small, 7, delta=delta)
+        ks = [s["bucket"] for s in metrics.per_bucket_stats]
+        assert all(b > a for a, b in zip(ks, ks[1:]))
+
+    def test_empty_buckets_skipped(self, rmat2_small):
+        # processed bucket count == number of non-empty final-distance
+        # buckets, not max bucket index
+        delta = 25
+        d, metrics = run(rmat2_small, 7, delta=delta)
+        reached = d[d < INF]
+        nonempty = np.unique(reached // delta).size
+        assert metrics.buckets_processed == nonempty
+
+
+class TestPhaseBounds:
+    def test_bf_phases_bounded_by_tree_depth(self, rmat1_small):
+        d, metrics = run(rmat1_small, 3, delta=DELTA_INFINITY)
+        parent = build_parent_tree(rmat1_small, d, 3)
+        depth = tree_depths(parent, 3).max()
+        # productive iterations <= depth + 1; one extra empty check
+        assert metrics.bf_phases <= depth + 2
+
+    def test_dijkstra_buckets_equal_distinct_distances(self, rmat1_small):
+        d, metrics = run(rmat1_small, 3, delta=1)
+        distinct = np.unique(d[d < INF]).size
+        assert metrics.buckets_processed == distinct
+
+    def test_short_phases_per_epoch_at_least_one(self, rmat2_small):
+        _, metrics = run(rmat2_small, 7, delta=25)
+        # every processed epoch runs at least one short phase (possibly
+        # relaxing nothing) before the long phase
+        assert metrics.short_phases >= metrics.buckets_processed
+
+
+class TestMonotonicity:
+    def test_larger_delta_fewer_buckets(self, rmat1_small):
+        counts = []
+        for delta in (5, 25, 125):
+            _, metrics = run(rmat1_small, 3, delta=delta)
+            counts.append(metrics.buckets_processed)
+        assert counts[0] >= counts[1] >= counts[2]
+
+    def test_larger_delta_no_fewer_relaxations(self, rmat1_small):
+        # more aggressive bucketing can only re-relax more
+        totals = []
+        for delta in (1, 25, DELTA_INFINITY):
+            _, metrics = run(rmat1_small, 3, delta=delta)
+            totals.append(metrics.total_relaxations)
+        assert totals[0] <= totals[1] <= totals[2]

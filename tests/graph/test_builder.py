@@ -1,0 +1,105 @@
+"""Unit tests for edge-list -> CSR construction."""
+
+import numpy as np
+import pytest
+
+from repro.graph.builder import compact_edges, from_edges, from_undirected_edges
+
+
+class TestCompactEdges:
+    def test_self_loops_dropped(self):
+        t, h, w = compact_edges(
+            np.array([0, 1, 1]), np.array([0, 1, 2]), np.array([5, 5, 5])
+        )
+        assert list(t) == [1]
+        assert list(h) == [2]
+
+    def test_self_loops_kept_when_asked(self):
+        t, h, w = compact_edges(
+            np.array([0]), np.array([0]), np.array([5]), drop_self_loops=False
+        )
+        assert list(t) == [0]
+
+    def test_duplicates_keep_min_weight(self):
+        t, h, w = compact_edges(
+            np.array([0, 0, 0]), np.array([1, 1, 1]), np.array([9, 3, 7])
+        )
+        assert list(t) == [0]
+        assert list(w) == [3]
+
+    def test_sorted_output(self):
+        t, h, w = compact_edges(
+            np.array([2, 0, 1]), np.array([0, 1, 0]), np.array([1, 1, 1])
+        )
+        assert list(t) == [0, 1, 2]
+
+    def test_empty_input(self):
+        t, h, w = compact_edges(np.array([]), np.array([]), np.array([]))
+        assert t.size == h.size == w.size == 0
+
+    def test_mismatched_lengths_rejected(self):
+        with pytest.raises(ValueError):
+            compact_edges(np.array([0]), np.array([1, 2]), np.array([1]))
+
+
+class TestFromEdges:
+    def test_basic_directed(self):
+        g = from_edges(
+            np.array([0, 0, 1]), np.array([1, 2, 2]), np.array([2, 7, 1]), 3
+        )
+        assert not g.undirected
+        assert list(g.neighbors(0)) == [1, 2]
+        assert g.num_arcs == 3
+
+    def test_out_of_range_rejected(self):
+        with pytest.raises(ValueError, match="out of range"):
+            from_edges(np.array([0]), np.array([9]), np.array([1]), 3)
+
+    def test_no_dedup_keeps_duplicates(self):
+        g = from_edges(
+            np.array([0, 0]), np.array([1, 1]), np.array([2, 3]), 2, dedup=False
+        )
+        assert g.num_arcs == 2
+
+    def test_isolated_vertices_have_empty_adjacency(self):
+        g = from_edges(np.array([0]), np.array([1]), np.array([1]), 5)
+        for u in (2, 3, 4):
+            assert g.degree(u) == 0
+
+
+class TestFromUndirectedEdges:
+    def test_symmetrization(self):
+        g = from_undirected_edges(np.array([0]), np.array([1]), np.array([4]), 2)
+        assert list(g.neighbors(0)) == [1]
+        assert list(g.neighbors(1)) == [0]
+        assert g.neighbor_weights(0)[0] == g.neighbor_weights(1)[0] == 4
+        assert g.num_undirected_edges == 1
+
+    def test_parallel_edges_collapse_to_lightest_both_directions(self):
+        g = from_undirected_edges(
+            np.array([0, 1]), np.array([1, 0]), np.array([9, 2]), 2
+        )
+        assert g.num_undirected_edges == 1
+        assert g.neighbor_weights(0)[0] == 2
+        assert g.neighbor_weights(1)[0] == 2
+
+    def test_self_loop_removed(self):
+        g = from_undirected_edges(np.array([0, 1]), np.array([0, 1]), np.array([1, 1]), 2)
+        assert g.num_arcs == 0
+
+    def test_degree_symmetry(self, rmat1_small):
+        # every arc has its reverse: in-degree == out-degree per vertex
+        rev = rmat1_small.reverse()
+        assert np.array_equal(rmat1_small.degrees, rev.degrees)
+
+    def test_weight_symmetry(self, rmat1_small):
+        g = rmat1_small
+        # check a sample of arcs for reverse-arc weight equality
+        rng = np.random.default_rng(0)
+        tails = g.arc_tails()
+        for i in rng.integers(0, g.num_arcs, 50):
+            u, v, w = int(tails[i]), int(g.adj[i]), int(g.weights[i])
+            back = g.neighbors(v)
+            j = np.nonzero(back == u)[0]
+            assert j.size == 1
+            assert g.neighbor_weights(v)[j[0]] == w

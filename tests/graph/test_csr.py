@@ -1,0 +1,166 @@
+"""Unit tests for the CSR graph container."""
+
+import numpy as np
+import pytest
+
+from repro.graph.builder import from_undirected_edges
+from repro.graph.csr import CSRGraph
+
+
+def make_simple() -> CSRGraph:
+    # 0 -> 1 (w2), 0 -> 2 (w7), 1 -> 2 (w1), directed arcs
+    indptr = np.array([0, 2, 3, 3])
+    adj = np.array([1, 2, 2])
+    weights = np.array([2, 7, 1])
+    return CSRGraph(indptr, adj, weights, undirected=False)
+
+
+class TestConstruction:
+    def test_shapes(self):
+        g = make_simple()
+        assert g.num_vertices == 3
+        assert g.num_arcs == 3
+        assert g.num_undirected_edges == 3  # directed: arcs == edges
+
+    def test_undirected_edge_count_halves_arcs(self, path_graph):
+        assert path_graph.num_arcs == 8
+        assert path_graph.num_undirected_edges == 4
+
+    def test_indptr_must_start_at_zero(self):
+        with pytest.raises(ValueError, match="indptr"):
+            CSRGraph(np.array([1, 2]), np.array([0]), np.array([1]))
+
+    def test_indptr_monotone(self):
+        with pytest.raises(ValueError, match="non-decreasing"):
+            CSRGraph(np.array([0, 2, 1, 2]), np.array([0, 1]), np.array([1, 1]))
+
+    def test_adj_length_checked(self):
+        with pytest.raises(ValueError, match="adj"):
+            CSRGraph(np.array([0, 2]), np.array([0]), np.array([1]))
+
+    def test_weights_alignment_checked(self):
+        with pytest.raises(ValueError, match="weights"):
+            CSRGraph(np.array([0, 1]), np.array([0]), np.array([1, 2]))
+
+    def test_adjacency_bounds_checked(self):
+        with pytest.raises(ValueError, match="out of range"):
+            CSRGraph(np.array([0, 1]), np.array([5]), np.array([1]))
+
+    def test_negative_weights_rejected(self):
+        with pytest.raises(ValueError, match="non-negative"):
+            CSRGraph(np.array([0, 1, 1]), np.array([1]), np.array([-1]))
+
+    def test_zero_weights_allowed(self):
+        g = CSRGraph(np.array([0, 1, 1]), np.array([1]), np.array([0]))
+        assert g.max_weight == 0
+
+    def test_empty_graph(self):
+        g = CSRGraph(np.array([0]), np.array([]), np.array([]))
+        assert g.num_vertices == 0
+        assert g.num_arcs == 0
+        assert g.max_weight == 0
+
+    def test_dtype_coercion(self):
+        g = CSRGraph(
+            np.array([0, 1], dtype=np.int32),
+            np.array([0], dtype=np.int16),
+            np.array([3], dtype=np.uint8),
+        )
+        assert g.indptr.dtype == np.int64
+        assert g.adj.dtype == np.int64
+        assert g.weights.dtype == np.int64
+
+
+class TestAccessors:
+    def test_degrees(self):
+        g = make_simple()
+        assert list(g.degrees) == [2, 1, 0]
+
+    def test_degree_scalar(self):
+        g = make_simple()
+        assert g.degree(0) == 2
+        assert g.degree(2) == 0
+
+    def test_neighbors_and_weights(self):
+        g = make_simple()
+        assert list(g.neighbors(0)) == [1, 2]
+        assert list(g.neighbor_weights(0)) == [2, 7]
+
+    def test_max_weight(self):
+        assert make_simple().max_weight == 7
+
+    def test_arc_tails(self):
+        g = make_simple()
+        assert list(g.arc_tails()) == [0, 0, 1]
+
+    def test_to_edge_list_round_trip(self, path_graph):
+        tails, heads, weights = path_graph.to_edge_list()
+        g2 = from_undirected_edges(
+            tails[tails < heads], heads[tails < heads], weights[tails < heads], 5
+        )
+        assert np.array_equal(g2.indptr, path_graph.indptr)
+        assert np.array_equal(g2.adj, path_graph.adj)
+        assert np.array_equal(g2.weights, path_graph.weights)
+
+
+class TestSortedByWeight:
+    def test_sorting_preserves_edge_multiset(self, rmat1_small):
+        g = rmat1_small
+        s = g.sorted_by_weight()
+        assert np.array_equal(s.indptr, g.indptr)
+        for u in (0, 1, 5, g.num_vertices - 1):
+            orig = sorted(
+                zip(g.neighbors(u).tolist(), g.neighbor_weights(u).tolist())
+            )
+            new = sorted(
+                zip(s.neighbors(u).tolist(), s.neighbor_weights(u).tolist())
+            )
+            assert orig == new
+
+    def test_sorted_is_weight_monotone_per_vertex(self, rmat1_small):
+        s = rmat1_small.sorted_by_weight()
+        for u in range(0, s.num_vertices, 37):
+            w = s.neighbor_weights(u)
+            assert np.all(np.diff(w) >= 0)
+
+    def test_sorted_idempotent(self, path_graph):
+        s = path_graph.sorted_by_weight()
+        assert s.sorted_by_weight() is s
+
+    def test_short_edge_offsets_requires_sorted(self, path_graph):
+        with pytest.raises(ValueError, match="sorted"):
+            path_graph.short_edge_offsets(5)
+
+    def test_short_edge_offsets_counts(self, path_graph):
+        s = path_graph.sorted_by_weight()
+        off = s.short_edge_offsets(5)
+        # Vertex 0 has one incident edge of weight 5 -> not short for delta=5.
+        assert off[0] == 0
+        # Vertex 2 has edges w3 and w7; only w3 < 5.
+        assert off[2] == 1
+        # offsets never exceed degree
+        assert np.all(off <= s.degrees)
+
+    def test_short_edge_offsets_extremes(self, rmat1_small):
+        s = rmat1_small.sorted_by_weight()
+        assert np.array_equal(s.short_edge_offsets(1), np.zeros(s.num_vertices))
+        assert np.array_equal(s.short_edge_offsets(10**9), s.degrees)
+
+
+class TestReverse:
+    def test_reverse_directed(self):
+        g = make_simple()
+        r = g.reverse()
+        assert r.num_arcs == g.num_arcs
+        assert list(r.neighbors(2)) == [0, 1]
+        assert list(r.neighbors(0)) == []
+        # weight follows the arc
+        i = list(r.neighbors(2)).index(0)
+        assert r.neighbor_weights(2)[i] == 7
+
+    def test_reverse_undirected_is_same_graph(self, path_graph):
+        r = path_graph.reverse()
+        for u in range(path_graph.num_vertices):
+            assert sorted(r.neighbors(u).tolist()) == sorted(
+                path_graph.neighbors(u).tolist()
+            )

@@ -1,0 +1,78 @@
+"""Unit tests for the degree-balanced partition strategy."""
+
+import numpy as np
+import pytest
+
+from repro.graph.partition import BlockPartition, DegreeBalancedPartition
+from repro.graph.rmat import RMAT1, rmat_graph
+
+
+class TestDegreeBalancedPartition:
+    def test_boundaries_tile_vertex_space(self):
+        deg = np.array([1, 1, 1, 100, 1, 1, 1, 1])
+        p = DegreeBalancedPartition(deg, 4)
+        b = p.boundaries
+        assert b[0] == 0 and b[-1] == 8
+        assert np.all(np.diff(b) >= 0)
+
+    def test_hub_isolated_in_own_block(self):
+        deg = np.array([1, 1, 1, 100, 1, 1, 1, 1])
+        p = DegreeBalancedPartition(deg, 4)
+        hub_rank = p.owner(3)
+        lo, hi = p.rank_range(hub_rank)
+        # the hub dominates its rank's degree mass
+        assert deg[lo:hi].sum() >= 100
+
+    def test_degree_totals_sum(self):
+        rng = np.random.default_rng(0)
+        deg = rng.integers(0, 50, 100)
+        p = DegreeBalancedPartition(deg, 7)
+        assert p.degree_totals.sum() == deg.sum()
+
+    def test_balances_better_than_block_on_sorted_degrees(self):
+        # Hub-at-front degree profile (unscrambled R-MAT shape).
+        deg = np.sort(
+            np.random.default_rng(1).pareto(1.5, 256).astype(np.int64) + 1
+        )[::-1].copy()
+        block = BlockPartition(256, 8)
+        bal = DegreeBalancedPartition(deg, 8)
+
+        def max_load(p):
+            return max(
+                deg[p.rank_range(r)[0] : p.rank_range(r)[1]].sum()
+                for r in range(8)
+            )
+
+        assert max_load(bal) <= max_load(block)
+
+    def test_owner_consistent_with_boundaries(self):
+        deg = np.random.default_rng(2).integers(0, 30, 200)
+        p = DegreeBalancedPartition(deg, 9)
+        b = p.boundaries
+        v = np.arange(200)
+        owners = np.asarray(p.owner(v))
+        assert np.all(v >= b[owners])
+        assert np.all(v < b[owners + 1])
+
+    def test_zero_degree_graph(self):
+        p = DegreeBalancedPartition(np.zeros(10, dtype=np.int64), 3)
+        assert p.boundaries[-1] == 10
+        total = sum(p.rank_size(r) for r in range(3))
+        assert total == 10
+
+    def test_invalid_args(self):
+        with pytest.raises(ValueError):
+            DegreeBalancedPartition(np.zeros(5, dtype=np.int64), 0)
+        with pytest.raises(ValueError):
+            DegreeBalancedPartition(np.zeros((2, 2), dtype=np.int64), 2)
+
+    def test_solver_end_to_end_with_degree_partition(self):
+        from repro.core.config import SolverConfig
+        from repro.core.solver import solve_sssp
+
+        g = rmat_graph(scale=9, seed=4, params=RMAT1)
+        cfg = SolverConfig(delta=25, use_ios=True, use_pruning=True,
+                           partition="degree")
+        res = solve_sssp(g, 7, algorithm="deg", config=cfg,
+                         num_ranks=4, threads_per_rank=2, validate=True)
+        assert res.gteps > 0

@@ -1,0 +1,106 @@
+"""Unit tests for the R-MAT generator (Graph 500 parameter sets)."""
+
+import numpy as np
+import pytest
+
+from repro.graph.degree import degree_stats
+from repro.graph.rmat import EDGE_FACTOR, RMAT1, RMAT2, RMATParams, rmat_edges, rmat_graph
+
+
+class TestParams:
+    def test_probabilities_must_sum_to_one(self):
+        with pytest.raises(ValueError, match="sum to 1"):
+            RMATParams(0.5, 0.5, 0.5, 0.5)
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            RMATParams(1.2, -0.2, 0.0, 0.0)
+
+    def test_paper_parameter_sets(self):
+        assert (RMAT1.a, RMAT1.b, RMAT1.c, RMAT1.d) == (0.57, 0.19, 0.19, 0.05)
+        assert (RMAT2.a, RMAT2.b, RMAT2.c, RMAT2.d) == (0.50, 0.10, 0.10, 0.30)
+
+    def test_skew_ordering(self):
+        # RMAT-1 is the more skewed family (Section IV-E).
+        assert RMAT1.skew > RMAT2.skew > 0
+
+
+class TestEdgeStream:
+    def test_edge_count(self):
+        t, h = rmat_edges(scale=8, seed=0)
+        assert t.size == h.size == EDGE_FACTOR << 8
+
+    def test_ids_in_range(self):
+        t, h = rmat_edges(scale=8, seed=0)
+        n = 1 << 8
+        assert t.min() >= 0 and t.max() < n
+        assert h.min() >= 0 and h.max() < n
+
+    def test_deterministic_per_seed(self):
+        a = rmat_edges(scale=7, seed=5)
+        b = rmat_edges(scale=7, seed=5)
+        assert np.array_equal(a[0], b[0]) and np.array_equal(a[1], b[1])
+
+    def test_different_seeds_differ(self):
+        a = rmat_edges(scale=7, seed=5)
+        b = rmat_edges(scale=7, seed=6)
+        assert not np.array_equal(a[0], b[0])
+
+    def test_scale_zero(self):
+        t, h = rmat_edges(scale=0, seed=0)
+        assert t.size == EDGE_FACTOR
+        assert np.all(t == 0) and np.all(h == 0)
+
+    def test_negative_scale_rejected(self):
+        with pytest.raises(ValueError):
+            rmat_edges(scale=-1)
+
+    def test_scramble_changes_labels_not_count(self):
+        t1, h1 = rmat_edges(scale=8, seed=0, scramble=False)
+        t2, h2 = rmat_edges(scale=8, seed=0, scramble=True)
+        assert t1.size == t2.size
+        assert not np.array_equal(t1, t2)
+
+    def test_unscrambled_skew_concentrates_low_ids(self):
+        # With RMAT-1 parameters, quadrant (0,0) dominates: low vertex ids
+        # appear far more often than high ids before scrambling.
+        t, h = rmat_edges(scale=10, seed=1, scramble=False)
+        n = 1 << 10
+        low = ((t < n // 4).sum() + (h < n // 4).sum()) / (2 * t.size)
+        assert low > 0.5  # >> 25% for a uniform distribution
+
+
+class TestGraph:
+    def test_graph_shape(self):
+        g = rmat_graph(scale=8, seed=0)
+        assert g.num_vertices == 256
+        # duplicates/self-loops reduce the count below the raw stream size
+        assert 0 < g.num_undirected_edges <= EDGE_FACTOR * 256
+        assert g.undirected
+
+    def test_weight_range(self):
+        g = rmat_graph(scale=8, seed=0, max_weight=255)
+        assert g.weights.min() >= 1
+        assert g.weights.max() <= 255
+
+    def test_custom_weight_range(self):
+        g = rmat_graph(scale=7, seed=0, max_weight=10)
+        assert g.weights.max() <= 10
+
+    def test_rmat1_skew_exceeds_rmat2(self):
+        # Fig. 8: the RMAT-1 max degree grows much faster.
+        g1 = rmat_graph(scale=11, seed=3, params=RMAT1)
+        g2 = rmat_graph(scale=11, seed=3, params=RMAT2)
+        assert degree_stats(g1).max_degree > degree_stats(g2).max_degree
+
+    def test_max_degree_grows_with_scale(self):
+        # Fig. 8: max degree increases with scale at fixed edge factor.
+        m1 = degree_stats(rmat_graph(scale=9, seed=3)).max_degree
+        m2 = degree_stats(rmat_graph(scale=12, seed=3)).max_degree
+        assert m2 > m1
+
+    def test_mean_degree_tracks_edge_factor(self):
+        g = rmat_graph(scale=10, seed=0, edge_factor=16)
+        # 16 undirected edges/vertex = 32 arcs/vertex, minus dedup losses.
+        mean = g.degrees.mean()
+        assert 16 < mean <= 32

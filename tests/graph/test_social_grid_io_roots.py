@@ -1,0 +1,140 @@
+"""Unit tests for social stand-ins, mesh generators, IO and root choice."""
+
+import numpy as np
+import pytest
+
+from repro.graph.degree import degree_stats
+from repro.graph.grid import grid_graph, random_geometric_graph
+from repro.graph.io import load_npz, read_edge_list, save_npz, write_edge_list
+from repro.graph.roots import choose_root, choose_roots
+from repro.graph.social import SOCIAL_GRAPH_SPECS, synthetic_social_graph
+
+
+class TestSocial:
+    def test_known_networks_present(self):
+        assert {"friendster", "orkut", "livejournal"} == set(SOCIAL_GRAPH_SPECS)
+
+    def test_paper_statistics_recorded(self):
+        spec = SOCIAL_GRAPH_SPECS["friendster"]
+        assert spec.paper_vertices == 63_000_000
+        assert spec.paper_edges == 1_800_000_000
+        assert spec.paper_avg_degree == pytest.approx(2 * 1.8e9 / 63e6)
+
+    def test_generation_shape(self):
+        g = synthetic_social_graph("orkut", scale=11, seed=0)
+        assert g.num_vertices == 2048
+        assert g.num_undirected_edges > 0
+        assert g.weights.min() >= 1
+
+    def test_heavy_tail(self):
+        g = synthetic_social_graph("friendster", scale=12, seed=1)
+        s = degree_stats(g)
+        assert s.skew_ratio > 3  # hub degrees far above the mean
+
+    def test_case_insensitive_name(self):
+        g = synthetic_social_graph("LiveJournal", scale=9, seed=0)
+        assert g.num_vertices == 512
+
+    def test_unknown_name(self):
+        with pytest.raises(ValueError, match="unknown social graph"):
+            synthetic_social_graph("myspace", scale=9)
+
+    def test_deterministic(self):
+        a = synthetic_social_graph("orkut", scale=10, seed=5)
+        b = synthetic_social_graph("orkut", scale=10, seed=5)
+        assert np.array_equal(a.adj, b.adj)
+
+
+class TestGrid:
+    def test_grid_shape(self):
+        g = grid_graph(4, 5)
+        assert g.num_vertices == 20
+        # 4*4 horizontal + 3*5 vertical edges
+        assert g.num_undirected_edges == 4 * 4 + 3 * 5
+
+    def test_grid_degrees(self):
+        g = grid_graph(3, 3)
+        deg = g.degrees
+        assert deg.max() == 4  # center
+        assert deg.min() == 2  # corners
+
+    def test_diagonal_adds_edges(self):
+        a = grid_graph(4, 4, diagonal=False)
+        b = grid_graph(4, 4, diagonal=True)
+        assert b.num_undirected_edges == a.num_undirected_edges + 9
+
+    def test_single_cell(self):
+        g = grid_graph(1, 1)
+        assert g.num_vertices == 1 and g.num_arcs == 0
+
+    def test_invalid_dims(self):
+        with pytest.raises(ValueError):
+            grid_graph(0, 3)
+
+    def test_geometric_graph_connects_close_points(self):
+        g = random_geometric_graph(200, radius=0.2, seed=0)
+        assert g.num_undirected_edges > 0
+        assert g.weights.min() >= 1
+
+    def test_geometric_radius_monotone(self):
+        few = random_geometric_graph(200, radius=0.05, seed=0).num_undirected_edges
+        many = random_geometric_graph(200, radius=0.3, seed=0).num_undirected_edges
+        assert many > few
+
+    def test_geometric_zero_vertices(self):
+        g = random_geometric_graph(0, radius=0.1)
+        assert g.num_vertices == 0
+
+    def test_geometric_invalid_radius(self):
+        with pytest.raises(ValueError):
+            random_geometric_graph(10, radius=0.0)
+
+
+class TestIO:
+    def test_npz_round_trip(self, tmp_path, rmat1_small):
+        path = tmp_path / "g.npz"
+        save_npz(rmat1_small, path)
+        g2 = load_npz(path)
+        assert np.array_equal(g2.indptr, rmat1_small.indptr)
+        assert np.array_equal(g2.adj, rmat1_small.adj)
+        assert np.array_equal(g2.weights, rmat1_small.weights)
+        assert g2.undirected == rmat1_small.undirected
+
+    def test_edge_list_round_trip(self, tmp_path, path_graph):
+        path = tmp_path / "edges.txt"
+        n_lines = write_edge_list(path_graph, path)
+        assert n_lines == path_graph.num_undirected_edges
+        g2 = read_edge_list(path, num_vertices=5)
+        assert np.array_equal(g2.indptr, path_graph.indptr)
+        assert np.array_equal(g2.weights, path_graph.weights)
+
+    def test_edge_list_infers_vertex_count(self, tmp_path, path_graph):
+        path = tmp_path / "edges.txt"
+        write_edge_list(path_graph, path)
+        g2 = read_edge_list(path)
+        assert g2.num_vertices == 5
+
+
+class TestRoots:
+    def test_root_has_degree(self, disconnected_graph):
+        for seed in range(10):
+            r = choose_root(disconnected_graph, seed=seed)
+            assert disconnected_graph.degree(r) > 0
+
+    def test_roots_distinct(self, rmat1_small):
+        roots = choose_roots(rmat1_small, 16, seed=0)
+        assert len(set(roots.tolist())) == 16
+
+    def test_count_clipped_to_candidates(self, path_graph):
+        roots = choose_roots(path_graph, 100, seed=0)
+        assert roots.size == 5
+
+    def test_edgeless_graph_rejected(self):
+        from repro.graph.csr import CSRGraph
+
+        g = CSRGraph(np.array([0, 0]), np.array([]), np.array([]))
+        with pytest.raises(ValueError, match="no valid root"):
+            choose_root(g)
+
+    def test_deterministic(self, rmat1_small):
+        assert choose_root(rmat1_small, seed=4) == choose_root(rmat1_small, seed=4)

@@ -1,0 +1,99 @@
+"""Unit tests for the alternative weight distributions."""
+
+import numpy as np
+import pytest
+
+from repro.core.reference import dijkstra_reference
+from repro.core.solver import solve_sssp
+from repro.graph.weights import (
+    bimodal_weights,
+    constant_weights,
+    exponential_weights,
+    reweight,
+    uniform_weights,
+)
+
+
+class TestExponential:
+    def test_range(self):
+        w = exponential_weights(10_000, max_weight=255, seed=0)
+        assert w.min() >= 1 and w.max() <= 255
+
+    def test_skews_light(self):
+        w = exponential_weights(50_000, max_weight=255, seed=1)
+        assert np.median(w) < 255 / 4  # far below the uniform median
+
+    def test_mean_parameter(self):
+        small = exponential_weights(50_000, mean=5.0, seed=2).mean()
+        large = exponential_weights(50_000, mean=60.0, seed=2).mean()
+        assert large > small
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            exponential_weights(10, max_weight=0)
+        with pytest.raises(ValueError):
+            exponential_weights(-1)
+
+
+class TestBimodal:
+    def test_two_point_support(self):
+        w = bimodal_weights(10_000, max_weight=255, seed=0)
+        assert set(np.unique(w).tolist()) == {1, 255}
+
+    def test_light_fraction(self):
+        w = bimodal_weights(100_000, light_fraction=0.8, seed=1)
+        assert (w == 1).mean() == pytest.approx(0.8, abs=0.01)
+
+    def test_all_light(self):
+        w = bimodal_weights(100, light_fraction=1.0)
+        assert np.all(w == 1)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            bimodal_weights(10, light_fraction=1.5)
+
+
+class TestConstant:
+    def test_constant(self):
+        w = constant_weights(10, weight=7)
+        assert np.all(w == 7)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            constant_weights(10, weight=0)
+
+
+class TestReweight:
+    def test_preserves_topology(self, rmat1_small):
+        g2 = reweight(rmat1_small, bimodal_weights, seed=3)
+        assert g2.num_vertices == rmat1_small.num_vertices
+        assert g2.num_undirected_edges == rmat1_small.num_undirected_edges
+        assert np.array_equal(np.sort(g2.adj), np.sort(rmat1_small.adj))
+
+    def test_weights_symmetric(self, rmat1_small):
+        g2 = reweight(rmat1_small, exponential_weights, seed=4)
+        rev = g2.reverse()
+        for u in range(0, g2.num_vertices, 71):
+            a = sorted(zip(g2.neighbors(u).tolist(), g2.neighbor_weights(u).tolist()))
+            b = sorted(zip(rev.neighbors(u).tolist(), rev.neighbor_weights(u).tolist()))
+            assert a == b
+
+    @pytest.mark.parametrize(
+        "gen", [uniform_weights, exponential_weights, bimodal_weights]
+    )
+    def test_solver_correct_under_any_distribution(self, rmat1_small, gen):
+        g2 = reweight(rmat1_small, gen, seed=5)
+        res = solve_sssp(g2, 3, algorithm="opt", delta=25,
+                         num_ranks=4, threads_per_rank=2)
+        assert np.array_equal(res.distances, dijkstra_reference(g2, 3))
+
+    def test_constant_weights_bfs_like(self, rmat1_small):
+        from repro.bfs import run_bfs
+
+        g2 = reweight(rmat1_small, lambda n, seed=0: constant_weights(n, 1))
+        res = solve_sssp(g2, 3, algorithm="delta", delta=1,
+                         num_ranks=2, threads_per_rank=2)
+        bfs = run_bfs(rmat1_small, 3, num_ranks=2, threads_per_rank=2)
+        hop = np.where(bfs.levels >= 0, bfs.levels, res.distances.max() + 1)
+        reached = bfs.levels >= 0
+        assert np.array_equal(res.distances[reached], hop[reached])

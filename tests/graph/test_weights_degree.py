@@ -1,0 +1,86 @@
+"""Unit tests for weight assignment and degree statistics."""
+
+import numpy as np
+import pytest
+
+from repro.graph.degree import degree_stats, thread_load_imbalance
+from repro.graph.partition import BlockPartition
+from repro.graph.rmat import RMAT1, rmat_graph
+from repro.graph.weights import DEFAULT_MAX_WEIGHT, uniform_weights
+
+
+class TestUniformWeights:
+    def test_range(self):
+        w = uniform_weights(10_000, max_weight=255, seed=0)
+        assert w.min() >= 1
+        assert w.max() <= 255
+
+    def test_default_max_is_255(self):
+        assert DEFAULT_MAX_WEIGHT == 255
+
+    def test_deterministic(self):
+        assert np.array_equal(uniform_weights(100, seed=3), uniform_weights(100, seed=3))
+
+    def test_roughly_uniform(self):
+        w = uniform_weights(100_000, max_weight=100, seed=1)
+        # mean of U[1,100] is 50.5
+        assert abs(w.mean() - 50.5) < 1.0
+
+    def test_zero_edges(self):
+        assert uniform_weights(0).size == 0
+
+    def test_invalid_args(self):
+        with pytest.raises(ValueError):
+            uniform_weights(10, max_weight=0)
+        with pytest.raises(ValueError):
+            uniform_weights(-1)
+
+
+class TestDegreeStats:
+    def test_star_graph(self, star_graph):
+        s = degree_stats(star_graph)
+        assert s.max_degree == 8
+        assert s.num_isolated == 0
+        assert s.num_vertices == 9
+        assert s.skew_ratio == pytest.approx(8 / s.mean_degree)
+
+    def test_isolated_counted(self, disconnected_graph):
+        s = degree_stats(disconnected_graph)
+        assert s.num_isolated == 1
+
+    def test_empty_graph(self):
+        from repro.graph.csr import CSRGraph
+
+        s = degree_stats(CSRGraph(np.array([0]), np.array([]), np.array([])))
+        assert s.num_vertices == 0 and s.max_degree == 0
+
+    def test_as_row_keys(self, star_graph):
+        row = degree_stats(star_graph).as_row()
+        assert {"n", "m", "max_deg", "skew"} <= set(row)
+
+
+class TestThreadLoadImbalance:
+    def test_uniform_graph_balanced(self):
+        # ring: every vertex degree 2 -> perfect balance
+        from repro.graph.builder import from_undirected_edges
+
+        n = 64
+        t = np.arange(n)
+        h = (t + 1) % n
+        g = from_undirected_edges(t, h, np.ones(n, dtype=np.int64), n)
+        imb = thread_load_imbalance(g, BlockPartition(n, 4), threads_per_rank=4)
+        assert imb == pytest.approx(1.0)
+
+    def test_skewed_graph_imbalanced(self):
+        g = rmat_graph(scale=10, seed=5, params=RMAT1)
+        imb = thread_load_imbalance(
+            g, BlockPartition(g.num_vertices, 4), threads_per_rank=4
+        )
+        assert imb > 1.2
+
+    def test_empty_loads(self):
+        from repro.graph.csr import CSRGraph
+
+        g = CSRGraph(np.array([0, 0, 0]), np.array([]), np.array([]))
+        imb = thread_load_imbalance(g, BlockPartition(2, 2), threads_per_rank=2)
+        assert imb == 1.0

@@ -1,0 +1,53 @@
+"""Unit tests for the machine model."""
+
+import math
+
+import pytest
+
+from repro.runtime.machine import BGQ_LIKE, MachineConfig
+
+
+class TestMachineConfig:
+    def test_defaults(self):
+        m = MachineConfig(num_ranks=4)
+        assert m.threads_per_rank == 64
+        assert m.total_threads == 256
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            MachineConfig(num_ranks=0)
+        with pytest.raises(ValueError):
+            MachineConfig(num_ranks=1, threads_per_rank=0)
+        with pytest.raises(ValueError):
+            MachineConfig(num_ranks=1, alpha=-1)
+
+    def test_allreduce_time_grows_with_ranks(self):
+        t2 = MachineConfig(num_ranks=2).allreduce_time()
+        t1024 = MachineConfig(num_ranks=1024).allreduce_time()
+        assert t1024 > t2
+
+    def test_allreduce_log_formula(self):
+        m = MachineConfig(num_ranks=16)
+        expected = m.t_allreduce_base + m.t_allreduce_log * math.log2(16)
+        assert m.allreduce_time() == pytest.approx(expected)
+
+    def test_allreduce_single_rank_uses_log2_floor(self):
+        m = MachineConfig(num_ranks=1)
+        # clamps to log2(2) to keep a positive base cost
+        assert m.allreduce_time() > 0
+
+    def test_with_ranks_preserves_constants(self):
+        m = MachineConfig(num_ranks=4, alpha=7e-6)
+        m2 = m.with_ranks(128)
+        assert m2.num_ranks == 128
+        assert m2.alpha == 7e-6
+        assert m2.threads_per_rank == m.threads_per_rank
+
+    def test_bgq_like_factory(self):
+        m = BGQ_LIKE(16)
+        assert m.num_ranks == 16 and m.threads_per_rank == 64
+
+    def test_frozen(self):
+        m = MachineConfig(num_ranks=2)
+        with pytest.raises(Exception):
+            m.num_ranks = 5

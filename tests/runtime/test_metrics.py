@@ -1,0 +1,111 @@
+"""Unit tests for the execution counters."""
+
+import numpy as np
+import pytest
+
+from repro.runtime.metrics import ComputeKind, Metrics
+
+
+def fresh() -> Metrics:
+    return Metrics(num_ranks=2, threads_per_rank=2)
+
+
+class TestAddCompute:
+    def test_relax_kind_counts(self):
+        m = fresh()
+        m.add_compute(ComputeKind.SHORT_RELAX, np.array([1.0, 2.0, 3.0, 4.0]))
+        assert m.total_relaxations == 10
+        assert m.relaxations_by_kind() == {"short_relax": 10}
+
+    def test_scan_kind_not_counted_as_relax(self):
+        m = fresh()
+        m.add_compute(ComputeKind.BUCKET_SCAN, np.ones(4))
+        assert m.total_relaxations == 0
+
+    def test_explicit_count_override(self):
+        m = fresh()
+        m.add_compute(
+            ComputeKind.SHORT_RELAX, np.ones(4), count_as_relax=False
+        )
+        assert m.total_relaxations == 0
+        m.add_compute(ComputeKind.BUCKET_SCAN, np.ones(4), count_as_relax=True)
+        assert m.total_relaxations == 4
+
+    def test_record_max_and_total(self):
+        m = fresh()
+        m.add_compute(ComputeKind.BF_RELAX, np.array([1.0, 5.0, 0.0, 2.0]))
+        rec = m.records[-1]
+        assert rec.comp_max == 5.0
+        assert rec.comp_total == 8.0
+
+    def test_wrong_size_rejected(self):
+        m = fresh()
+        with pytest.raises(ValueError, match="4 entries"):
+            m.add_compute(ComputeKind.BF_RELAX, np.ones(3))
+
+    def test_accumulation_across_records(self):
+        m = fresh()
+        m.add_compute(ComputeKind.BF_RELAX, np.ones(4))
+        m.add_compute(ComputeKind.BF_RELAX, np.ones(4))
+        assert m.total_relaxations == 8
+
+
+class TestExchangeAndAllreduce:
+    def test_exchange_records_max_and_total(self):
+        m = fresh()
+        m.add_exchange(np.array([1, 3]), np.array([100, 60]))
+        rec = m.records[-1]
+        assert rec.msgs_max == 3
+        assert rec.bytes_max == 100
+        # bytes counted at both endpoints -> total halves the per-rank sum
+        assert rec.bytes_total == 80
+        assert m.total_bytes == 80
+
+    def test_allreduce_counted(self):
+        m = fresh()
+        m.add_allreduce(3)
+        assert m.total_allreduces == 3
+
+
+class TestPhasesAndBuckets:
+    def test_phase_kinds(self):
+        m = fresh()
+        m.note_phase("short", 10)
+        m.note_phase("short", 5)
+        m.note_phase("long", 100)
+        m.note_phase("bf", 7)
+        assert m.short_phases == 2
+        assert m.long_phases == 1
+        assert m.bf_phases == 1
+        assert m.total_phases == 4
+        assert m.per_phase_relaxations == [
+            ("short", 10),
+            ("short", 5),
+            ("long", 100),
+            ("bf", 7),
+        ]
+
+    def test_unknown_phase_kind(self):
+        with pytest.raises(ValueError):
+            fresh().note_phase("weird", 0)
+
+    def test_bucket_modes(self):
+        m = fresh()
+        m.note_bucket({"mode": "push"})
+        m.note_bucket({"mode": "pull"})
+        m.note_bucket({"mode": "pull"})
+        assert m.buckets_processed == 3
+        assert m.push_buckets == 1
+        assert m.pull_buckets == 2
+
+    def test_summary_keys(self):
+        s = fresh().summary()
+        assert {
+            "relaxations",
+            "phases",
+            "buckets",
+            "bytes",
+            "allreduces",
+            "push_buckets",
+            "pull_buckets",
+        } <= set(s)

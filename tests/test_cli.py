@@ -1,0 +1,95 @@
+"""Unit tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_solve_defaults(self):
+        args = build_parser().parse_args(["solve"])
+        assert args.command == "solve"
+        assert args.algorithm == "opt"
+        assert args.scale == 12
+
+    def test_unknown_algorithm_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["solve", "--algorithm", "magic"])
+
+    def test_family_choices(self):
+        args = build_parser().parse_args(["solve", "--family", "rmat2"])
+        assert args.family == "rmat2"
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["solve", "--family", "rmat3"])
+
+
+class TestCommands:
+    def test_solve_runs(self, capsys):
+        rc = main(["solve", "--scale", "9", "--ranks", "2", "--threads", "2",
+                   "--validate"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "gteps" in out
+        assert "simulated time breakdown" in out
+
+    def test_solve_explicit_root(self, capsys):
+        rc = main(["solve", "--scale", "9", "--root", "5",
+                   "--ranks", "2", "--threads", "2"])
+        assert rc == 0
+        assert "root:  5" in capsys.readouterr().out
+
+    def test_compare_runs(self, capsys):
+        rc = main(["compare", "--scale", "9", "--ranks", "2", "--threads", "2"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        for name in ("Dijkstra", "Del-25", "Prune-25", "OPT-25", "Bellman-Ford"):
+            assert name in out
+
+    def test_graph500_runs(self, capsys):
+        rc = main(["graph500", "--scale", "9", "--roots", "3",
+                   "--ranks", "2", "--threads", "2"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "hmean_gteps" in out
+
+    def test_sweep_runs(self, capsys):
+        rc = main(["sweep", "--scale", "9", "--deltas", "1,25",
+                   "--ranks", "2", "--threads", "2"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "delta" in out
+
+    def test_bfs_runs(self, capsys):
+        rc = main(["bfs", "--scale", "9", "--ranks", "2", "--threads", "2"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "direction per level" in out
+        assert "edges_examined" in out
+
+    def test_bfs_forced_direction(self, capsys):
+        rc = main(["bfs", "--scale", "9", "--direction", "top-down",
+                   "--ranks", "2", "--threads", "2"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "bottom-up" not in out
+
+    def test_rmat2_family(self, capsys):
+        rc = main(["solve", "--scale", "9", "--family", "rmat2",
+                   "--ranks", "2", "--threads", "2"])
+        assert rc == 0
+
+    def test_module_entry_point(self):
+        import subprocess
+        import sys
+
+        proc = subprocess.run(
+            [sys.executable, "-m", "repro", "solve", "--scale", "8",
+             "--ranks", "2", "--threads", "2"],
+            capture_output=True, text=True, timeout=120,
+        )
+        assert proc.returncode == 0
+        assert "gteps" in proc.stdout

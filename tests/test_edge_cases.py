@@ -1,0 +1,132 @@
+"""Cross-cutting edge cases: tiny graphs, extreme shapes, config corners."""
+
+import numpy as np
+import pytest
+
+from repro.core.config import DELTA_INFINITY, SolverConfig
+from repro.core.distances import INF
+from repro.core.reference import dijkstra_reference
+from repro.core.solver import BatchSolver, solve_sssp
+from repro.graph.builder import from_undirected_edges
+from repro.graph.csr import CSRGraph
+from repro.runtime.machine import MachineConfig
+
+
+def single_edge():
+    return from_undirected_edges(np.array([0]), np.array([1]), np.array([7]), 2)
+
+
+class TestTinyGraphs:
+    def test_single_vertex(self):
+        g = CSRGraph(np.array([0, 0]), np.array([]), np.array([]))
+        res = solve_sssp(g, 0, algorithm="opt", num_ranks=1, threads_per_rank=1)
+        assert list(res.distances) == [0]
+        assert res.num_reached == 1
+
+    def test_single_edge_all_algorithms(self):
+        g = single_edge()
+        for algo in ("dijkstra", "bellman-ford", "delta", "prune", "opt"):
+            res = solve_sssp(g, 0, algorithm=algo, delta=5,
+                             num_ranks=2, threads_per_rank=1)
+            assert list(res.distances) == [0, 7]
+
+    def test_more_ranks_than_vertices(self):
+        g = single_edge()
+        res = solve_sssp(g, 0, algorithm="opt", delta=5,
+                         num_ranks=7, threads_per_rank=3, validate=True)
+        assert list(res.distances) == [0, 7]
+
+    def test_two_vertex_spmd(self):
+        from repro.spmd import spmd_delta_stepping
+
+        g = single_edge()
+        machine = MachineConfig(num_ranks=5, threads_per_rank=2)
+        d, _ = spmd_delta_stepping(g, 0, machine, delta=3)
+        assert list(d) == [0, 7]
+
+
+class TestExtremeShapes:
+    def test_complete_graph(self):
+        n = 24
+        iu, ju = np.triu_indices(n, k=1)
+        rng = np.random.default_rng(0)
+        w = rng.integers(1, 100, iu.size).astype(np.int64)
+        g = from_undirected_edges(iu, ju, w, n)
+        res = solve_sssp(g, 0, algorithm="opt", delta=25,
+                         num_ranks=4, threads_per_rank=2, validate=True)
+        assert res.num_reached == n
+
+    def test_long_path_many_buckets(self):
+        n = 300
+        t = np.arange(n - 1)
+        g = from_undirected_edges(t, t + 1, np.full(n - 1, 200), n)
+        res = solve_sssp(g, 0, algorithm="delta", delta=25,
+                         num_ranks=4, threads_per_rank=2, validate=True)
+        # distances up to ~60k: many buckets, all handled
+        assert res.metrics.buckets_processed > 100
+        assert res.distances[n - 1] == 200 * (n - 1)
+
+    def test_max_weight_one(self):
+        g = from_undirected_edges(
+            np.array([0, 1, 2]), np.array([1, 2, 3]), np.array([1, 1, 1]), 4
+        )
+        for delta in (1, 2, DELTA_INFINITY):
+            res = solve_sssp(g, 0, algorithm="delta", delta=delta,
+                             num_ranks=2, threads_per_rank=1)
+            assert list(res.distances) == [0, 1, 2, 3]
+
+    def test_star_with_huge_hub_and_lb(self):
+        n = 500
+        t = np.zeros(n - 1, dtype=np.int64)
+        h = np.arange(1, n)
+        w = np.random.default_rng(1).integers(1, 256, n - 1).astype(np.int64)
+        g = from_undirected_edges(t, h, w, n)
+        cfg = SolverConfig(delta=25, use_ios=True, use_pruning=True,
+                           use_hybrid=True, intra_lb=True,
+                           inter_split=True, split_degree=64)
+        res = solve_sssp(g, 0, algorithm="lb", config=cfg,
+                         num_ranks=4, threads_per_rank=4, validate=True)
+        assert res.num_proxies >= 8  # the hub shatters into many proxies
+
+
+class TestConfigCorners:
+    def test_delta_between_weights(self):
+        # delta larger than every weight: all edges short
+        g = single_edge()
+        res = solve_sssp(g, 0, algorithm="delta", delta=1000,
+                         num_ranks=2, threads_per_rank=1)
+        assert res.metrics.relaxations_by_kind().get("long_push_relax", 0) == 0
+
+    def test_delta_one_all_long(self, rmat1_small):
+        res = solve_sssp(rmat1_small, 3, algorithm="delta", delta=1,
+                         num_ranks=2, threads_per_rank=1)
+        assert res.metrics.relaxations_by_kind().get("short_relax", 0) == 0
+
+    def test_histogram_one_bin(self, rmat1_small):
+        cfg = SolverConfig(delta=25, use_ios=True, use_pruning=True,
+                           pushpull_estimator="histogram", histogram_bins=1)
+        res = solve_sssp(rmat1_small, 3, algorithm="h1", config=cfg,
+                         num_ranks=2, threads_per_rank=2)
+        assert np.array_equal(res.distances, dijkstra_reference(rmat1_small, 3))
+
+    def test_batch_solver_on_directed(self):
+        from repro.graph.builder import from_edges
+
+        g = from_edges(np.array([0, 1]), np.array([1, 2]), np.array([2, 3]), 3)
+        solver = BatchSolver(g, algorithm="delta", delta=5,
+                             num_ranks=2, threads_per_rank=1)
+        res = solver.solve(0)
+        assert list(res.distances) == [0, 2, 5]
+
+    def test_degree_partition_with_spmd(self, rmat1_small):
+        # SPMD rank states honour any contiguous partition.
+        from repro.core.config import SolverConfig as SC
+        from repro.spmd import spmd_delta_stepping
+
+        machine = MachineConfig(num_ranks=4, threads_per_rank=2)
+        cfg = SC(delta=25, partition="degree")
+        d, ctx = spmd_delta_stepping(rmat1_small, 3, machine, config=cfg)
+        assert np.array_equal(d, dijkstra_reference(rmat1_small, 3))
+        from repro.graph.partition import DegreeBalancedPartition
+
+        assert isinstance(ctx.partition, DegreeBalancedPartition)

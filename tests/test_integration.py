@@ -1,0 +1,174 @@
+"""Integration tests: end-to-end flows across subsystems.
+
+These exercise the full pipeline the way the benchmark harness does —
+generate a graph family, run several algorithm variants on a simulated
+machine, and check the paper's qualitative relationships between them.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.config import DELTA_INFINITY, SolverConfig
+from repro.core.reference import dijkstra_reference
+from repro.core.solver import solve_sssp
+from repro.graph.grid import grid_graph
+from repro.graph.rmat import RMAT1, RMAT2, rmat_graph
+from repro.graph.roots import choose_roots
+from repro.graph.social import synthetic_social_graph
+from repro.runtime.machine import MachineConfig
+
+
+@pytest.fixture(scope="module")
+def rmat1():
+    return rmat_graph(scale=11, seed=17, params=RMAT1)
+
+
+@pytest.fixture(scope="module")
+def rmat2():
+    return rmat_graph(scale=11, seed=18, params=RMAT2)
+
+
+class TestMultiRootCorrectness:
+    def test_sixteen_roots_rmat1(self, rmat1):
+        # The paper validates with 16 random roots per configuration (IV-G).
+        for root in choose_roots(rmat1, 16, seed=5):
+            res = solve_sssp(rmat1, int(root), algorithm="opt", delta=25,
+                             num_ranks=4, threads_per_rank=4)
+            ref = dijkstra_reference(rmat1, int(root))
+            assert np.array_equal(res.distances, ref)
+
+    def test_multiple_roots_grid(self):
+        g = grid_graph(20, 25, seed=1)
+        for root in choose_roots(g, 4, seed=2):
+            res = solve_sssp(g, int(root), algorithm="opt", delta=64,
+                             num_ranks=4, threads_per_rank=2, validate=True)
+            assert res.num_reached == g.num_vertices
+
+    def test_social_standins(self):
+        for name in ("orkut", "livejournal"):
+            g = synthetic_social_graph(name, scale=10, seed=3)
+            root = int(choose_roots(g, 1, seed=0)[0])
+            res = solve_sssp(g, root, algorithm="opt", delta=40,
+                             num_ranks=4, threads_per_rank=2, validate=True)
+            assert res.gteps > 0
+
+
+class TestPaperRelationships:
+    """The qualitative claims the evaluation section makes, at test scale."""
+
+    def test_pruning_relaxation_factor_rmat1(self, rmat1):
+        # Fig. 10(c): pruning cuts relaxations by a large factor on RMAT-1.
+        root = int(choose_roots(rmat1, 1, seed=0)[0])
+        base = solve_sssp(rmat1, root, algorithm="delta", delta=25,
+                          num_ranks=8, threads_per_rank=4)
+        prune = solve_sssp(rmat1, root, algorithm="prune", delta=25,
+                           num_ranks=8, threads_per_rank=4)
+        factor = base.metrics.total_relaxations / prune.metrics.total_relaxations
+        assert factor > 1.5
+
+    def test_pruning_effective_on_both_families(self, rmat1, rmat2):
+        # Section IV-E claims the pruning *factor* is larger on RMAT-1 than
+        # on RMAT-2; that ordering only emerges at massive scale where the
+        # RMAT-1 hubs hold millions of edges (documented in EXPERIMENTS.md).
+        # At reproduction scale we assert the part that does hold: pruning
+        # cuts relaxations substantially on both families.
+        def factor(g):
+            root = int(choose_roots(g, 1, seed=0)[0])
+            base = solve_sssp(g, root, algorithm="delta", delta=25,
+                              num_ranks=8, threads_per_rank=4)
+            prune = solve_sssp(g, root, algorithm="prune", delta=25,
+                               num_ranks=8, threads_per_rank=4)
+            return base.metrics.total_relaxations / prune.metrics.total_relaxations
+
+        assert factor(rmat1) > 1.5
+        assert factor(rmat2) > 1.5
+
+    def test_hybrid_bucket_reduction_rmat2(self, rmat2):
+        # Fig. 11(d): hybridization cuts the bucket count dramatically.
+        root = int(choose_roots(rmat2, 1, seed=0)[0])
+        prune = solve_sssp(rmat2, root, algorithm="prune", delta=10,
+                           num_ranks=8, threads_per_rank=4)
+        opt = solve_sssp(rmat2, root, algorithm="opt", delta=10,
+                         num_ranks=8, threads_per_rank=4)
+        assert prune.metrics.buckets_processed >= 3 * opt.metrics.buckets_processed
+
+    def test_hybrid_cuts_bucket_time(self, rmat2):
+        # Fig. 11(b): hybridization attacks BktTime specifically.
+        root = int(choose_roots(rmat2, 1, seed=0)[0])
+        prune = solve_sssp(rmat2, root, algorithm="prune", delta=10,
+                           num_ranks=8, threads_per_rank=4)
+        opt = solve_sssp(rmat2, root, algorithm="opt", delta=10,
+                         num_ranks=8, threads_per_rank=4)
+        assert opt.cost.bucket_time < prune.cost.bucket_time
+
+    def test_opt_buckets_insensitive_to_scale(self):
+        # Fig. 10(d): the hybrid bucket count stays ~constant across scales.
+        counts = []
+        for scale in (9, 10, 11):
+            g = rmat_graph(scale=scale, seed=20 + scale, params=RMAT1)
+            root = int(choose_roots(g, 1, seed=0)[0])
+            res = solve_sssp(g, root, algorithm="opt", delta=25,
+                             num_ranks=4, threads_per_rank=4)
+            counts.append(res.metrics.buckets_processed)
+        assert max(counts) - min(counts) <= 3
+
+    def test_intra_lb_reduces_simulated_time_on_skewed_graph(self, rmat1):
+        # Fig. 10(e) vs (f): load balancing recovers scaling on RMAT-1.
+        root = int(choose_roots(rmat1, 1, seed=0)[0])
+        machine = MachineConfig(num_ranks=8, threads_per_rank=8)
+        opt = solve_sssp(rmat1, root, algorithm="opt", delta=25, machine=machine)
+        lb = solve_sssp(rmat1, root, algorithm="lb-opt", delta=25, machine=machine)
+        assert lb.cost.compute_time < opt.cost.compute_time
+        assert lb.gteps > opt.gteps
+
+    def test_bf_phase_count_at_most_tree_depth(self, rmat1):
+        root = int(choose_roots(rmat1, 1, seed=0)[0])
+        res = solve_sssp(rmat1, root, algorithm="bellman-ford",
+                         num_ranks=4, threads_per_rank=4)
+        # hop-diameter of a scale-11 R-MAT graph is tiny; BF phases track it
+        assert res.metrics.bf_phases <= 20
+
+    def test_weights_zero_to_255_and_delta_sensitivity(self, rmat1):
+        # Fig. 9 shape: mid-range delta beats both extremes on GTEPS.
+        root = int(choose_roots(rmat1, 1, seed=0)[0])
+        gteps = {}
+        for delta in (1, 25, DELTA_INFINITY):
+            res = solve_sssp(rmat1, root, algorithm="delta", delta=delta,
+                             num_ranks=8, threads_per_rank=4)
+            gteps[delta] = res.gteps
+        assert gteps[25] > gteps[1]
+        assert gteps[25] > gteps[DELTA_INFINITY]
+
+
+class TestCommunicationAccounting:
+    def test_single_rank_run_moves_no_bytes(self, rmat1):
+        res = solve_sssp(rmat1, 3, algorithm="opt", delta=25,
+                         num_ranks=1, threads_per_rank=4)
+        assert res.metrics.total_bytes == 0
+
+    def test_more_ranks_more_traffic(self, rmat1):
+        b2 = solve_sssp(rmat1, 3, algorithm="opt", delta=25,
+                        num_ranks=2, threads_per_rank=4).metrics.total_bytes
+        b8 = solve_sssp(rmat1, 3, algorithm="opt", delta=25,
+                        num_ranks=8, threads_per_rank=4).metrics.total_bytes
+        assert b8 > b2 > 0
+
+    def test_pruning_reduces_traffic(self, rmat1):
+        root = int(choose_roots(rmat1, 1, seed=0)[0])
+        base = solve_sssp(rmat1, root, algorithm="delta", delta=25,
+                          num_ranks=8, threads_per_rank=4)
+        prune = solve_sssp(rmat1, root, algorithm="prune", delta=25,
+                           num_ranks=8, threads_per_rank=4)
+        assert prune.metrics.total_bytes < base.metrics.total_bytes
+
+
+class TestSplitAtScale:
+    def test_split_solver_on_skewed_graph(self):
+        g = rmat_graph(scale=11, seed=31, params=RMAT1)
+        cfg = SolverConfig(delta=25, use_ios=True, use_pruning=True,
+                           use_hybrid=True, intra_lb=True,
+                           inter_split=True, split_degree=64)
+        root = int(choose_roots(g, 1, seed=0)[0])
+        res = solve_sssp(g, root, algorithm="lb-opt-split", config=cfg,
+                         num_ranks=8, threads_per_rank=4, validate=True)
+        assert res.num_proxies > 0

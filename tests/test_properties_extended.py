@@ -1,0 +1,184 @@
+"""Extended property-based tests: BFS, validation, histograms, SPMD, trees."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.bfs import run_bfs
+from repro.core.histograms import build_weight_histogram
+from repro.core.paths import NO_PARENT, build_parent_tree, extract_path
+from repro.core.reference import dijkstra_reference
+from repro.core.validation import validate_sssp_structure
+from repro.graph.builder import from_undirected_edges
+from repro.runtime.machine import MachineConfig
+from repro.spmd import spmd_delta_stepping
+
+
+@st.composite
+def random_graphs(draw, max_n=28, max_m=80, max_w=30):
+    n = draw(st.integers(min_value=2, max_value=max_n))
+    m = draw(st.integers(min_value=1, max_value=max_m))
+    seed = draw(st.integers(min_value=0, max_value=2**31))
+    rng = np.random.default_rng(seed)
+    graph = from_undirected_edges(
+        rng.integers(0, n, m),
+        rng.integers(0, n, m),
+        rng.integers(1, max_w + 1, m).astype(np.int64),
+        n,
+    )
+    deg = graph.degrees
+    with_edges = np.nonzero(deg > 0)[0]
+    root = int(with_edges[0]) if with_edges.size else 0
+    return graph, root
+
+
+def hop_reference(graph, root):
+    from collections import deque
+
+    levels = np.full(graph.num_vertices, -1, dtype=np.int64)
+    levels[root] = 0
+    q = deque([root])
+    while q:
+        u = q.popleft()
+        for v in graph.neighbors(u):
+            if levels[v] == -1:
+                levels[v] = levels[u] + 1
+                q.append(int(v))
+    return levels
+
+
+class TestBfsProperties:
+    @settings(max_examples=40, deadline=None)
+    @given(gr=random_graphs(), direction=st.sampled_from(
+        ["auto", "top-down", "bottom-up"]))
+    def test_levels_are_minimal_hops(self, gr, direction):
+        graph, root = gr
+        res = run_bfs(graph, root, direction=direction,
+                      num_ranks=2, threads_per_rank=2)
+        assert np.array_equal(res.levels, hop_reference(graph, root))
+
+    @settings(max_examples=30, deadline=None)
+    @given(gr=random_graphs())
+    def test_hops_bound_weighted_distances(self, gr):
+        graph, root = gr
+        levels = run_bfs(graph, root, num_ranks=2, threads_per_rank=2).levels
+        d = dijkstra_reference(graph, root)
+        reached = levels >= 0
+        w_min = int(graph.weights.min()) if graph.weights.size else 1
+        w_max = graph.max_weight
+        assert np.all(d[reached] >= levels[reached] * w_min)
+        assert np.all(d[reached] <= levels[reached] * w_max)
+
+
+class TestValidatorProperties:
+    @settings(max_examples=50, deadline=None)
+    @given(gr=random_graphs(), corrupt_seed=st.integers(0, 2**31))
+    def test_accepts_iff_correct(self, gr, corrupt_seed):
+        graph, root = gr
+        d = dijkstra_reference(graph, root)
+        assert validate_sssp_structure(graph, root, d).valid
+        rng = np.random.default_rng(corrupt_seed)
+        bad = d.copy()
+        v = int(rng.integers(0, graph.num_vertices))
+        delta = int(rng.integers(1, 50))
+        from repro.core.distances import INF
+
+        if bad[v] >= INF:
+            bad[v] = delta
+        elif rng.random() < 0.5 and bad[v] >= delta:
+            bad[v] -= delta
+        else:
+            bad[v] += delta
+        if np.array_equal(bad, d):
+            return
+        report = validate_sssp_structure(graph, root, bad)
+        assert not report.valid
+
+
+class TestHistogramProperties:
+    @settings(max_examples=40, deadline=None)
+    @given(gr=random_graphs(max_w=60), bins=st.integers(1, 32),
+           t_seed=st.integers(0, 2**31))
+    def test_count_below_bounded_by_bin_edges(self, gr, bins, t_seed):
+        graph, _ = gr
+        hist = build_weight_histogram(graph, num_bins=bins)
+        rng = np.random.default_rng(t_seed)
+        v = rng.integers(0, graph.num_vertices, 20)
+        t = rng.uniform(0, graph.max_weight + 2, 20)
+        est = hist.count_below(v, t)
+        lo_bin = np.minimum((t // hist.bin_width).astype(np.int64), bins)
+        hi_bin = np.minimum(lo_bin + 1, bins)
+        lower = hist.cumulative[v, lo_bin]
+        upper = hist.cumulative[v, hi_bin]
+        assert np.all(est >= lower - 1e-9)
+        assert np.all(est <= upper + 1e-9)
+
+    @settings(max_examples=40, deadline=None)
+    @given(gr=random_graphs(max_w=60), bins=st.integers(1, 16))
+    def test_exact_at_bin_edges(self, gr, bins):
+        graph, _ = gr
+        hist = build_weight_histogram(graph, num_bins=bins)
+        for u in range(0, graph.num_vertices, 7):
+            for k in (0, 1, bins):
+                threshold = float(k * hist.bin_width)
+                exact = int((graph.neighbor_weights(u) < threshold).sum())
+                est = hist.count_below(np.array([u]), np.array([threshold]))[0]
+                assert est == pytest.approx(exact)
+
+
+class TestSpmdProperties:
+    @settings(max_examples=25, deadline=None)
+    @given(
+        gr=random_graphs(),
+        ranks=st.sampled_from([1, 2, 4]),
+        delta=st.sampled_from([3, 10, 40]),
+        ios=st.booleans(),
+        pruning=st.booleans(),
+        hybrid=st.booleans(),
+    )
+    def test_spmd_matches_reference(self, gr, ranks, delta, ios, pruning, hybrid):
+        from repro.core.config import SolverConfig
+
+        graph, root = gr
+        machine = MachineConfig(num_ranks=ranks, threads_per_rank=2)
+        cfg = SolverConfig(delta=delta, use_ios=ios, use_pruning=pruning,
+                           use_hybrid=hybrid)
+        d, _ = spmd_delta_stepping(graph, root, machine, config=cfg)
+        assert np.array_equal(d, dijkstra_reference(graph, root))
+
+
+class TestTreeProperties:
+    @settings(max_examples=40, deadline=None)
+    @given(gr=random_graphs())
+    def test_every_path_cost_equals_distance(self, gr):
+        graph, root = gr
+        d = dijkstra_reference(graph, root)
+        parent = build_parent_tree(graph, d, root)
+        from repro.core.distances import INF
+
+        for v in range(graph.num_vertices):
+            if d[v] >= INF or v == root:
+                continue
+            path = extract_path(parent, root, v)
+            assert path[0] == root and path[-1] == v
+            cost = 0
+            for a, b in zip(path, path[1:]):
+                nbrs = graph.neighbors(a)
+                ws = graph.neighbor_weights(a)
+                hit = np.nonzero(nbrs == b)[0]
+                assert hit.size
+                cost += int(ws[hit[0]])
+            assert cost == int(d[v])
+
+    @settings(max_examples=40, deadline=None)
+    @given(gr=random_graphs())
+    def test_tree_edge_count(self, gr):
+        graph, root = gr
+        d = dijkstra_reference(graph, root)
+        parent = build_parent_tree(graph, d, root)
+        from repro.core.distances import INF
+
+        reached = int((d < INF).sum())
+        assert int((parent != NO_PARENT).sum()) == reached - 1

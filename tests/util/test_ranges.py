@@ -1,0 +1,82 @@
+"""Unit tests for vectorised range concatenation."""
+
+import numpy as np
+import pytest
+
+from repro.util.ranges import concat_ranges
+
+
+class TestConcatRanges:
+    def test_docstring_example(self):
+        idx, owners = concat_ranges(np.array([0, 5]), np.array([2, 8]))
+        assert list(idx) == [0, 1, 5, 6, 7]
+        assert list(owners) == [0, 0, 1, 1, 1]
+
+    def test_empty_input(self):
+        idx, owners = concat_ranges(np.array([], dtype=np.int64), np.array([], dtype=np.int64))
+        assert idx.size == 0 and owners.size == 0
+
+    def test_all_empty_ranges(self):
+        idx, owners = concat_ranges(np.array([3, 7]), np.array([3, 7]))
+        assert idx.size == 0
+
+    def test_mixed_empty_and_nonempty(self):
+        idx, owners = concat_ranges(np.array([0, 2, 2]), np.array([2, 2, 4]))
+        assert list(idx) == [0, 1, 2, 3]
+        assert list(owners) == [0, 0, 2, 2]
+
+    def test_negative_length_rejected(self):
+        with pytest.raises(ValueError, match="non-negative"):
+            concat_ranges(np.array([5]), np.array([3]))
+
+    def test_shape_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            concat_ranges(np.array([1, 2]), np.array([3]))
+
+    def test_matches_python_reference(self):
+        rng = np.random.default_rng(0)
+        starts = rng.integers(0, 50, 30)
+        ends = starts + rng.integers(0, 10, 30)
+        idx, owners = concat_ranges(starts, ends)
+        ref_idx, ref_owners = [], []
+        for i, (s, e) in enumerate(zip(starts, ends)):
+            ref_idx.extend(range(s, e))
+            ref_owners.extend([i] * (e - s))
+        assert list(idx) == ref_idx
+        assert list(owners) == ref_owners
+
+    def test_single_large_range(self):
+        idx, owners = concat_ranges(np.array([10]), np.array([10_010]))
+        assert idx.size == 10_000
+        assert idx[0] == 10 and idx[-1] == 10_009
+        assert np.all(owners == 0)
+
+
+class TestFormatTable:
+    def test_alignment_and_title(self):
+        from repro.util.tables import format_table
+
+        out = format_table([{"a": 1, "b": "x"}, {"a": 22, "b": "yy"}], title="T")
+        lines = out.splitlines()
+        assert lines[0] == "T"
+        assert "a" in lines[1] and "b" in lines[1]
+        assert len(lines) == 5
+
+    def test_missing_cells(self):
+        from repro.util.tables import format_table
+
+        out = format_table([{"a": 1}, {"b": 2}])
+        assert "a" in out and "b" in out
+
+    def test_empty(self):
+        from repro.util.tables import format_table
+
+        assert "(no rows)" in format_table([])
+
+    def test_float_formatting(self):
+        from repro.util.tables import format_table
+
+        out = format_table([{"x": 0.000123456, "y": 12345.6, "z": 1.5}])
+        assert "0.000123" in out
+        assert "1.23e+04" in out
+        assert "1.5" in out
