@@ -1,0 +1,81 @@
+"""Fault injection: break the wire, recover the exact answer.
+
+Runs the self-healing SPMD engine (DESIGN.md §7) under increasingly hostile
+fault plans — record loss, duplication, reordering, delayed delivery, and a
+whole-rank crash — and shows that the recovered distances are bit-identical
+to the fault-free run while the recovery overhead (retransmissions, extra
+supersteps, healing sweeps) is measured separately under the ``recovery``
+phase.
+
+Run:  python examples/fault_injection.py
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro import rmat_graph
+from repro.core.solver import solve_sssp
+from repro.graph.roots import choose_root
+from repro.spmd.faults import FaultPlan, RankCrash, solve_with_faults
+from repro.util import format_table
+
+
+def main() -> None:
+    # 1. A scale-11 R-MAT graph and a simulated 8-node machine.
+    graph = rmat_graph(scale=11, seed=7)
+    root = choose_root(graph, seed=0)
+    print(f"graph: {graph}")
+    print(f"root:  {root}")
+
+    # 2. The fault-free answer (orchestrated engine, plain Δ-stepping).
+    clean = solve_sssp(graph, root, algorithm="delta", delta=25, num_ranks=8)
+
+    # 3. A ladder of fault plans. Every plan is fully deterministic: the
+    #    same seed reproduces the same injected faults, record by record.
+    plans = [
+        ("perfect wire", FaultPlan()),
+        ("5% record loss", FaultPlan(seed=1, loss_rate=0.05)),
+        ("5% duplication", FaultPlan(seed=1, dup_rate=0.05)),
+        ("20% reordering", FaultPlan(seed=1, reorder_rate=0.20)),
+        ("5% delayed", FaultPlan(seed=1, delay_rate=0.05)),
+        ("rank 2 crashes at superstep 5",
+         FaultPlan(seed=1, crashes=(RankCrash(2, 5),))),
+        ("everything at once",
+         FaultPlan(seed=1, loss_rate=0.05, dup_rate=0.02, reorder_rate=0.1,
+                   delay_rate=0.02, crashes=(RankCrash(1, 7),))),
+    ]
+
+    # 4. Solve under each plan; the structural validator double-checks every
+    #    result in O(m + n) without a reference solve.
+    rows = []
+    for label, plan in plans:
+        res = solve_with_faults(
+            graph, root, plan, num_ranks=8, validate="structural"
+        )
+        identical = bool(np.array_equal(res.distances, clean.distances))
+        rec = res.metrics.recovery
+        rows.append(
+            {
+                "plan": label,
+                "bit-identical": identical,
+                "faults": sum(rec.faults_injected.values()),
+                "retries": rec.retries,
+                "resent_bytes": rec.retransmitted_bytes,
+                "extra_supersteps": rec.recovery_supersteps,
+                "restarts": rec.rank_restarts,
+                "healing_sweeps": rec.healing_sweeps,
+                "recovery_bytes": res.metrics.recovery_bytes,
+            }
+        )
+        assert identical, f"{label}: recovery failed to reproduce distances"
+
+    print()
+    print(format_table(rows, "recovery under injected faults"))
+    print("\nEvery plan recovered the exact fault-free distances; the "
+          "overhead columns\nare what surviving the faults cost "
+          "(all charged to the 'recovery' phase).")
+
+
+if __name__ == "__main__":
+    main()

@@ -77,6 +77,14 @@ def build_parser() -> argparse.ArgumentParser:
                          help="source vertex (default: sampled non-isolated)")
     p_solve.add_argument("--validate", action="store_true",
                          help="cross-check against sequential Dijkstra")
+    p_solve.add_argument("--validate-structural", action="store_true",
+                         help="run the O(m+n) Graph 500-style structural "
+                              "validator instead of a reference solve")
+    p_solve.add_argument("--faults", metavar="SPEC", default=None,
+                         help="inject faults and run the self-healing SPMD "
+                              "engine (Δ-stepping, or Bellman-Ford with "
+                              "--algorithm bellman-ford); SPEC is e.g. "
+                              "'loss=0.05,dup=0.02,seed=3,crash=1@4'")
     p_solve.add_argument("--json", metavar="PATH", default=None,
                          help="also write a JSON report to PATH ('-' = stdout)")
 
@@ -112,12 +120,31 @@ def build_parser() -> argparse.ArgumentParser:
 def _cmd_solve(args: argparse.Namespace) -> int:
     graph = _make_graph(args)
     root = args.root if args.root is not None else choose_root(graph, seed=args.seed)
-    res = solve_sssp(graph, root, algorithm=args.algorithm, delta=args.delta,
-                     machine=_machine(args), validate=args.validate)
+    validate: bool | str = "structural" if args.validate_structural else args.validate
+    if args.faults is not None:
+        from repro.spmd.faults import FaultPlan, solve_with_faults
+
+        plan = FaultPlan.from_spec(args.faults)
+        algo = "bellman-ford" if args.algorithm == "bellman-ford" else "delta"
+        res = solve_with_faults(graph, root, plan, algorithm=algo,
+                                delta=args.delta, machine=_machine(args),
+                                validate=validate)
+    else:
+        res = solve_sssp(graph, root, algorithm=args.algorithm, delta=args.delta,
+                         machine=_machine(args), validate=validate)
     print(f"graph: {graph}")
     print(f"root:  {root}")
     print(format_table([res.summary()], "result"))
     print(format_table([res.cost.as_row()], "simulated time breakdown"))
+    if args.faults is not None:
+        rec = res.metrics.recovery
+        row = {
+            **rec.summary(),
+            "recovery_bytes": res.metrics.recovery_bytes,
+            "checkpoints": rec.checkpoints_taken,
+            "faults": sum(rec.faults_injected.values()),
+        }
+        print(format_table([row], "recovery overhead"))
     if args.json is not None:
         from repro.util.reports import dump_json, sssp_report
 

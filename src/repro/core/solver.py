@@ -23,7 +23,38 @@ from repro.runtime.costmodel import CostBreakdown, evaluate_cost, simulated_gtep
 from repro.runtime.machine import MachineConfig
 from repro.runtime.metrics import Metrics
 
-__all__ = ["SsspResult", "solve_sssp", "BatchSolver"]
+__all__ = ["SsspResult", "run_validation", "solve_sssp", "BatchSolver"]
+
+
+def run_validation(
+    distances: np.ndarray,
+    graph: CSRGraph,
+    root: int,
+    validate: bool | str,
+) -> None:
+    """Dispatch the post-solve distance check selected by ``validate``.
+
+    ``False`` does nothing. ``True`` or ``"reference"`` cross-checks against
+    the sequential Dijkstra reference (O(m log n) extra work). ``"structural"``
+    runs the O(m) structural validator
+    (:func:`repro.core.validation.validate_sssp_structure`) — no reference
+    solve needed, so it scales to graphs where Dijkstra would dominate.
+    Raises ``ValueError`` on an unknown mode, ``AssertionError`` /
+    :class:`~repro.core.validation.ValidationError` on a failed check.
+    """
+    if validate is False:
+        return
+    if validate is True or validate == "reference":
+        validate_distances(distances, graph, root)
+    elif validate == "structural":
+        from repro.core.validation import validate_sssp_structure
+
+        validate_sssp_structure(graph, root, distances).raise_if_invalid()
+    else:
+        raise ValueError(
+            f"unknown validate mode {validate!r} "
+            "(expected False, True, 'reference' or 'structural')"
+        )
 
 
 @dataclass
@@ -80,7 +111,7 @@ def solve_sssp(
     machine: MachineConfig | None = None,
     num_ranks: int = 8,
     threads_per_rank: int = 8,
-    validate: bool = False,
+    validate: bool | str = False,
     split_seed: int = 0,
 ) -> SsspResult:
     """Solve single-source shortest paths on the simulated machine.
@@ -104,8 +135,10 @@ def solve_sssp(
     num_ranks, threads_per_rank:
         Machine shape when ``machine`` is not given.
     validate:
-        Cross-check the distances against the sequential Dijkstra reference
-        (O(m log n) extra work; intended for tests and examples).
+        ``True`` (or ``"reference"``) cross-checks the distances against the
+        sequential Dijkstra reference (O(m log n) extra work; intended for
+        tests and examples); ``"structural"`` runs the O(m) structural
+        validator instead, which needs no reference solve.
     split_seed:
         Seed for the proxy-relabelling permutation of vertex splitting.
 
@@ -144,8 +177,7 @@ def solve_sssp(
     wall = time.perf_counter() - t0
 
     distances = mapping.distances_for_original(d) if mapping is not None else d
-    if validate:
-        validate_distances(distances, graph, root)
+    run_validation(distances, graph, root, validate)
 
     cost = evaluate_cost(ctx.metrics, machine)
     gteps = simulated_gteps(graph.num_undirected_edges, ctx.metrics, machine)
@@ -225,7 +257,7 @@ class BatchSolver:
         self._template_ctx = make_context(work_graph, machine, config)
         self._work_graph = self._template_ctx.graph
 
-    def solve(self, root: int, *, validate: bool = False) -> SsspResult:
+    def solve(self, root: int, *, validate: bool | str = False) -> SsspResult:
         """Solve from one root; metrics and accounting are per-call."""
         ctx = make_context(self._work_graph, self.machine, self.config)
         start_root = (
@@ -241,8 +273,7 @@ class BatchSolver:
             if self._mapping is not None
             else d
         )
-        if validate:
-            validate_distances(distances, self._original_graph, root)
+        run_validation(distances, self._original_graph, root, validate)
         cost = evaluate_cost(ctx.metrics, self.machine)
         gteps = simulated_gteps(
             self._original_graph.num_undirected_edges, ctx.metrics, self.machine
@@ -263,7 +294,7 @@ class BatchSolver:
         )
 
     def solve_many(
-        self, roots, *, validate: bool = False
+        self, roots, *, validate: bool | str = False
     ) -> list[SsspResult]:
         """Solve from every root in ``roots``."""
         return [self.solve(int(r), validate=validate) for r in roots]

@@ -21,13 +21,22 @@ from repro.graph.partition import BlockPartition
 from repro.runtime.machine import MachineConfig
 from repro.runtime.metrics import Metrics
 
-__all__ = ["Communicator", "RELAX_RECORD_BYTES", "REQUEST_RECORD_BYTES"]
+__all__ = [
+    "Communicator",
+    "RELAX_RECORD_BYTES",
+    "REQUEST_RECORD_BYTES",
+    "RECOVERY_PHASE",
+]
 
 RELAX_RECORD_BYTES = 16
 """Wire size of a relaxation record: (destination vertex, distance)."""
 
 REQUEST_RECORD_BYTES = 24
 """Wire size of a pull request: (source vertex, destination vertex, weight)."""
+
+RECOVERY_PHASE = "recovery"
+"""Phase kind charged for fault-tolerance traffic (retries, ack rounds,
+healing sweeps) so recovery overhead is separable from algorithm traffic."""
 
 
 class Communicator:
@@ -109,6 +118,28 @@ class Communicator:
             pairs = np.unique(src * p + dst)
             msgs_per_rank = np.bincount(pairs // p, minlength=p)
         self.metrics.add_exchange(msgs_per_rank, bytes_per_rank, phase_kind=phase_kind)
+
+    def retransmit(
+        self,
+        src_ranks: np.ndarray,
+        dst_ranks: np.ndarray,
+        record_bytes: int,
+    ) -> None:
+        """Account one retransmission batch of the reliable transport.
+
+        The exchange is charged under the ``recovery`` phase kind and the
+        per-run :class:`~repro.runtime.metrics.RecoveryStats` counters are
+        bumped, so the cost of fault tolerance stays separable from the
+        algorithm's own traffic. Same-rank records stay free, exactly like
+        first-attempt traffic.
+        """
+        src = np.asarray(src_ranks, dtype=np.int64)
+        dst = np.asarray(dst_ranks, dtype=np.int64)
+        self.exchange_by_rank(src, dst, record_bytes, phase_kind=RECOVERY_PHASE)
+        rec = self.metrics.recovery
+        rec.retries += 1
+        rec.retransmitted_records += int(src.size)
+        rec.retransmitted_bytes += int((src != dst).sum()) * record_bytes
 
     def allreduce(self, count: int = 1, *, phase_kind: str = "bucket") -> None:
         """Account ``count`` small allreduce operations (termination checks,

@@ -16,7 +16,7 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
-__all__ = ["ComputeKind", "StepRecord", "Metrics"]
+__all__ = ["ComputeKind", "StepRecord", "RecoveryStats", "Metrics"]
 
 
 class ComputeKind(str, enum.Enum):
@@ -79,6 +79,51 @@ class StepRecord:
 
 
 @dataclass
+class RecoveryStats:
+    """Fault-tolerance overhead counters (all zero on a fault-free run).
+
+    Filled in by the SPMD recovery layer (:mod:`repro.spmd.faults`): the
+    reliable transport reports retransmissions, the engine reports
+    checkpoints, rank restarts and self-healing sweeps.  ``events`` is the
+    deterministic fault-injection log — one ``(superstep, round, kind,
+    count)`` tuple per injected fault batch — so two runs with the same
+    :class:`~repro.spmd.faults.FaultPlan` seed can be compared exactly.
+    """
+
+    retries: int = 0
+    """Retransmission rounds issued by senders (ack-gap driven)."""
+    retransmitted_records: int = 0
+    retransmitted_bytes: int = 0
+    """Off-node bytes re-sent during recovery (the ``recovery`` phase)."""
+    recovery_supersteps: int = 0
+    """Extra ack/retry rounds appended to supersteps by the transport."""
+    checkpoints_taken: int = 0
+    rank_restarts: int = 0
+    healing_sweeps: int = 0
+    """Post-solve Bellman-Ford sweeps needed to re-validate distances."""
+    faults_injected: dict[str, int] = field(default_factory=dict)
+    """Count of injected faults by kind (loss/duplicate/reorder/delay/...)."""
+    events: list[tuple[int, int, str, int]] = field(default_factory=list)
+    """Deterministic fault log: ``(superstep, round, kind, count)``."""
+
+    def note_fault(self, superstep: int, round_: int, kind: str, count: int) -> None:
+        """Log ``count`` injected faults of ``kind`` (and tally by kind)."""
+        self.faults_injected[kind] = self.faults_injected.get(kind, 0) + count
+        self.events.append((superstep, round_, kind, count))
+
+    def summary(self) -> dict[str, int]:
+        """Flat overhead summary (merged into :meth:`Metrics.summary`)."""
+        return {
+            "retries": self.retries,
+            "resent_records": self.retransmitted_records,
+            "resent_bytes": self.retransmitted_bytes,
+            "recovery_supersteps": self.recovery_supersteps,
+            "rank_restarts": self.rank_restarts,
+            "healing_sweeps": self.healing_sweeps,
+        }
+
+
+@dataclass
 class Metrics:
     """Accumulated counters for one algorithm run."""
 
@@ -91,12 +136,15 @@ class Metrics:
     short_phases: int = 0
     long_phases: int = 0
     bf_phases: int = 0
+    recovery_phases: int = 0
     buckets_processed: int = 0
     pull_buckets: int = 0
     push_buckets: int = 0
     hybrid_switch_bucket: int = -1
     per_phase_relaxations: list[tuple[str, int]] = field(default_factory=list)
     per_bucket_stats: list[dict[str, int | str]] = field(default_factory=list)
+    recovery: RecoveryStats = field(default_factory=RecoveryStats)
+    """Fault-tolerance overhead (all zero unless faults were injected)."""
 
     # ------------------------------------------------------------------
     # Recording API (called by algorithms and the communicator)
@@ -172,6 +220,8 @@ class Metrics:
             self.long_phases += 1
         elif kind == "bf":
             self.bf_phases += 1
+        elif kind == "recovery":
+            self.recovery_phases += 1
         else:
             raise ValueError(f"unknown phase kind {kind!r}")
         self.per_phase_relaxations.append((kind, int(relaxations)))
@@ -198,12 +248,32 @@ class Metrics:
     @property
     def total_phases(self) -> int:
         """Total phases of all kinds (Fig. 3(a) metric)."""
-        return self.short_phases + self.long_phases + self.bf_phases
+        return (
+            self.short_phases
+            + self.long_phases
+            + self.bf_phases
+            + self.recovery_phases
+        )
 
     @property
     def total_bytes(self) -> int:
         """Total bytes moved across the simulated network."""
         return sum(r.bytes_total for r in self.records)
+
+    @property
+    def recovery_bytes(self) -> int:
+        """Bytes moved by the recovery layer (retries + healing sweeps)."""
+        return sum(
+            r.bytes_total for r in self.records if r.phase_kind == "recovery"
+        )
+
+    def bytes_by_phase_kind(self) -> dict[str, int]:
+        """Total bytes split by paper-level phase kind."""
+        out: dict[str, int] = {}
+        for r in self.records:
+            if r.bytes_total:
+                out[r.phase_kind] = out.get(r.phase_kind, 0) + r.bytes_total
+        return out
 
     @property
     def total_allreduces(self) -> int:
@@ -221,9 +291,12 @@ class Metrics:
             "short_phases": self.short_phases,
             "long_phases": self.long_phases,
             "bf_phases": self.bf_phases,
+            "recovery_phases": self.recovery_phases,
             "buckets": self.buckets_processed,
             "push_buckets": self.push_buckets,
             "pull_buckets": self.pull_buckets,
             "bytes": self.total_bytes,
+            "recovery_bytes": self.recovery_bytes,
             "allreduces": self.total_allreduces,
+            **self.recovery.summary(),
         }

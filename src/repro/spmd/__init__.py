@@ -14,16 +14,37 @@ implements Bellman-Ford and Δ-stepping with edge classification; the test
 suite asserts it produces bit-identical distances *and identical
 relaxation/phase/bucket counters* to the orchestrated engine, which is the
 equivalence witness for the whole simulation approach (DESIGN.md §5).
+
+Because every cross-rank byte goes through the mailbox, the SPMD engine is
+also the natural host for the fault-injection and recovery layer
+(:mod:`repro.spmd.faults`, DESIGN.md §7): a :class:`FaultPlan` drives a
+:class:`FaultyMailbox` that loses, duplicates, reorders and delays records
+or crashes whole ranks, while :class:`ReliableMailbox` plus engine-side
+checkpointing and self-healing sweeps recover the exact fault-free answer.
 """
 
-from repro.spmd.engine import spmd_bellman_ford, spmd_delta_stepping
-from repro.spmd.mailbox import Mailbox
+from repro.spmd.engine import RecoveryError, spmd_bellman_ford, spmd_delta_stepping
+from repro.spmd.faults import (
+    FaultPlan,
+    FaultyMailbox,
+    RankCrash,
+    RankStall,
+    solve_with_faults,
+)
+from repro.spmd.mailbox import Mailbox, ReliableMailbox
 from repro.spmd.state import RankState, build_rank_states
 
 __all__ = [
+    "FaultPlan",
+    "FaultyMailbox",
     "Mailbox",
+    "RankCrash",
+    "RankStall",
     "RankState",
+    "RecoveryError",
+    "ReliableMailbox",
     "build_rank_states",
+    "solve_with_faults",
     "spmd_bellman_ford",
     "spmd_delta_stepping",
 ]

@@ -14,9 +14,20 @@ The SPMD engine covers the full paper composition: edge classification,
 IOS, push *and pull* long phases (requests and responses each a mailbox
 round), the expectation decision heuristic (rank-local partial sums
 combined by allreduce), and hybridization into Bellman-Ford.
+
+Both entry points accept a :class:`~repro.spmd.faults.FaultPlan`: records
+then travel through a :class:`~repro.spmd.faults.FaultyMailbox` (reliable
+sequence/ack/retry transport over a faulty wire), rank state is
+checkpointed at epoch boundaries so a crashed rank can restart, and a
+post-solve self-healing sweep re-runs Bellman-Ford iterations until the
+structural validator accepts — sound because min-apply relaxation is
+idempotent, monotone and therefore self-stabilizing.  With ``faults=None``
+the engine byte-for-byte matches its historical fault-free behaviour.
 """
 
 from __future__ import annotations
+
+from typing import TYPE_CHECKING
 
 import numpy as np
 
@@ -24,14 +35,22 @@ from repro.core.config import SolverConfig
 from repro.core.context import ExecutionContext, make_context
 from repro.core.distances import INF
 from repro.graph.csr import CSRGraph
-from repro.runtime.comm import RELAX_RECORD_BYTES, REQUEST_RECORD_BYTES
+from repro.runtime.comm import RECOVERY_PHASE, RELAX_RECORD_BYTES, REQUEST_RECORD_BYTES
 from repro.runtime.machine import MachineConfig
 from repro.runtime.metrics import ComputeKind
 from repro.spmd.mailbox import Mailbox
 from repro.spmd.state import RankState, build_rank_states
 from repro.util.ranges import concat_ranges
 
-__all__ = ["spmd_bellman_ford", "spmd_delta_stepping"]
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.spmd.faults import FaultPlan
+
+__all__ = ["spmd_bellman_ford", "spmd_delta_stepping", "RecoveryError"]
+
+
+class RecoveryError(RuntimeError):
+    """Self-healing failed: the structural validator still rejects the
+    distances after the configured number of healing sweeps."""
 
 
 # ----------------------------------------------------------------------
@@ -104,13 +123,29 @@ def _active_scan_charge(ctx: ExecutionContext, states: list[RankState]) -> None:
 
 
 def _bf_stage(
-    ctx: ExecutionContext, states: list[RankState], mailbox: Mailbox
+    ctx: ExecutionContext,
+    states: list[RankState],
+    mailbox: Mailbox,
+    *,
+    phase_kind: str = "bf",
+    epoch_hook=None,
 ) -> None:
-    """Bellman-Ford iterations from the states' current active sets."""
+    """Bellman-Ford iterations from the states' current active sets.
+
+    ``phase_kind`` is ``"bf"`` for the algorithm's own stage and
+    ``"recovery"`` for self-healing sweeps (so their cost is charged to the
+    recovery phase).  ``epoch_hook`` is called at the top of every
+    iteration — the recovery manager uses it to take epoch checkpoints.
+    """
+    sync_kind = RECOVERY_PHASE if phase_kind == RECOVERY_PHASE else "bucket"
     while True:
-        total_active = mailbox.allreduce_sum([st.active.size for st in states])
+        total_active = mailbox.allreduce_sum(
+            [st.active.size for st in states], phase_kind=sync_kind
+        )
         if total_active == 0:
             break
+        if epoch_hook is not None:
+            epoch_hook()
         _active_scan_charge(ctx, states)
         gen: list[tuple[np.ndarray, np.ndarray | None]] = []
         for st in states:
@@ -124,19 +159,138 @@ def _bf_stage(
                     st.local_degrees(st.active).astype(np.float64),
                 )
             )
-        _charge_compute(ctx, ComputeKind.BF_RELAX, gen, phase_kind="bf")
-        inboxes = mailbox.deliver(RELAX_RECORD_BYTES, phase_kind="bf")
+        _charge_compute(ctx, ComputeKind.BF_RELAX, gen, phase_kind=phase_kind)
+        inboxes = mailbox.deliver(RELAX_RECORD_BYTES, phase_kind=phase_kind)
         all_dst = np.concatenate([box[0] for box in inboxes])
         _charge_compute(
             ctx,
             ComputeKind.BF_RELAX,
             [(all_dst, None)],
-            phase_kind="bf",
+            phase_kind=phase_kind,
             count_as_relax=True,
         )
-        ctx.metrics.note_phase("bf", int(all_dst.size))
+        ctx.metrics.note_phase(phase_kind, int(all_dst.size))
         for st, (dst, nd) in zip(states, inboxes):
             st.active = _apply_inbox(st, dst, nd)
+
+
+# ----------------------------------------------------------------------
+# Fault recovery (checkpoints, rank restart, self-healing sweep)
+# ----------------------------------------------------------------------
+def _gather_distances(states: list[RankState], num_vertices: int) -> np.ndarray:
+    d = np.empty(num_vertices, dtype=np.int64)
+    for st in states:
+        d[st.lo : st.hi] = st.d
+    return d
+
+
+class _RecoveryManager:
+    """Engine-side half of the recovery protocol.
+
+    Holds epoch-level checkpoints of every rank's :class:`RankState`
+    (distances, settled flags, active set), restores a rank from the last
+    checkpoint when the mailbox reports its crash, and runs the post-solve
+    self-healing sweep: Bellman-Ford iterations, charged to the
+    ``recovery`` phase, repeated until the structural validator accepts.
+    Restoring a checkpoint can only *raise* tentative distances (they are
+    monotone non-increasing over time), so every tentative distance remains
+    the length of a real path and the sweep's fixpoint is exactly the true
+    shortest-distance array.
+    """
+
+    def __init__(
+        self, ctx: ExecutionContext, states: list[RankState], plan: "FaultPlan"
+    ) -> None:
+        self.ctx = ctx
+        self.states = states
+        self.plan = plan
+        self._epoch = 0
+        self._snap: list[tuple[np.ndarray, np.ndarray, np.ndarray]] = []
+        self.checkpoint()
+
+    def checkpoint(self) -> None:
+        """Snapshot every rank's (d, settled, active)."""
+        self._snap = [
+            (st.d.copy(), st.settled.copy(), st.active.copy())
+            for st in self.states
+        ]
+        self.ctx.metrics.recovery.checkpoints_taken += 1
+
+    def on_epoch(self) -> None:
+        """Epoch boundary: checkpoint every ``checkpoint_interval`` epochs."""
+        if self._epoch % self.plan.checkpoint_interval == 0:
+            self.checkpoint()
+        self._epoch += 1
+
+    def restore(self, rank: int) -> None:
+        """Roll ``rank`` back to the last checkpoint (crash restart)."""
+        d, settled, active = self._snap[rank]
+        st = self.states[rank]
+        st.d[:] = d
+        st.settled[:] = settled
+        st.active = active.copy()
+        self.ctx.metrics.recovery.rank_restarts += 1
+
+    def heal(self, mailbox: Mailbox, root: int) -> None:
+        """Self-healing sweep: re-run Bellman-Ford until the structural
+        validator accepts (raises :class:`RecoveryError` if it never does).
+        """
+        from repro.core.validation import validate_sssp_structure
+
+        ctx = self.ctx
+        n = ctx.graph.num_vertices
+
+        def accepted() -> bool:
+            # One allreduce models the global validity vote.
+            ctx.comm.allreduce(1, phase_kind=RECOVERY_PHASE)
+            return validate_sssp_structure(
+                ctx.graph, root, _gather_distances(self.states, n)
+            ).valid
+
+        for _ in range(self.plan.max_healing_sweeps):
+            if accepted():
+                break
+            ctx.metrics.recovery.healing_sweeps += 1
+            for st in self.states:
+                st.active = np.nonzero(st.d < INF)[0].astype(np.int64)
+            _bf_stage(ctx, self.states, mailbox, phase_kind=RECOVERY_PHASE)
+        else:
+            report = validate_sssp_structure(
+                ctx.graph, root, _gather_distances(self.states, n)
+            )
+            if not report.valid:
+                raise RecoveryError(
+                    "self-healing did not converge after "
+                    f"{self.plan.max_healing_sweeps} sweeps: "
+                    + "; ".join(report.failures)
+                )
+        for st in self.states:
+            st.settled = st.d < INF
+
+
+def _fault_setup(
+    ctx: ExecutionContext,
+    machine: MachineConfig,
+    states: list[RankState],
+    faults: "FaultPlan | None",
+) -> tuple[Mailbox, _RecoveryManager | None]:
+    """Build the (mailbox, recovery manager) pair for a run."""
+    if faults is None:
+        return Mailbox(machine.num_ranks, ctx.comm), None
+    from repro.spmd.faults import FaultyMailbox
+
+    # The plan is machine-agnostic; rank references only resolve here.
+    for event in (*faults.crashes, *faults.stalls):
+        if event.rank >= machine.num_ranks:
+            raise ValueError(
+                f"fault plan references rank {event.rank} but the machine "
+                f"has only {machine.num_ranks} ranks"
+            )
+
+    mailbox = FaultyMailbox(machine.num_ranks, ctx.comm, faults)
+    manager = _RecoveryManager(ctx, states, faults)
+    mailbox.on_restart = manager.restore
+    return mailbox, manager
 
 
 # ----------------------------------------------------------------------
@@ -146,17 +300,28 @@ def spmd_bellman_ford(
     graph: CSRGraph,
     root: int,
     machine: MachineConfig,
+    *,
+    faults: "FaultPlan | None" = None,
 ) -> tuple[np.ndarray, ExecutionContext]:
-    """Rank-local Bellman-Ford; returns (distances, context-with-metrics)."""
+    """Rank-local Bellman-Ford; returns (distances, context-with-metrics).
+
+    With a :class:`~repro.spmd.faults.FaultPlan`, records travel through
+    the fault-injecting reliable mailbox, per-iteration checkpoints enable
+    crash restart, and the run ends with the self-healing sweep.
+    """
     config = SolverConfig(delta=2**60)
     ctx = make_context(graph, machine, config)
     states = build_rank_states(ctx.graph, ctx.partition, 2**60, root)
-    mailbox = Mailbox(machine.num_ranks, ctx.comm)
-    _bf_stage(ctx, states, mailbox)
-    d = np.empty(graph.num_vertices, dtype=np.int64)
-    for st in states:
-        d[st.lo : st.hi] = st.d
-    return d, ctx
+    mailbox, manager = _fault_setup(ctx, machine, states, faults)
+    _bf_stage(
+        ctx,
+        states,
+        mailbox,
+        epoch_hook=manager.on_epoch if manager is not None else None,
+    )
+    if manager is not None:
+        manager.heal(mailbox, root)
+    return _gather_distances(states, graph.num_vertices), ctx
 
 
 def spmd_delta_stepping(
@@ -167,6 +332,7 @@ def spmd_delta_stepping(
     delta: int = 25,
     use_ios: bool = False,
     config: SolverConfig | None = None,
+    faults: "FaultPlan | None" = None,
 ) -> tuple[np.ndarray, ExecutionContext]:
     """Rank-local Δ-stepping; returns (distances, context-with-metrics).
 
@@ -174,6 +340,12 @@ def spmd_delta_stepping(
     with the expectation decision heuristic, forced push/pull modes, and
     hybridization). The simple ``delta``/``use_ios`` keywords cover the
     baseline variants.
+
+    With a :class:`~repro.spmd.faults.FaultPlan`, records travel through
+    the fault-injecting reliable mailbox, rank state is checkpointed at
+    bucket-epoch boundaries for crash restart, and a post-solve
+    self-healing sweep guarantees the returned distances are bit-identical
+    to the fault-free run's.
     """
     if config is None:
         config = SolverConfig(delta=delta, use_ios=use_ios)
@@ -189,7 +361,7 @@ def spmd_delta_stepping(
     delta = config.delta
     ctx = make_context(graph, machine, config)
     states = build_rank_states(ctx.graph, ctx.partition, delta, root)
-    mailbox = Mailbox(machine.num_ranks, ctx.comm)
+    mailbox, manager = _fault_setup(ctx, machine, states, faults)
     bucket_ordinal = 0
 
     while True:
@@ -201,6 +373,8 @@ def spmd_delta_stepping(
         )
         if k >= INF:
             break
+        if manager is not None:
+            manager.on_epoch()
         _process_epoch_spmd(ctx, states, mailbox, int(k), bucket_ordinal)
         bucket_ordinal += 1
         if config.use_hybrid:
@@ -214,15 +388,19 @@ def spmd_delta_stepping(
                     st.active = np.nonzero(~st.settled & (st.d < INF))[0].astype(
                         np.int64
                     )
-                _bf_stage(ctx, states, mailbox)
+                _bf_stage(
+                    ctx,
+                    states,
+                    mailbox,
+                    epoch_hook=manager.on_epoch if manager is not None else None,
+                )
                 for st in states:
                     st.settled |= st.d < INF
                 break
 
-    d = np.empty(graph.num_vertices, dtype=np.int64)
-    for st in states:
-        d[st.lo : st.hi] = st.d
-    return d, ctx
+    if manager is not None:
+        manager.heal(mailbox, root)
+    return _gather_distances(states, graph.num_vertices), ctx
 
 
 # ----------------------------------------------------------------------

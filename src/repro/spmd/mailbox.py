@@ -6,15 +6,30 @@ addressed by destination rank; at the superstep boundary :meth:`deliver`
 moves them to the receivers (counting the traffic through the accounting
 communicator) and hands each rank exactly the records addressed to it.
 Nothing else crosses rank boundaries.
+
+:class:`ReliableMailbox` layers a recovery protocol on top: every record of
+a superstep carries an implicit per-channel ``(src_rank, dst_rank)``
+sequence number, receivers acknowledge what arrived, and senders retransmit
+the gaps with capped exponential backoff until the exchange is complete.
+Duplicated deliveries are discarded by sequence-number dedup, so the layer
+gives exactly-once semantics over an arbitrarily lossy/duplicating/
+reordering wire.  The wire itself is the overridable :meth:`_transmit` /
+:meth:`_release` hook pair — perfect by default (which makes this class
+bit-identical to :class:`Mailbox` in results *and* accounting), perturbed
+by :class:`repro.spmd.faults.FaultyMailbox` for fault injection.  All
+recovery traffic is charged under the ``recovery`` phase kind so the
+overhead of fault tolerance stays measurable.
 """
 
 from __future__ import annotations
 
+from typing import Callable
+
 import numpy as np
 
-from repro.runtime.comm import Communicator
+from repro.runtime.comm import RECOVERY_PHASE, Communicator
 
-__all__ = ["Mailbox"]
+__all__ = ["Mailbox", "ReliableMailbox"]
 
 
 class Mailbox:
@@ -47,6 +62,12 @@ class Mailbox:
                 raise ValueError("record columns must align with dst_ranks")
         if dst_ranks.size == 0:
             return
+        lo, hi = int(dst_ranks.min()), int(dst_ranks.max())
+        if lo < 0 or hi >= self.num_ranks:
+            bad = lo if lo < 0 else hi
+            raise ValueError(
+                f"destination rank {bad} out of range [0, {self.num_ranks})"
+            )
         order = np.argsort(dst_ranks, kind="stable")
         sorted_dst = dst_ranks[order]
         sorted_cols = [np.asarray(c)[order] for c in columns]
@@ -59,6 +80,17 @@ class Mailbox:
                 (dst, tuple(c[s:e] for c in sorted_cols))
             )
 
+    def _check_columns(self, num_columns: int) -> None:
+        """Reject malformed supersteps *before* any traffic is charged, so a
+        failed delivery never leaves the metrics half-updated."""
+        for src in range(self.num_ranks):
+            for _dst, cols in self._outbox[src]:
+                if len(cols) != num_columns:
+                    raise ValueError(
+                        f"posted {len(cols)} columns, deliver expects "
+                        f"{num_columns}"
+                    )
+
     def deliver(
         self,
         record_bytes: int,
@@ -69,6 +101,7 @@ class Mailbox:
         """Close the superstep: account the traffic and return, per receiving
         rank, the concatenated record columns addressed to it."""
         p = self.num_ranks
+        self._check_columns(num_columns)
         # Account every queued record with its true (src, dst) rank pair.
         src_list = []
         dst_list = []
@@ -95,11 +128,6 @@ class Mailbox:
         inbox: list[list[tuple[np.ndarray, ...]]] = [[] for _ in range(p)]
         for src in range(p):
             for dst, cols in self._outbox[src]:
-                if len(cols) != num_columns:
-                    raise ValueError(
-                        f"posted {len(cols)} columns, deliver expects "
-                        f"{num_columns}"
-                    )
                 inbox[dst].append(cols)
         self._outbox = [[] for _ in range(p)]
         out: list[tuple[np.ndarray, ...]] = []
@@ -117,16 +145,237 @@ class Mailbox:
                 )
         return out
 
-    def allreduce_sum(self, values: list[int | float]) -> int | float:
+    def allreduce_sum(
+        self, values: list[int | float], *, phase_kind: str = "bucket"
+    ) -> int | float:
         """Sum a per-rank scalar (counted as one allreduce)."""
         if len(values) != self.num_ranks:
             raise ValueError("need one value per rank")
-        self.comm.allreduce(1, phase_kind="bucket")
+        self.comm.allreduce(1, phase_kind=phase_kind)
         return sum(values)
 
-    def allreduce_min(self, values: list[int | float]) -> int | float:
+    def allreduce_min(
+        self, values: list[int | float], *, phase_kind: str = "bucket"
+    ) -> int | float:
         """Minimum of a per-rank scalar (counted as one allreduce)."""
         if len(values) != self.num_ranks:
             raise ValueError("need one value per rank")
-        self.comm.allreduce(1, phase_kind="bucket")
+        self.comm.allreduce(1, phase_kind=phase_kind)
         return min(values)
+
+
+class ReliableMailbox(Mailbox):
+    """Mailbox with a sequence/ack/retry reliable-transport layer.
+
+    Every :meth:`deliver` flattens the superstep's outbox into one record
+    stream; a record's index in that stream is its global id, and its rank
+    within its ``(src_rank, dst_rank)`` channel is its sequence number.  The
+    protocol then runs:
+
+    1. **First attempt** — the whole stream is handed to the wire
+       (:meth:`_transmit`) and charged exactly like a plain
+       :class:`Mailbox` exchange, under the algorithm's own phase kind.
+    2. **Ack rounds** — while any record is unacknowledged (or the wire
+       still holds delayed records), an extra *recovery superstep* runs:
+       one small allreduce models the ack exchange, delayed records due
+       this round are released (:meth:`_release`), and channels with gaps
+       retransmit their missing sequence numbers.  Retries follow capped
+       exponential backoff (``min(2^attempt, backoff_cap)`` rounds between
+       attempts); after ``max_attempts`` attempts a channel's records are
+       delivered out-of-band (the wire "heals"), which bounds recovery time
+       under arbitrarily adversarial fault plans.
+    3. **Dedup** — receivers drop any sequence number they have already
+       absorbed, so duplicated or delayed-then-retransmitted records are
+       exact no-ops.
+
+    Retransmissions and ack rounds are charged under the ``recovery`` phase
+    kind (see :meth:`repro.runtime.comm.Communicator.retransmit`); on a
+    perfect wire no recovery round ever runs and the class is bit-identical
+    to :class:`Mailbox` in both results and accounting.
+
+    ``on_restart`` is the engine-side crash hook: when the wire reports a
+    rank crash for the current superstep (:meth:`_ranks_crashing`), the
+    callback is invoked with the rank id *before* any record of the
+    superstep is handed to the engine, so the engine can roll the rank back
+    to its last checkpoint first.
+    """
+
+    def __init__(
+        self,
+        num_ranks: int,
+        comm: Communicator,
+        *,
+        max_attempts: int = 6,
+        backoff_cap: int = 4,
+        max_recovery_rounds: int = 10_000,
+    ) -> None:
+        if max_attempts < 1:
+            raise ValueError("max_attempts must be >= 1")
+        if backoff_cap < 1:
+            raise ValueError("backoff_cap must be >= 1")
+        super().__init__(num_ranks, comm)
+        self.max_attempts = max_attempts
+        self.backoff_cap = backoff_cap
+        self.max_recovery_rounds = max_recovery_rounds
+        self.on_restart: Callable[[int], None] | None = None
+        self._superstep = 0
+        self._fl_src: np.ndarray | None = None
+        self._fl_dst: np.ndarray | None = None
+
+    # ------------------------------------------------------------------
+    # Wire hooks (perfect by default; FaultyMailbox overrides them)
+    # ------------------------------------------------------------------
+    def _ranks_crashing(self, superstep: int) -> tuple[int, ...]:
+        """Ranks that crash (lose state) at this superstep."""
+        return ()
+
+    def _pre_send_mask(
+        self, superstep: int, src_ranks: np.ndarray
+    ) -> np.ndarray | None:
+        """Records that actually make it onto the wire (None = all)."""
+        return None
+
+    def _transmit(
+        self,
+        superstep: int,
+        round_: int,
+        gids: np.ndarray,
+        protect: np.ndarray | None = None,
+    ) -> np.ndarray:
+        """Push record ids through the wire; returns the ids arriving now.
+
+        ``protect`` marks records whose channel exhausted ``max_attempts``:
+        they must be delivered unconditionally.
+        """
+        return gids
+
+    def _wire_pending(self) -> bool:
+        """Whether the wire still holds delayed records."""
+        return False
+
+    def _release(self, round_: int) -> np.ndarray:
+        """Delayed record ids whose release round has come."""
+        return np.empty(0, dtype=np.int64)
+
+    # ------------------------------------------------------------------
+    def deliver(
+        self,
+        record_bytes: int,
+        *,
+        phase_kind: str = "other",
+        num_columns: int = 2,
+    ) -> list[tuple[np.ndarray, ...]]:
+        """Reliable superstep close: retries until every surviving record
+        of the exchange has been delivered exactly once."""
+        p = self.num_ranks
+        superstep = self._superstep
+        self._superstep += 1
+        self._check_columns(num_columns)
+        rec = self.comm.metrics.recovery
+
+        # Crash events fire first so the engine restores the rank's state
+        # before any record of this superstep is applied to it.
+        for rank in self._ranks_crashing(superstep):
+            rec.note_fault(superstep, 0, "crash", 1)
+            if self.on_restart is not None:
+                self.on_restart(rank)
+
+        # Flatten the outbox into one record stream (same order as the
+        # plain Mailbox concatenates batches).
+        src_parts: list[np.ndarray] = []
+        dst_parts: list[np.ndarray] = []
+        col_parts: list[list[np.ndarray]] = [[] for _ in range(num_columns)]
+        for src in range(p):
+            for dst, cols in self._outbox[src]:
+                count = cols[0].size
+                src_parts.append(np.full(count, src, dtype=np.int64))
+                dst_parts.append(np.full(count, dst, dtype=np.int64))
+                for i in range(num_columns):
+                    col_parts[i].append(cols[i])
+        self._outbox = [[] for _ in range(p)]
+        if src_parts:
+            src_arr = np.concatenate(src_parts)
+            dst_arr = np.concatenate(dst_parts)
+            cols = tuple(np.concatenate(c) for c in col_parts)
+        else:
+            src_arr = np.empty(0, dtype=np.int64)
+            dst_arr = np.empty(0, dtype=np.int64)
+            cols = tuple(np.empty(0, dtype=np.int64) for _ in range(num_columns))
+
+        # A crashed sender loses the records it had not sent yet.
+        mask = self._pre_send_mask(superstep, src_arr)
+        if mask is not None and not mask.all():
+            src_arr = src_arr[mask]
+            dst_arr = dst_arr[mask]
+            cols = tuple(c[mask] for c in cols)
+
+        # First attempt: charged as the algorithm's own traffic.
+        self.comm.exchange_by_rank(
+            src_arr, dst_arr, record_bytes, phase_kind=phase_kind
+        )
+        n = src_arr.size
+        self._fl_src, self._fl_dst = src_arr, dst_arr
+        seen = np.zeros(n, dtype=bool)
+        arrival: list[np.ndarray] = []
+
+        def absorb(gids: np.ndarray) -> None:
+            # Sequence-number dedup: keep the first arrival of each record,
+            # in wire order; later copies are exact no-ops.
+            if gids.size == 0:
+                return
+            uniq, first_pos = np.unique(gids, return_index=True)
+            fresh_pos = first_pos[~seen[uniq]]
+            if fresh_pos.size == 0:
+                return
+            fresh_pos.sort()
+            fresh = gids[fresh_pos]
+            seen[fresh] = True
+            arrival.append(fresh)
+
+        absorb(self._transmit(superstep, 0, np.arange(n, dtype=np.int64)))
+
+        # Ack/retry rounds with capped exponential backoff.
+        channel = src_arr * p + dst_arr
+        attempt = np.zeros(p * p, dtype=np.int64)
+        next_retry = np.ones(p * p, dtype=np.int64)
+        round_ = 1
+        while not seen.all() or self._wire_pending():
+            if round_ > self.max_recovery_rounds:
+                raise RuntimeError(
+                    "reliable delivery did not converge within "
+                    f"{self.max_recovery_rounds} recovery rounds"
+                )
+            rec.recovery_supersteps += 1
+            self.comm.allreduce(1, phase_kind=RECOVERY_PHASE)
+            absorb(self._release(round_))
+            missing = np.nonzero(~seen)[0]
+            if missing.size:
+                due = next_retry[channel[missing]] <= round_
+                resend = missing[due]
+                if resend.size:
+                    self.comm.retransmit(
+                        src_arr[resend], dst_arr[resend], record_bytes
+                    )
+                    ch_ids = np.unique(channel[resend])
+                    attempt[ch_ids] += 1
+                    next_retry[ch_ids] = round_ + np.minimum(
+                        1 << np.minimum(attempt[ch_ids], 30), self.backoff_cap
+                    )
+                    protect = attempt[channel[resend]] >= self.max_attempts
+                    absorb(
+                        self._transmit(superstep, round_, resend, protect=protect)
+                    )
+            round_ += 1
+        self._fl_src = self._fl_dst = None
+
+        got = np.concatenate(arrival) if arrival else np.empty(0, dtype=np.int64)
+        out: list[tuple[np.ndarray, ...]] = []
+        for dst in range(p):
+            sel = got[dst_arr[got] == dst]
+            if sel.size:
+                out.append(tuple(c[sel] for c in cols))
+            else:
+                out.append(
+                    tuple(np.empty(0, dtype=np.int64) for _ in range(num_columns))
+                )
+        return out

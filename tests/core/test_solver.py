@@ -96,6 +96,31 @@ class TestSolveSssp:
         with pytest.raises(DistanceMismatch):
             solve_sssp(rmat1_small, 3, validate=True, num_ranks=2, threads_per_rank=2)
 
+    def test_structural_validation_accepts_correct_result(self, rmat1_small):
+        res = solve_sssp(rmat1_small, 3, validate="structural",
+                         num_ranks=2, threads_per_rank=2)
+        assert res.distances[3] == 0
+
+    def test_structural_validation_raises_on_bug(self, rmat1_small, monkeypatch):
+        from repro.core import delta_stepping
+
+        original = delta_stepping.DeltaSteppingEngine.run
+
+        def broken(self, root):
+            d = original(self, root)
+            d[d.argmax()] = 1
+            return d
+
+        monkeypatch.setattr(delta_stepping.DeltaSteppingEngine, "run", broken)
+        with pytest.raises(AssertionError, match="SSSP validation failed"):
+            solve_sssp(rmat1_small, 3, validate="structural",
+                       num_ranks=2, threads_per_rank=2)
+
+    def test_unknown_validate_mode_rejected(self, rmat1_small):
+        with pytest.raises(ValueError, match="unknown validate mode"):
+            solve_sssp(rmat1_small, 3, validate="voodoo",
+                       num_ranks=2, threads_per_rank=2)
+
     def test_deterministic_metrics(self, rmat1_small):
         a = solve_sssp(rmat1_small, 3, algorithm="opt", num_ranks=4, threads_per_rank=2)
         b = solve_sssp(rmat1_small, 3, algorithm="opt", num_ranks=4, threads_per_rank=2)

@@ -42,6 +42,21 @@ class TestCommands:
         assert rc == 0
         assert "root:  5" in capsys.readouterr().out
 
+    def test_solve_structural_validation(self, capsys):
+        rc = main(["solve", "--scale", "9", "--ranks", "2", "--threads", "2",
+                   "--validate-structural"])
+        assert rc == 0
+        assert "gteps" in capsys.readouterr().out
+
+    def test_solve_with_faults(self, capsys):
+        rc = main(["solve", "--scale", "9", "--ranks", "4", "--threads", "2",
+                   "--faults", "loss=0.05,seed=3,crash=1@4",
+                   "--validate-structural"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "recovery overhead" in out
+        assert "resent_bytes" in out
+
     def test_compare_runs(self, capsys):
         rc = main(["compare", "--scale", "9", "--ranks", "2", "--threads", "2"])
         assert rc == 0
