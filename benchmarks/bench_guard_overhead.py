@@ -1,0 +1,107 @@
+"""Overhead of the defensive execution layer (DESIGN.md §8).
+
+The defense layer promises that every knob is pay-for-use: with guards
+off, no deadline and no checkpoint directory, the solver must behave
+*identically* — same distances, same metric records, same simulated
+cost. With ``paranoid`` guards on, the simulated cost must still be
+identical (guards never touch the cost model or the wire) and only the
+host-side wall time may grow. Durable checkpoints add wall time and
+disk I/O but, again, no simulated cost.
+
+This bench quantifies those three regimes side by side and asserts the
+zero-overhead claims structurally rather than by timing alone.
+"""
+
+from __future__ import annotations
+
+import functools
+import tempfile
+import time
+
+import sys
+from pathlib import Path
+
+if __package__ in (None, ""):  # standalone execution: python benchmarks/bench_*.py
+    sys.path.insert(0, str(Path(__file__).resolve().parent.parent))
+
+import numpy as np
+
+from benchmarks.common import (
+    BENCH_SCALE,
+    cached_rmat,
+    choose_root,
+    default_machine,
+    print_table,
+)
+from repro.core.solver import solve_sssp
+
+SCALE = BENCH_SCALE - 2
+NUM_RANKS = 8
+REPEATS = 3
+
+
+def _timed_solve(graph, root, machine, **kwargs):
+    best = None
+    res = None
+    for _ in range(REPEATS):
+        t0 = time.perf_counter()
+        res = solve_sssp(
+            graph, root, algorithm="opt", delta=25, machine=machine, **kwargs
+        )
+        elapsed = time.perf_counter() - t0
+        best = elapsed if best is None else min(best, elapsed)
+    return res, best
+
+
+@functools.lru_cache(maxsize=1)
+def compute_rows():
+    graph = cached_rmat(SCALE, "rmat1")
+    root = choose_root(graph, seed=3)
+    machine = default_machine(NUM_RANKS, 8)
+
+    base, base_wall = _timed_solve(graph, root, machine)
+    par, par_wall = _timed_solve(graph, root, machine, paranoid=True)
+    with tempfile.TemporaryDirectory() as ckdir:
+        ck, ck_wall = _timed_solve(graph, root, machine, checkpoint_dir=ckdir)
+
+    # Zero-overhead claims, asserted structurally.
+    for res, label in ((par, "paranoid"), (ck, "checkpointed")):
+        assert np.array_equal(base.distances, res.distances), label
+        assert base.metrics.summary() == res.metrics.summary(), label
+        assert base.cost.total_time == res.cost.total_time, label
+
+    rows = []
+    for label, res, wall in (
+        ("baseline", base, base_wall),
+        ("paranoid guards", par, par_wall),
+        ("checkpoint every epoch", ck, ck_wall),
+    ):
+        rows.append(
+            {
+                "mode": label,
+                "wall_s": wall,
+                "wall_x": wall / base_wall,
+                "sim_time_s": res.cost.total_time,
+                "guard_checks": res.guards.checks if res.guards else 0,
+                "violations": res.guards.violations if res.guards else 0,
+            }
+        )
+    return rows
+
+
+def test_guard_overhead(benchmark):
+    rows = benchmark.pedantic(compute_rows, rounds=1, iterations=1)
+    print_table(rows, "defense-layer overhead (simulated cost identical)")
+    by_mode = {row["mode"]: row for row in rows}
+    # Guards actually ran in paranoid mode and found nothing.
+    assert by_mode["paranoid guards"]["guard_checks"] > 0
+    assert by_mode["paranoid guards"]["violations"] == 0
+    # Disabled guards never execute a check.
+    assert by_mode["baseline"]["guard_checks"] == 0
+    # The simulated cost model is untouched by every defense knob.
+    sims = {row["sim_time_s"] for row in rows}
+    assert len(sims) == 1
+
+
+if __name__ == "__main__":
+    print_table(compute_rows(), "defense-layer overhead")

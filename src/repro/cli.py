@@ -85,6 +85,31 @@ def build_parser() -> argparse.ArgumentParser:
                               "engine (Δ-stepping, or Bellman-Ford with "
                               "--algorithm bellman-ford); SPEC is e.g. "
                               "'loss=0.05,dup=0.02,seed=3,crash=1@4'")
+    p_solve.add_argument("--checkpoint-dir", metavar="DIR", default=None,
+                         help="write durable epoch checkpoints to DIR "
+                              "(atomic, digest-protected); a killed solve "
+                              "can be continued with --resume")
+    p_solve.add_argument("--checkpoint-interval", type=int, default=1,
+                         help="epochs between checkpoints (default 1)")
+    p_solve.add_argument("--resume", action="store_true",
+                         help="resume from the newest valid checkpoint in "
+                              "--checkpoint-dir instead of starting over")
+    p_solve.add_argument("--deadline", type=int, metavar="N", default=None,
+                         help="superstep budget; the watchdog stops the "
+                              "solve when it is exhausted or stalled")
+    p_solve.add_argument("--stall-patience", type=int, metavar="K",
+                         default=None,
+                         help="trip the watchdog after K consecutive "
+                              "supersteps without progress")
+    p_solve.add_argument("--deadline-policy", choices=["raise", "degrade"],
+                         default="raise",
+                         help="on deadline: 'raise' a structured timeout "
+                              "with a resumable checkpoint, or 'degrade' to "
+                              "a Bellman-Ford finish (default raise)")
+    p_solve.add_argument("--paranoid", action="store_true",
+                         help="enable per-superstep runtime invariant "
+                              "guards (bucket monotonicity, settled "
+                              "finality, IOS edge conservation)")
     p_solve.add_argument("--json", metavar="PATH", default=None,
                          help="also write a JSON report to PATH ('-' = stdout)")
 
@@ -118,20 +143,41 @@ def build_parser() -> argparse.ArgumentParser:
 
 
 def _cmd_solve(args: argparse.Namespace) -> int:
+    from repro.runtime.watchdog import DeadlineConfig, SolveTimeout
+
     graph = _make_graph(args)
     root = args.root if args.root is not None else choose_root(graph, seed=args.seed)
     validate: bool | str = "structural" if args.validate_structural else args.validate
-    if args.faults is not None:
-        from repro.spmd.faults import FaultPlan, solve_with_faults
+    deadline = None
+    if args.deadline is not None or args.stall_patience is not None:
+        deadline = DeadlineConfig(
+            max_supersteps=args.deadline,
+            stall_patience=args.stall_patience,
+            policy=args.deadline_policy,
+        )
+    defense_kwargs = dict(
+        paranoid=args.paranoid,
+        checkpoint_dir=args.checkpoint_dir,
+        checkpoint_interval=args.checkpoint_interval,
+        resume=args.resume,
+        deadline=deadline,
+    )
+    try:
+        if args.faults is not None:
+            from repro.spmd.faults import FaultPlan, solve_with_faults
 
-        plan = FaultPlan.from_spec(args.faults)
-        algo = "bellman-ford" if args.algorithm == "bellman-ford" else "delta"
-        res = solve_with_faults(graph, root, plan, algorithm=algo,
-                                delta=args.delta, machine=_machine(args),
-                                validate=validate)
-    else:
-        res = solve_sssp(graph, root, algorithm=args.algorithm, delta=args.delta,
-                         machine=_machine(args), validate=validate)
+            plan = FaultPlan.from_spec(args.faults)
+            algo = "bellman-ford" if args.algorithm == "bellman-ford" else "delta"
+            res = solve_with_faults(graph, root, plan, algorithm=algo,
+                                    delta=args.delta, machine=_machine(args),
+                                    validate=validate, **defense_kwargs)
+        else:
+            res = solve_sssp(graph, root, algorithm=args.algorithm,
+                             delta=args.delta, machine=_machine(args),
+                             validate=validate, **defense_kwargs)
+    except SolveTimeout as exc:
+        print(f"solve timed out: {exc}", file=sys.stderr)
+        return 3
     print(f"graph: {graph}")
     print(f"root:  {root}")
     print(format_table([res.summary()], "result"))

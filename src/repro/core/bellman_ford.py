@@ -27,6 +27,9 @@ def bellman_ford_stage(
     ctx: ExecutionContext,
     d: np.ndarray,
     initial_active: np.ndarray,
+    *,
+    phase_kind: str = "bf",
+    epoch_hook=None,
 ) -> int:
     """Run Bellman-Ford iterations from an arbitrary starting state.
 
@@ -38,6 +41,14 @@ def bellman_ford_stage(
         Tentative distances, updated in place.
     initial_active:
         Vertices considered active in the first iteration.
+    phase_kind:
+        ``"bf"`` for the algorithm's own stage, ``"recovery"`` when the
+        stage is a watchdog degradation pass (its cost then lands in the
+        recovery accounting instead of the paper-facing phases).
+    epoch_hook:
+        Optional ``hook(active)`` called at the top of every iteration,
+        when the distance array is a consistent epoch boundary — the
+        defense layer checkpoints and the watchdog tick live here.
 
     Returns
     -------
@@ -45,13 +56,16 @@ def bellman_ford_stage(
     """
     graph = ctx.graph
     indptr, adj, weights = graph.indptr, graph.adj, graph.weights
+    sync_kind = phase_kind if phase_kind == "recovery" else "bucket"
     active = np.asarray(initial_active, dtype=np.int64)
     iterations = 0
     while True:
         # Global check whether any rank still has active vertices.
-        ctx.comm.allreduce(1, phase_kind="bucket")
+        ctx.comm.allreduce(1, phase_kind=sync_kind)
         if active.size == 0:
             break
+        if epoch_hook is not None:
+            epoch_hook(active)
         iterations += 1
         # Building the active list is a scan over last phase's changed set.
         per_rank = np.bincount(
@@ -68,14 +82,18 @@ def bellman_ford_stage(
             ComputeKind.BF_RELAX,
             active,
             (indptr[active + 1] - indptr[active]).astype(np.float64),
-            phase_kind="bf",
+            phase_kind=phase_kind,
         )
-        ctx.comm.exchange_by_vertex(src, dst, RELAX_RECORD_BYTES, phase_kind="bf")
+        ctx.comm.exchange_by_vertex(src, dst, RELAX_RECORD_BYTES,
+                                    phase_kind=phase_kind)
         ctx.charge(
-            ComputeKind.BF_RELAX, dst, None, phase_kind="bf", count_as_relax=True
+            ComputeKind.BF_RELAX, dst, None, phase_kind=phase_kind,
+            count_as_relax=True,
         )
-        ctx.metrics.note_phase("bf", dst.size)
+        ctx.metrics.note_phase(phase_kind, dst.size)
         active = apply_relaxations(d, dst, nd)
+        if ctx.guards is not None:
+            ctx.guards.after_relaxations(d)
     return iterations
 
 

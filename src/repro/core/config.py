@@ -102,6 +102,12 @@ class SolverConfig:
     """Collect the exact per-bucket self/backward/forward edge census and
     pull request/response counts of Fig. 7 (costs one extra adjacency sweep
     per bucket; off by default)."""
+    paranoid: bool = False
+    """Enable runtime invariant guards (:mod:`repro.runtime.guards`):
+    per-superstep checks of bucket monotonicity, settled finality, IOS edge
+    conservation and recovery-traffic separation. Off by default; every
+    engine hook site is gated on the guards object, so a non-paranoid run
+    executes no extra work and charges no extra accounting."""
 
     def __post_init__(self) -> None:
         if self.delta < 1:

@@ -22,6 +22,7 @@ from repro.graph.partition import (
     DegreeBalancedPartition,
 )
 from repro.runtime.comm import Communicator
+from repro.runtime.guards import InvariantGuards
 from repro.runtime.machine import MachineConfig
 from repro.runtime.metrics import ComputeKind, Metrics
 from repro.runtime.work import thread_work, thread_work_balanced
@@ -52,6 +53,10 @@ class ExecutionContext:
     """Intra-node heaviness threshold π in work units (inf = LB disabled)."""
     weight_histogram: WeightHistogram | None = None
     """Per-vertex weight histograms (built only for the histogram estimator)."""
+    guards: InvariantGuards | None = None
+    """Runtime invariant monitors, present only under ``config.paranoid``.
+    Every engine hook site is gated on ``ctx.guards is not None``, so the
+    disabled path costs nothing and perturbs no accounting."""
 
     # ------------------------------------------------------------------
     # In-edge views (pull model): identical to the forward views on
@@ -181,6 +186,11 @@ def make_context(
     if config.use_pruning and config.pushpull_estimator == "histogram":
         hist_source = reverse_graph if reverse_graph is not None else sorted_graph
         histogram = build_weight_histogram(hist_source, config.histogram_bins)
+    guards = (
+        InvariantGuards(sorted_graph.num_vertices, delta)
+        if config.paranoid
+        else None
+    )
     return ExecutionContext(
         graph=sorted_graph,
         partition=partition,
@@ -195,4 +205,5 @@ def make_context(
         reverse_graph=reverse_graph,
         reverse_short_offsets=rev_short,
         reverse_long_degrees=rev_long,
+        guards=guards,
     )

@@ -32,6 +32,12 @@ from repro.core.pushpull import decide_mode
 from repro.core.relax import apply_relaxations
 from repro.runtime.comm import RELAX_RECORD_BYTES
 from repro.runtime.metrics import ComputeKind
+from repro.runtime.watchdog import (
+    DeadlineConfig,
+    DeadlineExceeded,
+    SolveTimeout,
+    Watchdog,
+)
 from repro.util.ranges import concat_ranges
 
 __all__ = ["DeltaSteppingEngine", "run_delta_stepping"]
@@ -44,37 +50,182 @@ class DeltaSteppingEngine:
         self.ctx = ctx
 
     # ------------------------------------------------------------------
-    def run(self, root: int) -> np.ndarray:
-        """Solve SSSP from ``root``; returns the distance array."""
+    def run(
+        self,
+        root: int,
+        *,
+        checkpoint_dir=None,
+        checkpoint_interval: int = 1,
+        checkpoint_keep: int = 3,
+        resume: bool = False,
+        deadline: DeadlineConfig | None = None,
+    ) -> np.ndarray:
+        """Solve SSSP from ``root``; returns the distance array.
+
+        ``checkpoint_dir`` enables durable epoch checkpoints (every
+        ``checkpoint_interval`` epochs, newest ``checkpoint_keep`` kept);
+        with ``resume`` the newest valid checkpoint of the same graph/run
+        is loaded and the solve continues from it. ``deadline`` bounds the
+        solve (see :class:`~repro.runtime.watchdog.DeadlineConfig`): on a
+        trip the ``raise`` policy writes a final resumable checkpoint and
+        raises :class:`~repro.runtime.watchdog.SolveTimeout`; the
+        ``degrade`` policy collapses the remaining buckets into one
+        Bellman-Ford pass (charged to the recovery phase) and returns
+        correct distances.
+        """
         ctx = self.ctx
         cfg = ctx.config
         n = ctx.graph.num_vertices
+
+        ckpt_mgr = None
+        if checkpoint_dir is not None:
+            # Lazy import: spmd.checkpoint has no core dependencies, but
+            # importing the spmd package at module scope would cycle.
+            from repro.spmd.checkpoint import CheckpointManager
+
+            ckpt_mgr = CheckpointManager(
+                checkpoint_dir,
+                graph=ctx.graph,
+                config=cfg,
+                machine=ctx.machine,
+                root=root,
+                engine="core-delta",
+                interval=checkpoint_interval,
+                keep=checkpoint_keep,
+            )
+        watchdog = (
+            Watchdog(deadline)
+            if deadline is not None and deadline.enabled
+            else None
+        )
+
         d = init_distances(n, root)
-        if cfg.is_bellman_ford:
-            bellman_ford_stage(ctx, d, np.array([root], dtype=np.int64))
-            return d
         settled = np.zeros(n, dtype=bool)
         bucket_ordinal = 0
-        while True:
-            # Next non-empty bucket: every rank scans its unsettled vertices
-            # for the minimum tentative distance, then one allreduce.
-            ctx.scan_all_ranks(int((~settled).sum()))
-            ctx.comm.allreduce(1, phase_kind="bucket")
-            k = next_bucket(d, settled, cfg.delta)
-            if k == NO_BUCKET:
-                break
-            self._process_epoch(d, settled, k, bucket_ordinal)
-            bucket_ordinal += 1
-            if cfg.use_hybrid:
-                # Settled-fraction aggregate for the switch decision.
-                ctx.comm.allreduce(1, phase_kind="bucket")
-                if should_switch(settled, cfg.tau):
-                    ctx.metrics.hybrid_switch_bucket = k
-                    remaining = np.nonzero(~settled & (d < INF))[0].astype(np.int64)
-                    bellman_ford_stage(ctx, d, remaining)
-                    settled |= d < INF
-                    break
+        epoch = 0
+        stage = "bucket"
+        start_active: np.ndarray | None = None
+
+        start_ckpt = (
+            ckpt_mgr.load_resume() if (ckpt_mgr is not None and resume) else None
+        )
+        if start_ckpt is not None:
+            d = start_ckpt.d.copy()
+            settled = start_ckpt.settled.copy()
+            bucket_ordinal = start_ckpt.bucket_ordinal
+            epoch = start_ckpt.epoch
+            stage = start_ckpt.stage
+            start_active = start_ckpt.active.copy()
+            ctx.metrics.hybrid_switch_bucket = start_ckpt.hybrid_switch_bucket
+
+        def checkpoint_now(stage_name: str, active, *, force: bool = False):
+            if ckpt_mgr is None:
+                return None
+            kwargs = dict(
+                epoch=epoch,
+                stage=stage_name,
+                bucket_ordinal=bucket_ordinal,
+                superstep=0,
+                d=d,
+                settled=settled,
+                active=np.asarray(active, dtype=np.int64),
+                hybrid_switch_bucket=ctx.metrics.hybrid_switch_bucket,
+            )
+            return ckpt_mgr.save(**kwargs) if force else ckpt_mgr.maybe_save(**kwargs)
+
+        def tick() -> None:
+            if watchdog is not None:
+                watchdog.note_epoch(
+                    settled_total=int(settled.sum()),
+                    relaxations=ctx.metrics.total_relaxations,
+                )
+
+        def bf_hook(active: np.ndarray) -> None:
+            nonlocal epoch
+            epoch += 1
+            checkpoint_now("bf", active)
+            tick()
+
+        hook = bf_hook if (ckpt_mgr is not None or watchdog is not None) else None
+
+        try:
+            if cfg.is_bellman_ford:
+                initial = (
+                    start_active
+                    if stage == "bf" and start_active is not None
+                    else np.array([root], dtype=np.int64)
+                )
+                bellman_ford_stage(ctx, d, initial, epoch_hook=hook)
+            elif stage == "bf":
+                # Resume directly into the hybrid Bellman-Ford tail.
+                bellman_ford_stage(ctx, d, start_active, epoch_hook=hook)
+                settled |= d < INF
+            else:
+                while True:
+                    # Next non-empty bucket: every rank scans its unsettled
+                    # vertices for the minimum tentative distance, then one
+                    # allreduce.
+                    ctx.scan_all_ranks(int((~settled).sum()))
+                    ctx.comm.allreduce(1, phase_kind="bucket")
+                    k = next_bucket(d, settled, cfg.delta)
+                    if k == NO_BUCKET:
+                        break
+                    self._process_epoch(d, settled, k, bucket_ordinal)
+                    bucket_ordinal += 1
+                    epoch += 1
+                    if cfg.use_hybrid:
+                        # Settled-fraction aggregate for the switch decision.
+                        ctx.comm.allreduce(1, phase_kind="bucket")
+                        if should_switch(settled, cfg.tau):
+                            ctx.metrics.hybrid_switch_bucket = k
+                            remaining = np.nonzero(~settled & (d < INF))[
+                                0
+                            ].astype(np.int64)
+                            checkpoint_now("bf", remaining)
+                            tick()
+                            bellman_ford_stage(ctx, d, remaining, epoch_hook=hook)
+                            settled |= d < INF
+                            break
+                    checkpoint_now("bucket", np.empty(0, np.int64))
+                    tick()
+        except DeadlineExceeded as exc:
+            self._resolve_deadline(
+                exc, deadline, d, settled, watchdog, checkpoint_now
+            )
+        if ctx.guards is not None:
+            ctx.guards.check_final(d, root)
+            ctx.guards.check_recovery_separation(
+                ctx.metrics, allowed=ctx.metrics.degraded_to_bf
+            )
         return d
+
+    # ------------------------------------------------------------------
+    def _resolve_deadline(
+        self, exc, deadline, d, settled, watchdog, checkpoint_now
+    ) -> None:
+        """Apply the deadline policy after the watchdog tripped."""
+        ctx = self.ctx
+        if deadline.policy == "degrade":
+            # Every tentative distance is the length of a real path, so a
+            # Bellman-Ford fixpoint from the finite set recovers the exact
+            # shortest distances — the paper's own hybridization machinery,
+            # charged to the recovery phase.
+            ctx.metrics.degraded_to_bf = True
+            finite = np.nonzero(d < INF)[0].astype(np.int64)
+            bellman_ford_stage(ctx, d, finite, phase_kind="recovery")
+            settled[:] = d < INF
+            return
+        finite = np.nonzero(d < INF)[0].astype(np.int64)
+        # A stage="bf" checkpoint over the finite set is always resumable:
+        # re-running Bellman-Ford from it converges to the exact answer.
+        path = checkpoint_now("bf", finite, force=True)
+        raise SolveTimeout(
+            exc.reason,
+            distances=d.copy(),
+            epochs_completed=watchdog.epochs,
+            supersteps=watchdog.supersteps,
+            checkpoint_path=path,
+        ) from exc
 
     # ------------------------------------------------------------------
     def _short_phase(self, d: np.ndarray, active: np.ndarray, k: int) -> np.ndarray:
@@ -96,6 +247,9 @@ class DeltaSteppingEngine:
             # inside the current bucket; outer short arcs wait for the long
             # phase.
             inner = nd < hi
+            if ctx.guards is not None:
+                ctx.guards.check_ios_coverage(int(arcs.size), int(nd.size))
+                ctx.guards.check_ios_partition(nd, hi, inner)
             src, dst, nd = src[inner], dst[inner], nd[inner]
         ctx.charge(ComputeKind.SHORT_RELAX, active, scanned, phase_kind="short")
         ctx.comm.exchange_by_vertex(src, dst, RELAX_RECORD_BYTES, phase_kind="short")
@@ -103,7 +257,10 @@ class DeltaSteppingEngine:
             ComputeKind.SHORT_RELAX, dst, None, phase_kind="short", count_as_relax=True
         )
         ctx.metrics.note_phase("short", dst.size)
-        return apply_relaxations(d, dst, nd)
+        changed = apply_relaxations(d, dst, nd)
+        if ctx.guards is not None:
+            ctx.guards.after_relaxations(d)
+        return changed
 
     # ------------------------------------------------------------------
     def _process_epoch(
@@ -115,6 +272,8 @@ class DeltaSteppingEngine:
         delta = cfg.delta
         lo = k * delta
         hi = lo + delta
+        if ctx.guards is not None:
+            ctx.guards.on_bucket_start(k)
 
         # Epoch start: identify the bucket members (scan of unsettled set).
         ctx.scan_all_ranks(int((~settled).sum()))
@@ -140,6 +299,8 @@ class DeltaSteppingEngine:
         # --- Settle the bucket.
         members = bucket_members(d, settled, k, delta)
         settled[members] = True
+        if ctx.guards is not None:
+            ctx.guards.check_settled(d, settled)
 
         stats: dict[str, int | str] = {}
         if cfg.collect_census:
@@ -151,6 +312,8 @@ class DeltaSteppingEngine:
             _, phase_stats = long_phase_push(ctx, d, members, k)
         else:
             _, phase_stats = long_phase_pull(ctx, d, settled, members, k)
+        if ctx.guards is not None:
+            ctx.guards.after_relaxations(d)
         stats.update(phase_stats)
         stats["bucket"] = k
         stats["members"] = int(members.size)

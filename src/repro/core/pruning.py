@@ -99,6 +99,9 @@ def gather_push_records(
         s_dst = adj[s_arcs]
         s_nd = d[s_src] + weights[s_arcs]
         outer = s_nd >= hi
+        if ctx.guards is not None:
+            ctx.guards.check_ios_coverage(int(s_arcs.size), int(s_nd.size))
+            ctx.guards.check_ios_partition(s_nd, hi, ~outer)
         src = np.concatenate([src, s_src[outer]])
         dst = np.concatenate([dst, s_dst[outer]])
         nd = np.concatenate([nd, s_nd[outer]])

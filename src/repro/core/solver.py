@@ -26,6 +26,17 @@ from repro.runtime.metrics import Metrics
 __all__ = ["SsspResult", "run_validation", "solve_sssp", "BatchSolver"]
 
 
+def _validate_root(root: int, num_vertices: int) -> int:
+    """Reject out-of-range roots with a clear error; returns ``int(root)``."""
+    root = int(root)
+    if not 0 <= root < num_vertices:
+        raise ValueError(
+            f"root {root} out of range for a graph with "
+            f"{num_vertices} vertices (valid: 0 <= root < {num_vertices})"
+        )
+    return root
+
+
 def run_validation(
     distances: np.ndarray,
     graph: CSRGraph,
@@ -78,6 +89,8 @@ class SsspResult:
     num_edges: int
     wall_time_s: float
     num_proxies: int = 0
+    #: populated when the solve ran with ``paranoid`` invariant guards
+    guards: object | None = None
 
     @property
     def num_reached(self) -> int:
@@ -113,6 +126,11 @@ def solve_sssp(
     threads_per_rank: int = 8,
     validate: bool | str = False,
     split_seed: int = 0,
+    paranoid: bool = False,
+    checkpoint_dir=None,
+    checkpoint_interval: int = 1,
+    resume: bool = False,
+    deadline=None,
 ) -> SsspResult:
     """Solve single-source shortest paths on the simulated machine.
 
@@ -141,16 +159,37 @@ def solve_sssp(
         validator instead, which needs no reference solve.
     split_seed:
         Seed for the proxy-relabelling permutation of vertex splitting.
+    paranoid:
+        Enable the runtime invariant guards
+        (:class:`~repro.runtime.guards.InvariantGuards`) for this solve.
+    checkpoint_dir:
+        Directory for durable epoch checkpoints (created and write-probed
+        up front); ``None`` disables checkpointing.
+    checkpoint_interval:
+        Save a checkpoint every this many epochs.
+    resume:
+        Restart from the newest valid checkpoint in ``checkpoint_dir``
+        instead of from scratch; the resumed run is distance-identical.
+    deadline:
+        Optional :class:`~repro.runtime.watchdog.DeadlineConfig` arming
+        the superstep-budget/stall watchdog.
 
     Returns
     -------
     :class:`SsspResult`
     """
+    root = _validate_root(root, graph.num_vertices)
     if config is None:
         config = preset(algorithm, delta)
         name = f"{algorithm}-{delta}" if algorithm not in ("bellman-ford",) else algorithm
     else:
         name = algorithm
+    if paranoid and not config.paranoid:
+        config = config.evolve(paranoid=True)
+    if checkpoint_dir is not None:
+        from repro.spmd.checkpoint import ensure_checkpoint_dir
+
+        ensure_checkpoint_dir(checkpoint_dir)
     if machine is None:
         machine = MachineConfig(num_ranks=num_ranks, threads_per_rank=threads_per_rank)
 
@@ -173,7 +212,13 @@ def solve_sssp(
     )
     t0 = time.perf_counter()
     engine = DeltaSteppingEngine(ctx)
-    d = engine.run(start_root)
+    d = engine.run(
+        start_root,
+        checkpoint_dir=checkpoint_dir,
+        checkpoint_interval=checkpoint_interval,
+        resume=resume,
+        deadline=deadline,
+    )
     wall = time.perf_counter() - t0
 
     distances = mapping.distances_for_original(d) if mapping is not None else d
@@ -194,6 +239,7 @@ def solve_sssp(
         num_edges=graph.num_undirected_edges,
         wall_time_s=wall,
         num_proxies=num_proxies,
+        guards=ctx.guards,
     )
 
 
@@ -259,6 +305,7 @@ class BatchSolver:
 
     def solve(self, root: int, *, validate: bool | str = False) -> SsspResult:
         """Solve from one root; metrics and accounting are per-call."""
+        root = _validate_root(root, self._original_graph.num_vertices)
         ctx = make_context(self._work_graph, self.machine, self.config)
         start_root = (
             int(self._mapping.new_id_of_original[root])
@@ -291,6 +338,7 @@ class BatchSolver:
             num_edges=self._original_graph.num_undirected_edges,
             wall_time_s=wall,
             num_proxies=self.num_proxies,
+            guards=ctx.guards,
         )
 
     def solve_many(

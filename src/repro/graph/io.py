@@ -27,15 +27,72 @@ def save_npz(graph: CSRGraph, path: str | Path) -> None:
     )
 
 
-def load_npz(path: str | Path) -> CSRGraph:
-    """Load a graph previously saved with :func:`save_npz`."""
-    with np.load(Path(path)) as data:
-        return CSRGraph(
-            indptr=data["indptr"],
-            adj=data["adj"],
-            weights=data["weights"],
-            undirected=bool(data["undirected"][0]),
+def _validate_csr_arrays(
+    indptr: np.ndarray, adj: np.ndarray, weights: np.ndarray, origin: str
+) -> None:
+    """Reject structurally broken CSR arrays with a clear error."""
+    if indptr.ndim != 1 or indptr.size < 1:
+        raise ValueError(f"{origin}: indptr must be a 1-d array of size >= 1")
+    n = indptr.size - 1
+    if indptr[0] != 0:
+        raise ValueError(f"{origin}: indptr[0] must be 0, got {indptr[0]}")
+    if np.any(np.diff(indptr) < 0):
+        raise ValueError(f"{origin}: indptr must be non-decreasing")
+    if int(indptr[-1]) != adj.size:
+        raise ValueError(
+            f"{origin}: indptr is inconsistent with the adjacency array "
+            f"(indptr[-1]={int(indptr[-1])}, {adj.size} arcs)"
         )
+    if adj.size != weights.size:
+        raise ValueError(
+            f"{origin}: adjacency and weight arrays differ in length "
+            f"({adj.size} vs {weights.size})"
+        )
+    if adj.size and (adj.min() < 0 or adj.max() >= n):
+        raise ValueError(
+            f"{origin}: arc endpoints out of range for {n} vertices "
+            f"(min {int(adj.min())}, max {int(adj.max())})"
+        )
+    if weights.size and weights.min() < 0:
+        raise ValueError(
+            f"{origin}: negative edge weight {int(weights.min())} "
+            "(shortest-path algorithms here require non-negative weights)"
+        )
+
+
+def load_npz(path: str | Path) -> CSRGraph:
+    """Load a graph previously saved with :func:`save_npz`.
+
+    Raises ``ValueError`` when the archive is missing one of the required
+    keys (``indptr``/``adj``/``weights``/``undirected``) or its arrays are
+    inconsistent (bad ``indptr``, out-of-range endpoints, negative
+    weights).
+    """
+    path = Path(path)
+    with np.load(path, allow_pickle=False) as data:
+        missing = [
+            key
+            for key in ("indptr", "adj", "weights", "undirected")
+            if key not in data.files
+        ]
+        if missing:
+            raise ValueError(
+                f"{path}: not a graph archive — missing keys {missing} "
+                f"(found {sorted(data.files)})"
+            )
+        indptr = data["indptr"]
+        adj = data["adj"]
+        weights = data["weights"]
+        undirected = data["undirected"]
+    _validate_csr_arrays(indptr, adj, weights, str(path))
+    if undirected.size != 1:
+        raise ValueError(f"{path}: malformed 'undirected' flag")
+    return CSRGraph(
+        indptr=indptr,
+        adj=adj,
+        weights=weights,
+        undirected=bool(undirected[0]),
+    )
 
 
 def write_edge_list(graph: CSRGraph, path: str | Path) -> int:
@@ -53,14 +110,39 @@ def write_edge_list(graph: CSRGraph, path: str | Path) -> int:
 
 
 def read_edge_list(path: str | Path, num_vertices: int | None = None) -> CSRGraph:
-    """Read an undirected ``tail head weight`` edge-list file."""
-    arr = np.loadtxt(Path(path), dtype=np.int64, ndmin=2)
+    """Read an undirected ``tail head weight`` edge-list file.
+
+    Raises ``ValueError`` on malformed rows, negative endpoints or weights,
+    and endpoints outside ``[0, num_vertices)`` when ``num_vertices`` is
+    given.
+    """
+    path = Path(path)
+    arr = np.loadtxt(path, dtype=np.int64, ndmin=2)
     if arr.size == 0:
         tails = heads = weights = np.empty(0, dtype=np.int64)
     else:
         if arr.shape[1] != 3:
-            raise ValueError("edge list must have three columns: tail head weight")
+            raise ValueError(
+                f"{path}: edge list must have three columns: tail head weight "
+                f"(got {arr.shape[1]})"
+            )
         tails, heads, weights = arr[:, 0], arr[:, 1], arr[:, 2]
+    if tails.size:
+        endpoints_min = int(min(tails.min(), heads.min()))
+        if endpoints_min < 0:
+            raise ValueError(f"{path}: negative vertex id {endpoints_min}")
+        if weights.min() < 0:
+            raise ValueError(
+                f"{path}: negative edge weight {int(weights.min())} "
+                "(shortest-path algorithms here require non-negative weights)"
+            )
     if num_vertices is None:
         num_vertices = int(max(tails.max(initial=-1), heads.max(initial=-1)) + 1)
+    elif tails.size:
+        endpoints_max = int(max(tails.max(), heads.max()))
+        if endpoints_max >= num_vertices:
+            raise ValueError(
+                f"{path}: endpoint {endpoints_max} out of range for "
+                f"{num_vertices} vertices"
+            )
     return from_undirected_edges(tails, heads, weights, num_vertices)

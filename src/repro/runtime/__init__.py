@@ -22,8 +22,14 @@ from repro.runtime.calibration import (
 )
 from repro.runtime.comm import Communicator
 from repro.runtime.costmodel import CostBreakdown, evaluate_cost, simulated_gteps
+from repro.runtime.guards import GuardViolation, InvariantGuards
 from repro.runtime.machine import BGQ_LIKE, MachineConfig
 from repro.runtime.metrics import ComputeKind, Metrics, StepRecord
+from repro.runtime.watchdog import (
+    DeadlineConfig,
+    SolveTimeout,
+    Watchdog,
+)
 
 __all__ = [
     "BGQ_LIKE",
@@ -31,6 +37,11 @@ __all__ = [
     "ComputeKind",
     "CostBreakdown",
     "CostCoefficients",
+    "DeadlineConfig",
+    "GuardViolation",
+    "InvariantGuards",
+    "SolveTimeout",
+    "Watchdog",
     "calibrate",
     "cost_coefficients",
     "retime",

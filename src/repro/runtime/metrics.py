@@ -141,6 +141,10 @@ class Metrics:
     pull_buckets: int = 0
     push_buckets: int = 0
     hybrid_switch_bucket: int = -1
+    degraded_to_bf: bool = False
+    """True when the watchdog's ``degrade`` policy collapsed the remaining
+    buckets into a final Bellman-Ford pass (deliberately not part of
+    :meth:`summary` — a degraded run's counters are not comparable rows)."""
     per_phase_relaxations: list[tuple[str, int]] = field(default_factory=list)
     per_bucket_stats: list[dict[str, int | str]] = field(default_factory=list)
     recovery: RecoveryStats = field(default_factory=RecoveryStats)

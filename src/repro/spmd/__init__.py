@@ -23,6 +23,15 @@ or crashes whole ranks, while :class:`ReliableMailbox` plus engine-side
 checkpointing and self-healing sweeps recover the exact fault-free answer.
 """
 
+from repro.spmd.checkpoint import (
+    CheckpointError,
+    CheckpointManager,
+    SolveCheckpoint,
+    ensure_checkpoint_dir,
+    latest_checkpoint,
+    load_checkpoint,
+    save_checkpoint,
+)
 from repro.spmd.engine import RecoveryError, spmd_bellman_ford, spmd_delta_stepping
 from repro.spmd.faults import (
     FaultPlan,
@@ -35,6 +44,8 @@ from repro.spmd.mailbox import Mailbox, ReliableMailbox
 from repro.spmd.state import RankState, build_rank_states
 
 __all__ = [
+    "CheckpointError",
+    "CheckpointManager",
     "FaultPlan",
     "FaultyMailbox",
     "Mailbox",
@@ -43,7 +54,12 @@ __all__ = [
     "RankState",
     "RecoveryError",
     "ReliableMailbox",
+    "SolveCheckpoint",
     "build_rank_states",
+    "ensure_checkpoint_dir",
+    "latest_checkpoint",
+    "load_checkpoint",
+    "save_checkpoint",
     "solve_with_faults",
     "spmd_bellman_ford",
     "spmd_delta_stepping",

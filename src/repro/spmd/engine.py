@@ -38,6 +38,13 @@ from repro.graph.csr import CSRGraph
 from repro.runtime.comm import RECOVERY_PHASE, RELAX_RECORD_BYTES, REQUEST_RECORD_BYTES
 from repro.runtime.machine import MachineConfig
 from repro.runtime.metrics import ComputeKind
+from repro.runtime.watchdog import (
+    DeadlineConfig,
+    DeadlineExceeded,
+    SolveTimeout,
+    Watchdog,
+)
+from repro.spmd.checkpoint import CheckpointManager
 from repro.spmd.mailbox import Mailbox
 from repro.spmd.state import RankState, build_rank_states
 from repro.util.ranges import concat_ranges
@@ -172,6 +179,10 @@ def _bf_stage(
         ctx.metrics.note_phase(phase_kind, int(all_dst.size))
         for st, (dst, nd) in zip(states, inboxes):
             st.active = _apply_inbox(st, dst, nd)
+        if ctx.guards is not None:
+            ctx.guards.after_relaxations(
+                _gather_distances(states, ctx.graph.num_vertices)
+            )
 
 
 # ----------------------------------------------------------------------
@@ -182,6 +193,186 @@ def _gather_distances(states: list[RankState], num_vertices: int) -> np.ndarray:
     for st in states:
         d[st.lo : st.hi] = st.d
     return d
+
+
+def _gather_settled(states: list[RankState], num_vertices: int) -> np.ndarray:
+    settled = np.empty(num_vertices, dtype=bool)
+    for st in states:
+        settled[st.lo : st.hi] = st.settled
+    return settled
+
+
+def _restore_states(states: list[RankState], ckpt) -> None:
+    """Scatter a durable checkpoint's global arrays back into rank slices."""
+    for st in states:
+        st.d[:] = ckpt.d[st.lo : st.hi]
+        st.settled[:] = ckpt.settled[st.lo : st.hi]
+        sel = (ckpt.active >= st.lo) & (ckpt.active < st.hi)
+        st.active = (ckpt.active[sel] - st.lo).astype(np.int64)
+
+
+def _chain(*hooks):
+    """Compose no-arg epoch hooks; None entries are dropped."""
+    live = [h for h in hooks if h is not None]
+    if not live:
+        return None
+    if len(live) == 1:
+        return live[0]
+
+    def hook() -> None:
+        for h in live:
+            h()
+
+    return hook
+
+
+class _Defense:
+    """Durable checkpoints + deadline watchdog wiring for one SPMD solve.
+
+    Owns the whole defensive-layer state: the
+    :class:`~repro.spmd.checkpoint.CheckpointManager` (when a directory was
+    given), the :class:`~repro.runtime.watchdog.Watchdog` (when a deadline
+    was given, also attached to the mailbox so recovery rounds burn
+    budget), the epoch counter and the loop-stage marker, and — on
+    ``resume`` — the restoration of rank state, bucket ordinal, hybrid
+    marker and mailbox superstep from the newest valid checkpoint.
+    """
+
+    def __init__(
+        self,
+        ctx: ExecutionContext,
+        states: list[RankState],
+        mailbox: Mailbox,
+        root: int,
+        engine: str,
+        *,
+        checkpoint_dir=None,
+        checkpoint_interval: int = 1,
+        checkpoint_keep: int = 3,
+        resume: bool = False,
+        deadline: DeadlineConfig | None = None,
+    ) -> None:
+        self.ctx = ctx
+        self.states = states
+        self.mailbox = mailbox
+        self.epoch = 0
+        self.stage = "bucket"
+        self.bucket_ordinal = 0
+        self.mgr = None
+        if checkpoint_dir is not None:
+            self.mgr = CheckpointManager(
+                checkpoint_dir,
+                graph=ctx.graph,
+                config=ctx.config,
+                machine=ctx.machine,
+                root=root,
+                engine=engine,
+                interval=checkpoint_interval,
+                keep=checkpoint_keep,
+            )
+        self.watchdog = None
+        if deadline is not None and deadline.enabled:
+            self.watchdog = Watchdog(deadline)
+            mailbox.watchdog = self.watchdog
+        self.start = (
+            self.mgr.load_resume() if (self.mgr is not None and resume) else None
+        )
+        if self.start is not None:
+            _restore_states(states, self.start)
+            self.epoch = self.start.epoch
+            self.stage = self.start.stage
+            self.bucket_ordinal = self.start.bucket_ordinal
+            ctx.metrics.hybrid_switch_bucket = self.start.hybrid_switch_bucket
+            fast_forward = getattr(mailbox, "fast_forward", None)
+            if fast_forward is not None:
+                # Fault-plan events are pinned to absolute supersteps; do
+                # not replay the ones the checkpointed run already survived.
+                fast_forward(self.start.superstep)
+
+    @property
+    def enabled(self) -> bool:
+        return self.mgr is not None or self.watchdog is not None
+
+    # ------------------------------------------------------------------
+    def checkpoint(self, *, force: bool = False):
+        if self.mgr is None:
+            return None
+        n = self.ctx.graph.num_vertices
+        kwargs = dict(
+            epoch=self.epoch,
+            stage=self.stage,
+            bucket_ordinal=self.bucket_ordinal,
+            superstep=getattr(self.mailbox, "superstep", 0),
+            d=_gather_distances(self.states, n),
+            settled=_gather_settled(self.states, n),
+            active=np.concatenate(
+                [st.to_global(st.active) for st in self.states]
+            ),
+            hybrid_switch_bucket=self.ctx.metrics.hybrid_switch_bucket,
+        )
+        return self.mgr.save(**kwargs) if force else self.mgr.maybe_save(**kwargs)
+
+    def tick(self) -> None:
+        if self.watchdog is not None:
+            self.watchdog.note_epoch(
+                settled_total=sum(int(st.settled.sum()) for st in self.states),
+                relaxations=self.ctx.metrics.total_relaxations,
+            )
+
+    def on_epoch(self) -> None:
+        """Epoch boundary: bump, checkpoint on cadence, tick the watchdog."""
+        self.epoch += 1
+        self.checkpoint()
+        self.tick()
+
+    def bf_hook(self) -> None:
+        """Epoch hook for Bellman-Ford stages (marks the stage durable)."""
+        self.stage = "bf"
+        self.on_epoch()
+
+
+def _resolve_deadline_spmd(
+    ctx: ExecutionContext,
+    states: list[RankState],
+    root: int,
+    defense: _Defense,
+    deadline: DeadlineConfig,
+    exc: DeadlineExceeded,
+) -> None:
+    """Apply the deadline policy after the watchdog tripped mid-solve.
+
+    The trip may have happened *inside* a reliable delivery (retry storm):
+    at that point the superstep's records have not been applied, so every
+    rank's tentative distances are still lengths of real paths. Both
+    resolutions build on that: ``degrade`` abandons the (possibly storming)
+    mailbox, runs a Bellman-Ford fixpoint over a fresh perfect mailbox —
+    charged to the recovery phase — and returns exact distances;
+    ``raise`` persists a ``stage="bf"`` checkpoint over the finite set
+    (always resumable to the exact answer) and raises the structured
+    :class:`~repro.runtime.watchdog.SolveTimeout`.
+    """
+    n = ctx.graph.num_vertices
+    if deadline.policy == "degrade":
+        ctx.metrics.degraded_to_bf = True
+        fresh = Mailbox(len(states), ctx.comm)
+        for st in states:
+            st.active = np.nonzero(st.d < INF)[0].astype(np.int64)
+        _bf_stage(ctx, states, fresh, phase_kind=RECOVERY_PHASE)
+        for st in states:
+            st.settled = st.d < INF
+        return
+    for st in states:
+        st.active = np.nonzero(st.d < INF)[0].astype(np.int64)
+    defense.stage = "bf"
+    path = defense.checkpoint(force=True)
+    wd = defense.watchdog
+    raise SolveTimeout(
+        exc.reason,
+        distances=_gather_distances(states, n),
+        epochs_completed=wd.epochs if wd is not None else 0,
+        supersteps=wd.supersteps if wd is not None else 0,
+        checkpoint_path=path,
+    ) from exc
 
 
 class _RecoveryManager:
@@ -230,6 +421,11 @@ class _RecoveryManager:
         st.settled[:] = settled
         st.active = active.copy()
         self.ctx.metrics.recovery.rank_restarts += 1
+        if self.ctx.guards is not None:
+            # A restore lawfully raises distances and clears settled flags;
+            # reset the monotonicity/finality baselines so the guards track
+            # the restored state instead of flagging the rollback itself.
+            self.ctx.guards.on_rollback()
 
     def heal(self, mailbox: Mailbox, root: int) -> None:
         """Self-healing sweep: re-run Bellman-Ford until the structural
@@ -302,25 +498,61 @@ def spmd_bellman_ford(
     machine: MachineConfig,
     *,
     faults: "FaultPlan | None" = None,
+    paranoid: bool = False,
+    checkpoint_dir=None,
+    checkpoint_interval: int = 1,
+    checkpoint_keep: int = 3,
+    resume: bool = False,
+    deadline: DeadlineConfig | None = None,
 ) -> tuple[np.ndarray, ExecutionContext]:
     """Rank-local Bellman-Ford; returns (distances, context-with-metrics).
 
     With a :class:`~repro.spmd.faults.FaultPlan`, records travel through
     the fault-injecting reliable mailbox, per-iteration checkpoints enable
     crash restart, and the run ends with the self-healing sweep.
+    ``checkpoint_dir``/``resume``/``deadline`` enable the durable defense
+    layer (see :func:`spmd_delta_stepping`); ``paranoid`` turns on the
+    runtime invariant guards.
     """
-    config = SolverConfig(delta=2**60)
+    config = SolverConfig(delta=2**60, paranoid=paranoid)
     ctx = make_context(graph, machine, config)
     states = build_rank_states(ctx.graph, ctx.partition, 2**60, root)
     mailbox, manager = _fault_setup(ctx, machine, states, faults)
-    _bf_stage(
+    defense = _Defense(
         ctx,
         states,
         mailbox,
-        epoch_hook=manager.on_epoch if manager is not None else None,
+        root,
+        "spmd-bf",
+        checkpoint_dir=checkpoint_dir,
+        checkpoint_interval=checkpoint_interval,
+        checkpoint_keep=checkpoint_keep,
+        resume=resume,
+        deadline=deadline,
     )
-    if manager is not None:
-        manager.heal(mailbox, root)
+    defense.stage = "bf"
+    if defense.start is not None and manager is not None:
+        # Re-snapshot: the in-memory crash checkpoint must cover the
+        # *restored* state, not the pre-resume initial one.
+        manager.checkpoint()
+    hook = _chain(
+        manager.on_epoch if manager is not None else None,
+        defense.bf_hook if defense.enabled else None,
+    )
+    try:
+        _bf_stage(ctx, states, mailbox, epoch_hook=hook)
+    except DeadlineExceeded as exc:
+        _resolve_deadline_spmd(ctx, states, root, defense, deadline, exc)
+    else:
+        if manager is not None:
+            manager.heal(mailbox, root)
+    if ctx.guards is not None:
+        ctx.guards.check_final(_gather_distances(states, graph.num_vertices), root)
+        ctx.guards.check_recovery_separation(
+            ctx.metrics,
+            allowed=(faults is not None and faults.injects_anything)
+            or ctx.metrics.degraded_to_bf,
+        )
     return _gather_distances(states, graph.num_vertices), ctx
 
 
@@ -333,6 +565,11 @@ def spmd_delta_stepping(
     use_ios: bool = False,
     config: SolverConfig | None = None,
     faults: "FaultPlan | None" = None,
+    checkpoint_dir=None,
+    checkpoint_interval: int = 1,
+    checkpoint_keep: int = 3,
+    resume: bool = False,
+    deadline: DeadlineConfig | None = None,
 ) -> tuple[np.ndarray, ExecutionContext]:
     """Rank-local Δ-stepping; returns (distances, context-with-metrics).
 
@@ -346,6 +583,16 @@ def spmd_delta_stepping(
     bucket-epoch boundaries for crash restart, and a post-solve
     self-healing sweep guarantees the returned distances are bit-identical
     to the fault-free run's.
+
+    ``checkpoint_dir`` enables *durable* epoch checkpoints on disk (atomic
+    write-rename, integrity digests); ``resume=True`` restarts from the
+    newest valid one — the resumed run produces bit-identical distances.
+    ``deadline`` arms the superstep watchdog: on budget exhaustion or a
+    detected stall, the solve either raises a structured
+    :class:`~repro.runtime.watchdog.SolveTimeout` (policy ``"raise"``) or
+    collapses the remaining buckets into a Bellman-Ford fixpoint pass
+    (policy ``"degrade"``). Set ``config.paranoid`` for runtime invariant
+    guards.
     """
     if config is None:
         config = SolverConfig(delta=delta, use_ios=use_ios)
@@ -362,44 +609,85 @@ def spmd_delta_stepping(
     ctx = make_context(graph, machine, config)
     states = build_rank_states(ctx.graph, ctx.partition, delta, root)
     mailbox, manager = _fault_setup(ctx, machine, states, faults)
-    bucket_ordinal = 0
+    defense = _Defense(
+        ctx,
+        states,
+        mailbox,
+        root,
+        "spmd-delta",
+        checkpoint_dir=checkpoint_dir,
+        checkpoint_interval=checkpoint_interval,
+        checkpoint_keep=checkpoint_keep,
+        resume=resume,
+        deadline=deadline,
+    )
+    bucket_ordinal = defense.bucket_ordinal
+    if defense.start is not None and manager is not None:
+        # Re-snapshot: the in-memory crash checkpoint must cover the
+        # *restored* state, not the pre-resume initial one.
+        manager.checkpoint()
+    bf_hook = _chain(
+        manager.on_epoch if manager is not None else None,
+        defense.bf_hook if defense.enabled else None,
+    )
 
-    while True:
-        # Next-bucket search: full unsettled scan + min allreduce.
-        total_unsettled = sum(st.unsettled_count() for st in states)
-        ctx.scan_all_ranks(total_unsettled)
-        k = mailbox.allreduce_min(
-            [st.min_unsettled_bucket(delta) for st in states]
-        )
-        if k >= INF:
-            break
-        if manager is not None:
-            manager.on_epoch()
-        _process_epoch_spmd(ctx, states, mailbox, int(k), bucket_ordinal)
-        bucket_ordinal += 1
-        if config.use_hybrid:
-            settled_total = mailbox.allreduce_sum(
-                [int(st.settled.sum()) for st in states]
-            )
-            n = ctx.graph.num_vertices
-            if n == 0 or settled_total / n > config.tau:
-                ctx.metrics.hybrid_switch_bucket = int(k)
-                for st in states:
-                    st.active = np.nonzero(~st.settled & (st.d < INF))[0].astype(
-                        np.int64
-                    )
-                _bf_stage(
-                    ctx,
-                    states,
-                    mailbox,
-                    epoch_hook=manager.on_epoch if manager is not None else None,
+    try:
+        if defense.stage == "bf":
+            # Resuming past the hybrid switch (or a forced timeout
+            # checkpoint): run the Bellman-Ford tail directly.
+            _bf_stage(ctx, states, mailbox, epoch_hook=bf_hook)
+            for st in states:
+                st.settled |= st.d < INF
+        else:
+            while True:
+                # Next-bucket search: full unsettled scan + min allreduce.
+                total_unsettled = sum(st.unsettled_count() for st in states)
+                ctx.scan_all_ranks(total_unsettled)
+                k = mailbox.allreduce_min(
+                    [st.min_unsettled_bucket(delta) for st in states]
                 )
-                for st in states:
-                    st.settled |= st.d < INF
-                break
+                if k >= INF:
+                    break
+                if ctx.guards is not None:
+                    ctx.guards.on_bucket_start(int(k))
+                if manager is not None:
+                    manager.on_epoch()
+                _process_epoch_spmd(ctx, states, mailbox, int(k), bucket_ordinal)
+                bucket_ordinal += 1
+                defense.bucket_ordinal = bucket_ordinal
+                if config.use_hybrid:
+                    settled_total = mailbox.allreduce_sum(
+                        [int(st.settled.sum()) for st in states]
+                    )
+                    n = ctx.graph.num_vertices
+                    if n == 0 or settled_total / n > config.tau:
+                        ctx.metrics.hybrid_switch_bucket = int(k)
+                        for st in states:
+                            st.active = np.nonzero(
+                                ~st.settled & (st.d < INF)
+                            )[0].astype(np.int64)
+                        defense.stage = "bf"
+                        if defense.enabled:
+                            defense.on_epoch()
+                        _bf_stage(ctx, states, mailbox, epoch_hook=bf_hook)
+                        for st in states:
+                            st.settled |= st.d < INF
+                        break
+                if defense.enabled:
+                    defense.on_epoch()
+    except DeadlineExceeded as exc:
+        _resolve_deadline_spmd(ctx, states, root, defense, deadline, exc)
+    else:
+        if manager is not None:
+            manager.heal(mailbox, root)
 
-    if manager is not None:
-        manager.heal(mailbox, root)
+    if ctx.guards is not None:
+        ctx.guards.check_final(_gather_distances(states, graph.num_vertices), root)
+        ctx.guards.check_recovery_separation(
+            ctx.metrics,
+            allowed=(faults is not None and faults.injects_anything)
+            or ctx.metrics.degraded_to_bf,
+        )
     return _gather_distances(states, graph.num_vertices), ctx
 
 
@@ -517,6 +805,9 @@ def _long_phase_push_spmd(
             s_arcs, s_owner = concat_ranges(st.indptr[members], long_starts)
             s_nd = st.d[members[s_owner]] + st.weights[s_arcs]
             outer = s_nd >= hi_d
+            if ctx.guards is not None:
+                ctx.guards.check_ios_coverage(int(s_arcs.size), int(s_nd.size))
+                ctx.guards.check_ios_partition(s_nd, hi_d, ~outer)
             dst = st.adj[s_arcs][outer]
             nd = s_nd[outer]
             mailbox.post(st.rank, np.asarray(ctx.partition.owner(dst)), dst, nd)
@@ -666,6 +957,9 @@ def _process_epoch_spmd(
             if cfg.use_ios:
                 nd = st.d[st.active[owner_idx]] + st.weights[arcs]
                 keep = nd < hi_d
+                if ctx.guards is not None:
+                    ctx.guards.check_ios_coverage(int(arcs.size), int(nd.size))
+                    ctx.guards.check_ios_partition(nd, hi_d, keep)
             _post_relaxations(
                 st, mailbox, ctx.partition, arcs, owner_idx, st.active, keep
             )
@@ -690,6 +984,10 @@ def _process_epoch_spmd(
                 st.active = changed[in_bucket]
             else:
                 st.active = changed
+        if ctx.guards is not None:
+            ctx.guards.after_relaxations(
+                _gather_distances(states, ctx.graph.num_vertices)
+            )
 
     # --- Settle and run the long phase.
     members_per_rank: list[np.ndarray] = []
@@ -699,6 +997,11 @@ def _process_epoch_spmd(
         st.settled[members] = True
         members_per_rank.append(members)
         members_count += members.size
+    if ctx.guards is not None:
+        n = ctx.graph.num_vertices
+        ctx.guards.check_settled(
+            _gather_distances(states, n), _gather_settled(states, n)
+        )
 
     mode = _decide_mode_spmd(ctx, states, mailbox, members_per_rank, k, bucket_ordinal)
     if mode == "push":
@@ -712,6 +1015,10 @@ def _process_epoch_spmd(
             stats = {"mode": "push", "relaxations": relax}
     else:
         stats = _long_phase_pull_spmd(ctx, states, mailbox, members_per_rank, k)
+    if ctx.guards is not None:
+        ctx.guards.after_relaxations(
+            _gather_distances(states, ctx.graph.num_vertices)
+        )
     stats["bucket"] = k
     stats["members"] = int(members_count)
     ctx.metrics.note_bucket(stats)

@@ -355,6 +355,11 @@ def solve_with_faults(
     num_ranks: int = 8,
     threads_per_rank: int = 8,
     validate: bool | str = False,
+    paranoid: bool = False,
+    checkpoint_dir=None,
+    checkpoint_interval: int = 1,
+    resume: bool = False,
+    deadline=None,
 ):
     """Run the self-healing SPMD engine under a fault plan.
 
@@ -365,24 +370,54 @@ def solve_with_faults(
     ``validate`` works as in :func:`~repro.core.solver.solve_sssp`:
     ``True`` cross-checks against the Dijkstra reference,
     ``"structural"`` runs the O(m + n) Graph 500-style validator.
+
+    The defense-layer knobs compose with the fault plan:
+    ``checkpoint_dir``/``resume`` persist/restore durable epoch
+    checkpoints (a crash *during* recovery is itself recoverable),
+    ``deadline`` arms the superstep watchdog
+    (:class:`~repro.runtime.watchdog.DeadlineConfig`), and ``paranoid``
+    turns on the runtime invariant guards.
     """
     import time
 
-    from repro.core.solver import SsspResult, run_validation
+    from repro.core.solver import SsspResult, _validate_root, run_validation
     from repro.runtime.costmodel import evaluate_cost, simulated_gteps
     from repro.spmd.engine import spmd_bellman_ford, spmd_delta_stepping
 
+    root = _validate_root(root, graph.num_vertices)
     if machine is None:
         machine = MachineConfig(
             num_ranks=num_ranks, threads_per_rank=threads_per_rank
         )
+    if checkpoint_dir is not None:
+        from repro.spmd.checkpoint import ensure_checkpoint_dir
+
+        ensure_checkpoint_dir(checkpoint_dir)
+    defense_kwargs = dict(
+        checkpoint_dir=checkpoint_dir,
+        checkpoint_interval=checkpoint_interval,
+        resume=resume,
+        deadline=deadline,
+    )
     t0 = time.perf_counter()
     if algorithm in ("bellman-ford", "bf"):
-        d, ctx = spmd_bellman_ford(graph, root, machine, faults=plan)
+        d, ctx = spmd_bellman_ford(
+            graph, root, machine, faults=plan, paranoid=paranoid,
+            **defense_kwargs,
+        )
         name = "spmd-bellman-ford"
     else:
+        if paranoid:
+            from repro.core.config import SolverConfig
+
+            config = (
+                SolverConfig(delta=delta, paranoid=True)
+                if config is None
+                else config.evolve(paranoid=True)
+            )
         d, ctx = spmd_delta_stepping(
-            graph, root, machine, delta=delta, config=config, faults=plan
+            graph, root, machine, delta=delta, config=config, faults=plan,
+            **defense_kwargs,
         )
         name = f"spmd-delta-{ctx.config.delta}"
     wall = time.perf_counter() - t0
@@ -399,5 +434,6 @@ def solve_with_faults(
         num_vertices=graph.num_vertices,
         num_edges=graph.num_undirected_edges,
         wall_time_s=wall,
+        guards=ctx.guards,
     )
 

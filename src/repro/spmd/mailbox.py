@@ -40,6 +40,10 @@ class Mailbox:
             raise ValueError("num_ranks must be >= 1")
         self.num_ranks = num_ranks
         self.comm = comm
+        self.watchdog = None
+        """Optional :class:`~repro.runtime.watchdog.Watchdog`; the reliable
+        layer reports every recovery round to it so retry storms burn
+        deadline budget even though the epoch counter stands still."""
         self._outbox: list[list[tuple[int, tuple[np.ndarray, ...]]]] = [
             [] for _ in range(num_ranks)
         ]
@@ -222,6 +226,21 @@ class ReliableMailbox(Mailbox):
         self._fl_src: np.ndarray | None = None
         self._fl_dst: np.ndarray | None = None
 
+    @property
+    def superstep(self) -> int:
+        """Supersteps delivered so far (persisted in durable checkpoints)."""
+        return self._superstep
+
+    def fast_forward(self, superstep: int) -> None:
+        """Advance the superstep counter to resume a checkpointed solve.
+
+        Fault-plan events are pinned to absolute superstep numbers; without
+        the fast-forward a resumed run would replay them from zero and fire
+        already-survived faults twice."""
+        if superstep < 0:
+            raise ValueError("superstep must be >= 0")
+        self._superstep = max(self._superstep, superstep)
+
     # ------------------------------------------------------------------
     # Wire hooks (perfect by default; FaultyMailbox overrides them)
     # ------------------------------------------------------------------
@@ -346,6 +365,8 @@ class ReliableMailbox(Mailbox):
                     f"{self.max_recovery_rounds} recovery rounds"
                 )
             rec.recovery_supersteps += 1
+            if self.watchdog is not None:
+                self.watchdog.note_recovery_round()
             self.comm.allreduce(1, phase_kind=RECOVERY_PHASE)
             absorb(self._release(round_))
             missing = np.nonzero(~seen)[0]

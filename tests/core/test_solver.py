@@ -87,8 +87,8 @@ class TestSolveSssp:
 
         original = delta_stepping.DeltaSteppingEngine.run
 
-        def broken(self, root):
-            d = original(self, root)
+        def broken(self, root, **kwargs):
+            d = original(self, root, **kwargs)
             d[d.argmax()] = 1
             return d
 
@@ -106,8 +106,8 @@ class TestSolveSssp:
 
         original = delta_stepping.DeltaSteppingEngine.run
 
-        def broken(self, root):
-            d = original(self, root)
+        def broken(self, root, **kwargs):
+            d = original(self, root, **kwargs)
             d[d.argmax()] = 1
             return d
 

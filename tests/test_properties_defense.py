@@ -1,0 +1,121 @@
+"""Property-based tests (hypothesis) for the defensive execution layer.
+
+Two headline properties over randomly drawn graphs and configurations:
+
+1. Every algorithm preset, with and without runtime guards, matches the
+   sequential Dijkstra reference exactly — the guards never perturb a
+   solve, and a clean solve never trips a guard.
+2. Checkpoint/resume at a *random* epoch is distance-identical: write
+   durable checkpoints, keep a random prefix (simulating a kill at an
+   arbitrary epoch), resume, and land on the exact same distances.
+"""
+
+from __future__ import annotations
+
+import glob
+import os
+
+import numpy as np
+from hypothesis import given, settings, strategies as st
+
+from repro.core.config import PRESETS, preset
+from repro.core.reference import dijkstra_reference
+from repro.core.solver import solve_sssp
+from repro.graph.builder import from_undirected_edges
+from repro.runtime.machine import MachineConfig
+from repro.spmd.engine import spmd_delta_stepping
+
+
+@st.composite
+def random_graphs(draw, max_n=28, max_m=80, max_w=40):
+    """A random small undirected weighted graph plus a valid root."""
+    n = draw(st.integers(min_value=2, max_value=max_n))
+    m = draw(st.integers(min_value=1, max_value=max_m))
+    seed = draw(st.integers(min_value=0, max_value=2**31))
+    rng = np.random.default_rng(seed)
+    tails = rng.integers(0, n, m)
+    heads = rng.integers(0, n, m)
+    weights = rng.integers(1, max_w + 1, m).astype(np.int64)
+    graph = from_undirected_edges(tails, heads, weights, n)
+    deg = graph.degrees
+    with_edges = np.nonzero(deg > 0)[0]
+    if with_edges.size == 0:
+        root = 0
+    else:
+        root = int(with_edges[draw(st.integers(0, int(with_edges.size) - 1))])
+    return graph, root
+
+
+class TestGuardedPresetsMatchDijkstra:
+    @settings(max_examples=40, deadline=None)
+    @given(
+        gr=random_graphs(),
+        name=st.sampled_from(sorted(PRESETS)),
+        delta=st.sampled_from([1, 7, 25]),
+        paranoid=st.booleans(),
+        ranks=st.sampled_from([1, 2, 4]),
+    )
+    def test_preset_exact_with_and_without_guards(
+        self, gr, name, delta, paranoid, ranks
+    ):
+        graph, root = gr
+        res = solve_sssp(
+            graph, root, algorithm=name, delta=delta, paranoid=paranoid,
+            num_ranks=ranks, threads_per_rank=2,
+        )
+        ref = dijkstra_reference(graph, root)
+        assert np.array_equal(res.distances, ref)
+
+    @settings(max_examples=25, deadline=None)
+    @given(
+        gr=random_graphs(),
+        name=st.sampled_from(["delta", "opt", "lb-opt"]),
+        delta=st.sampled_from([7, 25]),
+    )
+    def test_guards_never_change_metrics(self, gr, name, delta):
+        graph, root = gr
+        plain = solve_sssp(graph, root, algorithm=name, delta=delta,
+                           num_ranks=2, threads_per_rank=2)
+        guarded = solve_sssp(graph, root, algorithm=name, delta=delta,
+                             paranoid=True, num_ranks=2, threads_per_rank=2)
+        assert np.array_equal(plain.distances, guarded.distances)
+        assert plain.metrics.summary() == guarded.metrics.summary()
+
+
+class TestCheckpointResumeProperty:
+    @settings(max_examples=25, deadline=None)
+    @given(
+        gr=random_graphs(),
+        name=st.sampled_from(["delta", "opt"]),
+        delta=st.sampled_from([5, 25]),
+        data=st.data(),
+    )
+    def test_resume_at_random_epoch_is_bit_identical(
+        self, gr, name, delta, data, tmp_path_factory
+    ):
+        graph, root = gr
+        machine = MachineConfig(num_ranks=2, threads_per_rank=2)
+        cfg = preset(name, delta)
+        d_ref, _ = spmd_delta_stepping(graph, root, machine, config=cfg)
+
+        ckdir = tmp_path_factory.mktemp("ck")
+        d_full, _ = spmd_delta_stepping(
+            graph, root, machine, config=cfg,
+            checkpoint_dir=ckdir, checkpoint_keep=10_000,
+        )
+        assert np.array_equal(d_ref, d_full)
+
+        files = sorted(glob.glob(str(ckdir / "*.npz")))
+        if files:
+            # Kill at a random epoch: keep a random non-empty prefix.
+            keep = data.draw(
+                st.integers(min_value=1, max_value=len(files)),
+                label="checkpoints_surviving_the_kill",
+            )
+            for stale in files[keep:]:
+                os.unlink(stale)
+        d_res, _ = spmd_delta_stepping(
+            graph, root, machine, config=cfg,
+            checkpoint_dir=ckdir, resume=True,
+        )
+        assert np.array_equal(d_ref, d_res)
