@@ -1,0 +1,313 @@
+"""Hot-path benchmark: incremental bucket index vs from-scratch scans.
+
+This is the perf baseline for the bucket-index + mailbox-lane work (PR 3,
+DESIGN.md §9). For every preset it times full solves twice — once with
+``incremental_buckets=False`` (the historical O(n)-per-epoch scan path)
+and once with the incremental :class:`~repro.core.bucket_index.
+BucketIndex` — asserts the two variants are bit-identical in distances,
+execution counters and simulated cost, and reports wall-clock ns/edge and
+epochs/sec for both.
+
+Presets cover both ends of the bucket spectrum — RMAT-1 and RMAT-2
+(skewed-degree, well-filled buckets) and a 2-D grid (large diameter, very
+many sparse buckets, the regime where per-epoch rescans hurt most) — on
+both engines: the orchestrated :class:`DeltaSteppingEngine` and the SPMD
+engine (whose superstep path also carries the batched mailbox lanes).
+
+Standalone usage::
+
+    python benchmarks/bench_hotpath.py --scale tiny --out bench_tiny.json
+    python benchmarks/bench_hotpath.py --scale default --update BENCH_PR3.json
+    python benchmarks/bench_hotpath.py --scale tiny --check BENCH_PR3.json
+
+Before/after protocol: the script also runs unmodified on the pre-PR tree
+(where ``SolverConfig`` has no ``incremental_buckets`` field — the
+incremental variant is then skipped and the scan numbers are the true
+pre-PR hot path)::
+
+    PYTHONPATH=<pre-PR>/src python benchmarks/bench_hotpath.py --out before.json
+    PYTHONPATH=src python benchmarks/bench_hotpath.py \
+        --merge-before before.json --update BENCH_PR3.json
+
+``--check`` exits non-zero when the incremental path's epochs/sec —
+normalized by the same run's scan-path epochs/sec, so the gate is
+machine-independent — regressed more than 25% against a committed
+baseline. That is the CI smoke gate.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+from pathlib import Path
+
+import numpy as np
+
+if __package__ in (None, ""):  # standalone execution: python benchmarks/bench_*.py
+    sys.path.insert(0, str(Path(__file__).resolve().parent.parent))
+
+from benchmarks.common import (
+    cached_grid,
+    cached_rmat,
+    choose_root,
+    default_machine,
+    load_bench_json,
+    print_table,
+    write_bench_json,
+)
+from repro.core.config import preset
+from repro.core.solver import solve_sssp
+from repro.runtime.costmodel import evaluate_cost
+from repro.spmd.engine import spmd_delta_stepping
+
+SCALE_LABELS = {"tiny": 10, "default": 16}
+
+#: preset name -> (graph builder, algorithm, delta, engine)
+PRESETS = {
+    "rmat1": (lambda scale: cached_rmat(scale, "rmat1"), "delta", 8, "orch"),
+    "rmat2": (lambda scale: cached_rmat(scale, "rmat2"), "delta", 8, "orch"),
+    "grid": (lambda scale: cached_grid(scale), "delta", 25, "orch"),
+    "rmat1-spmd": (lambda scale: cached_rmat(scale, "rmat1"), "delta", 8, "spmd"),
+    "grid-spmd": (lambda scale: cached_grid(scale), "delta", 25, "spmd"),
+}
+
+#: CI gate: fail when the normalized incremental epochs/sec drops below
+#: this fraction of the committed baseline's.
+REGRESSION_FLOOR = 0.75
+
+
+def _evolve_incremental(cfg, incremental: bool):
+    """Toggle the flag; None when this tree predates it (pre-PR run)."""
+    try:
+        return cfg.evolve(incremental_buckets=incremental)
+    except TypeError:
+        return cfg if not incremental else None
+
+
+def _solve(graph, root, cfg, machine, engine: str):
+    """One timed solve; returns (wall_s, distances, metrics, cost)."""
+    if engine == "spmd":
+        t0 = time.perf_counter()
+        d, ctx = spmd_delta_stepping(graph, root, machine, config=cfg)
+        wall = time.perf_counter() - t0
+        return wall, d, ctx.metrics, evaluate_cost(ctx.metrics, machine)
+    res = solve_sssp(graph, root, config=cfg, machine=machine)
+    return res.wall_time_s, res.distances, res.metrics, res.cost
+
+
+def _epochs(metrics) -> int:
+    """Bucket epochs plus Bellman-Ford phases — one 'epoch' of either loop."""
+    return int(metrics.buckets_processed + metrics.bf_phases)
+
+
+def run_preset(name: str, scale: int, *, repeats: int, num_ranks: int) -> dict:
+    """Time scan vs incremental solves of one preset; return a result row."""
+    builder, algorithm, delta, engine = PRESETS[name]
+    graph = builder(scale)
+    root = choose_root(graph, seed=scale)
+    machine = default_machine(num_ranks, threads_per_rank=8)
+    base_cfg = preset(algorithm, delta)
+    variants: dict[str, dict] = {}
+    solves: dict[str, tuple] = {}
+    for variant, incremental in (("scan", False), ("incremental", True)):
+        cfg = _evolve_incremental(base_cfg, incremental)
+        if cfg is None:
+            continue
+        best = None
+        for _ in range(repeats):
+            solved = _solve(graph, root, cfg, machine, engine)
+            if best is None or solved[0] < best[0]:
+                best = solved
+        wall, _, metrics, _ = best
+        solves[variant] = best
+        num_edges = graph.num_undirected_edges
+        variants[variant] = {
+            "wall_s": wall,
+            "ns_per_edge": wall * 1e9 / max(num_edges, 1),
+            "epochs_per_sec": _epochs(metrics) / wall,
+        }
+    if len(solves) == 2:
+        # Both variants must be bit-identical in results, counters and cost.
+        _, d_a, m_a, c_a = solves["scan"]
+        _, d_b, m_b, c_b = solves["incremental"]
+        if not np.array_equal(d_a, d_b):
+            raise AssertionError(f"{name}: distances differ between variants")
+        if m_a.summary() != m_b.summary():
+            raise AssertionError(f"{name}: metrics differ between variants")
+        if c_a != c_b:
+            raise AssertionError(f"{name}: simulated cost differs between variants")
+    ref = solves.get("incremental", solves["scan"])
+    row = {
+        "preset": name,
+        "engine": engine,
+        "algorithm": f"{algorithm}-{delta}",
+        "scale": scale,
+        "n": graph.num_vertices,
+        "m": graph.num_undirected_edges,
+        "epochs": _epochs(ref[2]),
+    }
+    row.update(variants)
+    if len(variants) == 2:
+        row["speedup"] = (
+            variants["incremental"]["epochs_per_sec"]
+            / variants["scan"]["epochs_per_sec"]
+        )
+    return row
+
+
+def run_suite(scale_label: str, *, repeats: int, num_ranks: int) -> dict:
+    """Run every preset at one scale; return the JSON payload."""
+    scale = SCALE_LABELS.get(scale_label)
+    if scale is None:
+        scale = int(scale_label)
+    runs = []
+    for name in PRESETS:
+        row = run_preset(name, scale, repeats=repeats, num_ranks=num_ranks)
+        row["scale_label"] = scale_label
+        runs.append(row)
+    return {
+        "schema": 1,
+        "machine": {"num_ranks": num_ranks, "threads_per_rank": 8},
+        "repeats": repeats,
+        "runs": runs,
+    }
+
+
+def _normalized(run: dict) -> float | None:
+    """Incremental epochs/sec normalized by the scan path's — the
+    machine-independent quantity the CI gate compares."""
+    if "incremental" not in run or "scan" not in run:
+        return None
+    return run["incremental"]["epochs_per_sec"] / run["scan"]["epochs_per_sec"]
+
+
+def check_against_baseline(current: dict, baseline: dict) -> list[str]:
+    """Compare normalized incremental throughput against a baseline.
+
+    Returns a list of human-readable failures (empty = gate passes).
+    Baseline rows at other scale labels are ignored, so a tiny-scale CI
+    check can run against a baseline that also holds default-scale rows.
+    """
+    failures: list[str] = []
+    index = {
+        (run["scale_label"], run["preset"]): run for run in baseline.get("runs", [])
+    }
+    for run in current["runs"]:
+        ref = index.get((run["scale_label"], run["preset"]))
+        if ref is None:
+            continue
+        now, then = _normalized(run), _normalized(ref)
+        if now is None or then is None:
+            continue
+        if now < then * REGRESSION_FLOOR:
+            failures.append(
+                f"{run['preset']}@{run['scale_label']}: normalized epochs/sec "
+                f"{now:.3f} < {REGRESSION_FLOOR:.0%} of baseline {then:.3f}"
+            )
+    return failures
+
+
+def merge_before(current: dict, before: dict) -> None:
+    """Attach a pre-PR measurement as each run's ``pre_pr`` block.
+
+    ``before`` is this script's output on the pre-PR tree (its scan
+    variant is the true pre-PR hot path; it has no incremental variant).
+    Adds ``speedup_vs_pre_pr`` where both sides are present.
+    """
+    index = {
+        (run["scale_label"], run["preset"]): run for run in before.get("runs", [])
+    }
+    for run in current["runs"]:
+        ref = index.get((run["scale_label"], run["preset"]))
+        if ref is None or "scan" not in ref:
+            continue
+        run["pre_pr"] = ref["scan"]
+        if "incremental" in run:
+            run["speedup_vs_pre_pr"] = (
+                run["incremental"]["epochs_per_sec"]
+                / ref["scan"]["epochs_per_sec"]
+            )
+
+
+def merge_into_baseline(current: dict, baseline: dict) -> dict:
+    """Replace baseline rows matched by (scale_label, preset); keep the rest."""
+    fresh = {(r["scale_label"], r["preset"]): r for r in current["runs"]}
+    kept = [
+        r
+        for r in baseline.get("runs", [])
+        if (r["scale_label"], r["preset"]) not in fresh
+    ]
+    merged = dict(baseline) if baseline else {}
+    merged["schema"] = current["schema"]
+    merged["machine"] = current["machine"]
+    merged["repeats"] = current["repeats"]
+    merged["runs"] = sorted(
+        kept + list(fresh.values()), key=lambda r: (r["scale_label"], r["preset"])
+    )
+    return merged
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--scale",
+        default="default",
+        help="'tiny' (2^10), 'default' (2^16) or an explicit log2 vertex count",
+    )
+    parser.add_argument("--repeats", type=int, default=3)
+    parser.add_argument("--ranks", type=int, default=8)
+    parser.add_argument("--out", help="write results JSON to this path")
+    parser.add_argument(
+        "--check",
+        help="fail if normalized epochs/sec regressed >25%% vs this baseline JSON",
+    )
+    parser.add_argument(
+        "--update", help="merge results into this baseline JSON (create if absent)"
+    )
+    parser.add_argument(
+        "--merge-before",
+        help="attach pre-PR numbers from this JSON (produced by running this "
+        "script on the pre-PR tree)",
+    )
+    args = parser.parse_args(argv)
+
+    payload = run_suite(args.scale, repeats=args.repeats, num_ranks=args.ranks)
+    if args.merge_before:
+        merge_before(payload, load_bench_json(args.merge_before))
+    rows = []
+    for run in payload["runs"]:
+        row = {
+            "preset": run["preset"],
+            "scale": run["scale"],
+            "epochs": run["epochs"],
+        }
+        for variant in ("pre_pr", "scan", "incremental"):
+            if variant in run:
+                row[f"{variant} ep/s"] = f"{run[variant]['epochs_per_sec']:.1f}"
+        if "incremental" in run:
+            row["incr ns/edge"] = f"{run['incremental']['ns_per_edge']:.0f}"
+        if "speedup" in run:
+            row["vs scan"] = f"{run['speedup']:.2f}x"
+        if "speedup_vs_pre_pr" in run:
+            row["vs pre-PR"] = f"{run['speedup_vs_pre_pr']:.2f}x"
+        rows.append(row)
+    print_table(rows, f"Hot path: scan vs incremental bucket index ({args.scale})")
+
+    if args.out:
+        write_bench_json(args.out, payload)
+    if args.update:
+        base = load_bench_json(args.update) if Path(args.update).exists() else {}
+        write_bench_json(args.update, merge_into_baseline(payload, base))
+    if args.check:
+        failures = check_against_baseline(payload, load_bench_json(args.check))
+        for failure in failures:
+            print(f"REGRESSION: {failure}", file=sys.stderr)
+        if failures:
+            return 1
+        print("benchmark gate: OK (within 25% of baseline)")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

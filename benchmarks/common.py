@@ -16,10 +16,12 @@ every figure.
 from __future__ import annotations
 
 import functools
+import json
 import os
 
 from repro.core.solver import SsspResult, solve_sssp
 from repro.graph.csr import CSRGraph
+from repro.graph.grid import grid_graph
 from repro.graph.rmat import RMAT1, RMAT2, RMATParams, rmat_graph
 from repro.graph.roots import choose_root, choose_roots
 from repro.runtime.machine import MachineConfig
@@ -29,12 +31,15 @@ __all__ = [
     "BENCH_SCALE",
     "VERTICES_PER_RANK_LOG2",
     "cached_rmat",
+    "cached_grid",
     "default_machine",
+    "load_bench_json",
     "print_table",
     "run_algorithm",
     "format_table",
     "choose_root",
     "choose_roots",
+    "write_bench_json",
     "RMAT1",
     "RMAT2",
 ]
@@ -58,6 +63,31 @@ def cached_rmat(
     """
     params: RMATParams = RMAT1 if family == "rmat1" else RMAT2
     return rmat_graph(scale=scale, seed=seed, params=params).sorted_by_weight()
+
+
+@functools.lru_cache(maxsize=16)
+def cached_grid(scale: int, *, seed: int = 7) -> CSRGraph:
+    """Generate (once) and weight-sort a 2-D grid with ~``2**scale`` vertices.
+
+    Grids are the large-diameter / many-buckets regime — the opposite end of
+    the spectrum from R-MAT — so hot-path benchmarks cover both.
+    """
+    rows = 2 ** (scale // 2)
+    cols = 2 ** (scale - scale // 2)
+    return grid_graph(rows, cols, seed=seed).sorted_by_weight()
+
+
+def load_bench_json(path: str) -> dict:
+    """Read a benchmark-results JSON file (as written by ``write_bench_json``)."""
+    with open(path, "r", encoding="utf-8") as fh:
+        return json.load(fh)
+
+
+def write_bench_json(path: str, payload: dict) -> None:
+    """Write benchmark results as stable, diff-friendly JSON."""
+    with open(path, "w", encoding="utf-8") as fh:
+        json.dump(payload, fh, indent=2, sort_keys=True)
+        fh.write("\n")
 
 
 def default_machine(num_ranks: int, threads_per_rank: int = 16) -> MachineConfig:

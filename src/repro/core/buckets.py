@@ -21,7 +21,10 @@ NO_BUCKET = -1
 def bucket_index(d: np.ndarray, delta: int) -> np.ndarray:
     """Bucket index ``floor(d / Δ)`` per vertex (-1 for unreached)."""
     out = np.where(d < INF, d // delta, np.int64(NO_BUCKET))
-    return out.astype(np.int64)
+    # np.where on int64 operands already yields int64: hand it back without
+    # the silent full-array astype copy this function used to pay per call.
+    assert out.dtype == np.int64
+    return out
 
 
 def bucket_members(

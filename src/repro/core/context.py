@@ -25,7 +25,7 @@ from repro.runtime.comm import Communicator
 from repro.runtime.guards import InvariantGuards
 from repro.runtime.machine import MachineConfig
 from repro.runtime.metrics import ComputeKind, Metrics
-from repro.runtime.work import thread_work, thread_work_balanced
+from repro.runtime.work import thread_index, thread_work, thread_work_balanced
 
 __all__ = ["ExecutionContext", "make_context"]
 
@@ -57,6 +57,10 @@ class ExecutionContext:
     """Runtime invariant monitors, present only under ``config.paranoid``.
     Every engine hook site is gated on ``ctx.guards is not None``, so the
     disabled path costs nothing and perturbs no accounting."""
+    thread_map: np.ndarray | None = None
+    """Precomputed per-vertex hardware-thread table
+    (``thread_index(np.arange(n), partition, machine)``): turns every
+    per-record work charge into a single gather."""
 
     # ------------------------------------------------------------------
     # In-edge views (pull model): identical to the forward views on
@@ -105,10 +109,18 @@ class ExecutionContext:
         """
         if self.config.intra_lb:
             tw = thread_work_balanced(
-                vertices, units, self.partition, self.machine, self.heavy_threshold
+                vertices,
+                units,
+                self.partition,
+                self.machine,
+                self.heavy_threshold,
+                thread_map=self.thread_map,
             )
         else:
-            tw = thread_work(vertices, units, self.partition, self.machine)
+            tw = thread_work(
+                vertices, units, self.partition, self.machine,
+                thread_map=self.thread_map,
+            )
         self.metrics.add_compute(
             kind, tw, phase_kind=phase_kind, count_as_relax=count_as_relax
         )
@@ -191,6 +203,9 @@ def make_context(
         if config.paranoid
         else None
     )
+    thread_map = thread_index(
+        np.arange(sorted_graph.num_vertices, dtype=np.int64), partition, machine
+    )
     return ExecutionContext(
         graph=sorted_graph,
         partition=partition,
@@ -206,4 +221,5 @@ def make_context(
         reverse_short_offsets=rev_short,
         reverse_long_degrees=rev_long,
         guards=guards,
+        thread_map=thread_map,
     )

@@ -23,6 +23,7 @@ from __future__ import annotations
 import numpy as np
 
 from repro.core.bellman_ford import bellman_ford_stage
+from repro.core.bucket_index import BucketIndex
 from repro.core.buckets import NO_BUCKET, bucket_members, next_bucket
 from repro.core.context import ExecutionContext
 from repro.core.distances import INF, init_distances
@@ -161,22 +162,38 @@ class DeltaSteppingEngine:
                 bellman_ford_stage(ctx, d, start_active, epoch_hook=hook)
                 settled |= d < INF
             else:
+                # The incremental index replaces the per-epoch full scans;
+                # built after a potential resume so it covers the restored
+                # state. settled_count mirrors settled.sum() so the scan
+                # charges stay numerically identical without the O(n) sum.
+                index = (
+                    BucketIndex(cfg.delta, d, settled)
+                    if cfg.incremental_buckets
+                    else None
+                )
+                settled_count = int(settled.sum())
                 while True:
                     # Next non-empty bucket: every rank scans its unsettled
                     # vertices for the minimum tentative distance, then one
                     # allreduce.
-                    ctx.scan_all_ranks(int((~settled).sum()))
+                    ctx.scan_all_ranks(n - settled_count)
                     ctx.comm.allreduce(1, phase_kind="bucket")
-                    k = next_bucket(d, settled, cfg.delta)
+                    k = (
+                        index.min_bucket()
+                        if index is not None
+                        else next_bucket(d, settled, cfg.delta)
+                    )
                     if k == NO_BUCKET:
                         break
-                    self._process_epoch(d, settled, k, bucket_ordinal)
+                    settled_count = self._process_epoch(
+                        d, settled, k, bucket_ordinal, index, settled_count
+                    )
                     bucket_ordinal += 1
                     epoch += 1
                     if cfg.use_hybrid:
                         # Settled-fraction aggregate for the switch decision.
                         ctx.comm.allreduce(1, phase_kind="bucket")
-                        if should_switch(settled, cfg.tau):
+                        if should_switch(settled, cfg.tau, count=settled_count):
                             ctx.metrics.hybrid_switch_bucket = k
                             remaining = np.nonzero(~settled & (d < INF))[
                                 0
@@ -264,9 +281,20 @@ class DeltaSteppingEngine:
 
     # ------------------------------------------------------------------
     def _process_epoch(
-        self, d: np.ndarray, settled: np.ndarray, k: int, bucket_ordinal: int
-    ) -> None:
-        """Process bucket ``k`` to completion: short stage, settle, long phase."""
+        self,
+        d: np.ndarray,
+        settled: np.ndarray,
+        k: int,
+        bucket_ordinal: int,
+        index: BucketIndex | None,
+        settled_count: int,
+    ) -> int:
+        """Process bucket ``k`` to completion: short stage, settle, long phase.
+
+        Returns the updated settled count. ``index``, when given, replaces
+        the membership scans and is kept current from the changed-vertex
+        sets the relaxation phases return.
+        """
         ctx = self.ctx
         cfg = ctx.config
         delta = cfg.delta
@@ -275,9 +303,16 @@ class DeltaSteppingEngine:
         if ctx.guards is not None:
             ctx.guards.on_bucket_start(k)
 
-        # Epoch start: identify the bucket members (scan of unsettled set).
-        ctx.scan_all_ranks(int((~settled).sum()))
-        active = bucket_members(d, settled, k, delta)
+        # Epoch start: identify the bucket members. The scan charge is the
+        # same either way — each rank still owns a pass over its unsettled
+        # block in the accounting model — but the index answers from the
+        # changed set instead of touching all n vertices.
+        ctx.scan_all_ranks(settled.size - settled_count)
+        active = (
+            index.members(k)
+            if index is not None
+            else bucket_members(d, settled, k, delta)
+        )
 
         # --- Stage 1: iterative short phases until the bucket drains.
         while True:
@@ -290,6 +325,8 @@ class DeltaSteppingEngine:
             )
             ctx.charge_scan(per_rank)
             changed = self._short_phase(d, active, k)
+            if index is not None:
+                index.on_relaxed(changed, d)
             if changed.size:
                 in_bucket = (d[changed] >= lo) & (d[changed] < hi)
                 active = changed[in_bucket]
@@ -297,8 +334,15 @@ class DeltaSteppingEngine:
                 active = changed
 
         # --- Settle the bucket.
-        members = bucket_members(d, settled, k, delta)
+        members = (
+            index.members(k)
+            if index is not None
+            else bucket_members(d, settled, k, delta)
+        )
         settled[members] = True
+        settled_count += int(members.size)
+        if index is not None:
+            index.on_settled(members)
         if ctx.guards is not None:
             ctx.guards.check_settled(d, settled)
 
@@ -309,11 +353,15 @@ class DeltaSteppingEngine:
         # --- Stage 2: one long phase, push or pull.
         mode, estimate = decide_mode(ctx, d, settled, members, k, bucket_ordinal)
         if mode == "push":
-            _, phase_stats = long_phase_push(ctx, d, members, k)
+            changed, phase_stats = long_phase_push(ctx, d, members, k)
         else:
-            _, phase_stats = long_phase_pull(ctx, d, settled, members, k)
+            changed, phase_stats = long_phase_pull(ctx, d, settled, members, k)
+        if index is not None:
+            index.on_relaxed(changed, d)
         if ctx.guards is not None:
             ctx.guards.after_relaxations(d)
+            if index is not None:
+                ctx.guards.check_bucket_index(index, d, settled)
         stats.update(phase_stats)
         stats["bucket"] = k
         stats["members"] = int(members.size)
@@ -321,6 +369,7 @@ class DeltaSteppingEngine:
             stats["est_push_cost"] = estimate.push_cost
             stats["est_pull_cost"] = estimate.pull_cost
         ctx.metrics.note_bucket(stats)
+        return settled_count
 
 
 def run_delta_stepping(ctx: ExecutionContext, root: int) -> np.ndarray:

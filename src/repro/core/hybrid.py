@@ -18,12 +18,18 @@ DEFAULT_TAU = 0.4
 """The paper's recommended settled-fraction threshold."""
 
 
-def should_switch(settled: np.ndarray, tau: float) -> bool:
+def should_switch(
+    settled: np.ndarray, tau: float, *, count: int | None = None
+) -> bool:
     """True when the settled fraction exceeds ``tau``.
 
     Evaluated at the end of each epoch; the settled count is a global
-    aggregate (one allreduce, charged by the engine).
+    aggregate (one allreduce, charged by the engine). Callers tracking the
+    settled count incrementally pass it as ``count`` to skip the O(n) sum;
+    the decision is identical either way.
     """
     if settled.size == 0:
         return True
-    return float(settled.sum()) / settled.size > tau
+    if count is None:
+        count = int(settled.sum())
+    return float(count) / settled.size > tau

@@ -38,6 +38,8 @@ from repro.runtime.work import thread_work, thread_work_balanced
 
 __all__ = [
     "PushPullEstimate",
+    "expectation_partials",
+    "combine_expectation_costs",
     "estimate_models",
     "estimate_models_histogram",
     "estimate_models_exact",
@@ -66,59 +68,62 @@ class PushPullEstimate:
 # ----------------------------------------------------------------------
 # Expectation estimator (the paper's heuristic)
 # ----------------------------------------------------------------------
-def estimate_models(
-    ctx: ExecutionContext,
-    d: np.ndarray,
-    settled: np.ndarray,
-    members: np.ndarray,
-    k: int,
+def expectation_partials(
+    cfg,
+    w_max: int,
+    lo: int,
+    member_long_degrees: np.ndarray,
+    d_later: np.ndarray,
+    later_total_in_degrees: np.ndarray | None,
+    later_long_in_degrees: np.ndarray | None,
+) -> tuple[float, float]:
+    """One rank's (push, pull) partial sums of the expectation estimator.
+
+    This is the single source of truth for the per-vertex volume formulas:
+    the orchestrated estimator evaluates it per rank block and the SPMD
+    engine per rank slice, so both engines combine bit-identical partials
+    and can never drift apart. Push volume is the long-degree sum over the
+    rank's bucket members; pull volume is the uniform-weight expectation of
+    eq.-(1) requests over the rank's later vertices. Pass
+    ``later_total_in_degrees`` (all incoming arcs) under IOS and
+    ``later_long_in_degrees`` (long incoming arcs) otherwise — the unused
+    one may be ``None``.
+    """
+    push = float(np.asarray(member_long_degrees).astype(np.float64).sum())
+    d_later = np.asarray(d_later)
+    if d_later.size == 0:
+        return push, 0.0
+    d_later_f = d_later.astype(np.float64)
+    window = np.where(d_later_f >= INF, np.float64(w_max), d_later_f - lo)
+    if cfg.use_ios:
+        # Requests may ride any incoming arc with w < d(v) - kΔ.
+        deg = np.asarray(later_total_in_degrees).astype(np.float64)
+        frac = np.clip(window / w_max, 0.0, 1.0)
+    else:
+        # Long arcs only: weight window [Δ, d(v) - kΔ).
+        deg = np.asarray(later_long_in_degrees).astype(np.float64)
+        frac = np.clip(
+            (window - cfg.delta) / max(w_max - cfg.delta + 1, 1), 0.0, 1.0
+        )
+    return push, float((deg * frac).sum())
+
+
+def combine_expectation_costs(
+    cfg,
+    machine,
+    push_partials: list[float],
+    pull_partials: list[float],
 ) -> PushPullEstimate:
-    """Expectation-based push/pull estimate for bucket ``k`` (members settled)."""
-    cfg = ctx.config
-    machine = ctx.machine
-    delta = cfg.delta
-    lo = k * delta
-    hi = lo + delta
+    """Fold per-rank partials into the two model costs (sum/max aggregate).
+
+    The combination is the allreduce pair both engines charge: totals by
+    sum, the imbalance terms by per-rank maximum.
+    """
     p = machine.num_ranks
-    members = np.asarray(members, dtype=np.int64)
-
-    # --- push: exact record count from the preprocessed long-degree table.
-    push_per_vertex = ctx.long_degrees[members].astype(np.float64)
-    push_records = float(push_per_vertex.sum())
-    if members.size:
-        owners = np.asarray(ctx.partition.owner(members), dtype=np.int64)
-        push_max = float(
-            np.bincount(owners, weights=push_per_vertex, minlength=p).max()
-        )
-    else:
-        push_max = 0.0
-
-    # --- pull: expectation over the uniform weight distribution.
-    later = np.nonzero(~settled & (d >= hi))[0].astype(np.int64)
-    w_max = max(ctx.graph.max_weight, 1)
-    if later.size:
-        d_later = d[later].astype(np.float64)
-        window = np.where(d_later >= INF, np.float64(w_max), d_later - lo)
-        in_graph = ctx.in_graph
-        if cfg.use_ios:
-            # Requests may ride any incoming arc with w < d(v) - kΔ.
-            deg = (in_graph.indptr[later + 1] - in_graph.indptr[later]).astype(
-                np.float64
-            )
-            frac = np.clip(window / w_max, 0.0, 1.0)
-        else:
-            # Long arcs only: weight window [Δ, d(v) - kΔ).
-            deg = ctx.in_long_degrees[later].astype(np.float64)
-            frac = np.clip((window - delta) / max(w_max - delta + 1, 1), 0.0, 1.0)
-        req_per_vertex = deg * frac
-        pull_requests = float(req_per_vertex.sum())
-        owners = np.asarray(ctx.partition.owner(later), dtype=np.int64)
-        pull_max = float(
-            np.bincount(owners, weights=req_per_vertex, minlength=p).max()
-        )
-    else:
-        pull_requests = 0.0
-        pull_max = 0.0
+    push_records = sum(push_partials)
+    push_max = max(push_partials)
+    pull_requests = sum(pull_partials)
+    pull_max = max(pull_partials)
     pull_responses = pull_requests  # paper's upper bound, good in practice
 
     push_cost = (
@@ -141,6 +146,54 @@ def estimate_models(
         pull_cost=pull_cost,
         estimator="expectation",
     )
+
+
+def estimate_models(
+    ctx: ExecutionContext,
+    d: np.ndarray,
+    settled: np.ndarray,
+    members: np.ndarray,
+    k: int,
+) -> PushPullEstimate:
+    """Expectation-based push/pull estimate for bucket ``k`` (members settled).
+
+    Evaluates :func:`expectation_partials` per rank block (members and
+    later vertices are sorted, so the contiguous partition splits them with
+    one ``searchsorted`` over the boundaries) and folds the partials with
+    :func:`combine_expectation_costs` — the exact computation the SPMD
+    engine performs from its rank-local slices.
+    """
+    cfg = ctx.config
+    machine = ctx.machine
+    delta = cfg.delta
+    lo = k * delta
+    hi = lo + delta
+    p = machine.num_ranks
+    members = np.asarray(members, dtype=np.int64)
+
+    later = np.nonzero(~settled & (d >= hi))[0].astype(np.int64)
+    w_max = max(ctx.graph.max_weight, 1)
+    in_graph = ctx.in_graph
+    bounds = ctx.partition.boundaries
+    m_cuts = np.searchsorted(members, bounds)
+    l_cuts = np.searchsorted(later, bounds)
+    push_partials: list[float] = []
+    pull_partials: list[float] = []
+    for r in range(p):
+        m_r = members[m_cuts[r] : m_cuts[r + 1]]
+        l_r = later[l_cuts[r] : l_cuts[r + 1]]
+        if cfg.use_ios:
+            total_in = in_graph.indptr[l_r + 1] - in_graph.indptr[l_r]
+            long_in = None
+        else:
+            total_in = None
+            long_in = ctx.in_long_degrees[l_r]
+        push_r, pull_r = expectation_partials(
+            cfg, w_max, lo, ctx.long_degrees[m_r], d[l_r], total_in, long_in
+        )
+        push_partials.append(push_r)
+        pull_partials.append(pull_r)
+    return combine_expectation_costs(cfg, machine, push_partials, pull_partials)
 
 
 # ----------------------------------------------------------------------
@@ -240,10 +293,17 @@ def _compute_cost_max(
     """Busiest-thread compute time, mirroring ``ExecutionContext.charge``."""
     if ctx.config.intra_lb:
         tw = thread_work_balanced(
-            vertices, units, ctx.partition, ctx.machine, ctx.heavy_threshold
+            vertices,
+            units,
+            ctx.partition,
+            ctx.machine,
+            ctx.heavy_threshold,
+            thread_map=ctx.thread_map,
         )
     else:
-        tw = thread_work(vertices, units, ctx.partition, ctx.machine)
+        tw = thread_work(
+            vertices, units, ctx.partition, ctx.machine, thread_map=ctx.thread_map
+        )
     return float(tw.max()) * t_unit if tw.size else 0.0
 
 

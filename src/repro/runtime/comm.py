@@ -111,12 +111,59 @@ class Communicator:
         bytes_per_rank = np.zeros(p, dtype=np.int64)
         msgs_per_rank = np.zeros(p, dtype=np.int64)
         if src.size:
-            out_bytes = np.bincount(src, minlength=p) * record_bytes
-            in_bytes = np.bincount(dst, minlength=p) * record_bytes
-            bytes_per_rank = out_bytes + in_bytes
-            # One aggregated message per (src, dst) pair with traffic.
-            pairs = np.unique(src * p + dst)
-            msgs_per_rank = np.bincount(pairs // p, minlength=p)
+            # One bincount over (src, dst) lane ids yields the full P×P
+            # traffic grid; bytes and aggregated message counts (one per
+            # lane with traffic) fall out of its row/column reductions.
+            lanes = np.bincount(src * p + dst, minlength=p * p).reshape(p, p)
+            out_counts = lanes.sum(axis=1)
+            in_counts = lanes.sum(axis=0)
+            bytes_per_rank = (out_counts + in_counts) * record_bytes
+            msgs_per_rank = np.count_nonzero(lanes, axis=1).astype(np.int64)
+        self.metrics.add_exchange(msgs_per_rank, bytes_per_rank, phase_kind=phase_kind)
+
+    def exchange_by_rank_counts(
+        self,
+        src_ranks: np.ndarray,
+        dst_ranks: np.ndarray,
+        counts: np.ndarray,
+        record_bytes: int,
+        *,
+        phase_kind: str = "other",
+    ) -> None:
+        """Account an exchange given per-(src, dst)-lane record counts.
+
+        Metrics-identical to :meth:`exchange_by_rank` over the expanded
+        per-record endpoint arrays, without ever materialising them —
+        ``counts[i]`` records travel the ``(src_ranks[i], dst_ranks[i])``
+        lane. Lanes may repeat (they are deduplicated for the message
+        count, exactly as repeated records are) and zero-count lanes are
+        ignored.
+        """
+        if record_bytes < 0:
+            raise ValueError("record_bytes must be non-negative")
+        p = self.machine.num_ranks
+        src = np.asarray(src_ranks, dtype=np.int64)
+        dst = np.asarray(dst_ranks, dtype=np.int64)
+        cnt = np.asarray(counts, dtype=np.int64)
+        if src.shape != dst.shape or src.shape != cnt.shape:
+            raise ValueError("src_ranks, dst_ranks and counts must align")
+        if cnt.size and int(cnt.min()) < 0:
+            raise ValueError("counts must be non-negative")
+        live = (src != dst) & (cnt > 0)
+        src, dst, cnt = src[live], dst[live], cnt[live]
+        bytes_per_rank = np.zeros(p, dtype=np.int64)
+        msgs_per_rank = np.zeros(p, dtype=np.int64)
+        if src.size:
+            # Accumulate the P×P traffic grid in pure int64 arithmetic
+            # (bincount-with-weights would round-trip through float64);
+            # identical values to exchange_by_rank over expanded arrays.
+            lanes = np.zeros(p * p, dtype=np.int64)
+            np.add.at(lanes, src * p + dst, cnt)
+            lanes = lanes.reshape(p, p)
+            out_counts = lanes.sum(axis=1)
+            in_counts = lanes.sum(axis=0)
+            bytes_per_rank = (out_counts + in_counts) * record_bytes
+            msgs_per_rank = np.count_nonzero(lanes, axis=1).astype(np.int64)
         self.metrics.add_exchange(msgs_per_rank, bytes_per_rank, phase_kind=phase_kind)
 
     def retransmit(

@@ -19,14 +19,24 @@ __all__ = ["thread_index", "thread_work", "thread_work_balanced"]
 
 
 def thread_index(
-    vertices: np.ndarray, partition: BlockPartition, machine: MachineConfig
+    vertices: np.ndarray,
+    partition: BlockPartition,
+    machine: MachineConfig,
+    *,
+    thread_map: np.ndarray | None = None,
 ) -> np.ndarray:
     """Global hardware-thread index owning each vertex.
 
     Thread ``t`` of rank ``r`` has global index ``r * T + t``. Within a
     rank, vertices are block-distributed over the rank's threads.
+    ``thread_map`` is an optional precomputed per-vertex thread table
+    (``thread_index(np.arange(n), ...)``): charging is on the per-record
+    hot path, and a one-time O(n) table turns each charge into a single
+    gather.
     """
     v = np.asarray(vertices, dtype=np.int64)
+    if thread_map is not None:
+        return thread_map[v]
     t_per_rank = machine.threads_per_rank
     b = partition.boundaries
     ranks = np.clip(np.searchsorted(b, v, side="right") - 1, 0, partition.num_ranks - 1)
@@ -52,6 +62,8 @@ def thread_work(
     units: np.ndarray | None,
     partition: BlockPartition,
     machine: MachineConfig,
+    *,
+    thread_map: np.ndarray | None = None,
 ) -> np.ndarray:
     """Work-unit histogram over all hardware threads.
 
@@ -63,7 +75,7 @@ def thread_work(
     v = np.asarray(vertices, dtype=np.int64)
     if v.size == 0:
         return np.zeros(total, dtype=np.float64)
-    idx = thread_index(v, partition, machine)
+    idx = thread_index(v, partition, machine, thread_map=thread_map)
     if units is None:
         return np.bincount(idx, minlength=total).astype(np.float64)
     u = np.asarray(units, dtype=np.float64)
@@ -76,6 +88,8 @@ def thread_work_balanced(
     partition: BlockPartition,
     machine: MachineConfig,
     heavy_threshold: float,
+    *,
+    thread_map: np.ndarray | None = None,
 ) -> np.ndarray:
     """Work histogram with intra-node balancing of heavy vertices.
 
@@ -96,7 +110,9 @@ def thread_work_balanced(
         else np.asarray(units, dtype=np.float64)
     )
     heavy = u > heavy_threshold
-    out = thread_work(v[~heavy], u[~heavy], partition, machine)
+    out = thread_work(
+        v[~heavy], u[~heavy], partition, machine, thread_map=thread_map
+    )
     if heavy.any():
         ranks = np.asarray(partition.owner(v[heavy]), dtype=np.int64)
         per_rank = np.bincount(ranks, weights=u[heavy], minlength=machine.num_ranks)

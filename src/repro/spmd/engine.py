@@ -34,6 +34,7 @@ import numpy as np
 from repro.core.config import SolverConfig
 from repro.core.context import ExecutionContext, make_context
 from repro.core.distances import INF
+from repro.core.pushpull import combine_expectation_costs, expectation_partials
 from repro.graph.csr import CSRGraph
 from repro.runtime.comm import RECOVERY_PHASE, RELAX_RECORD_BYTES, REQUEST_RECORD_BYTES
 from repro.runtime.machine import MachineConfig
@@ -121,7 +122,12 @@ def _apply_inbox(state: RankState, dst: np.ndarray, nd: np.ndarray) -> np.ndarra
     touched = np.unique(local)
     before = state.d[touched].copy()
     np.minimum.at(state.d, local, nd)
-    return touched[state.d[touched] < before]
+    changed = touched[state.d[touched] < before]
+    if state.index is not None and changed.size:
+        # Every relaxation site feeds the incremental bucket index here, so
+        # membership follows the changed set instead of per-epoch rescans.
+        state.index.on_relaxed(changed, state.d)
+    return changed
 
 
 def _active_scan_charge(ctx: ExecutionContext, states: list[RankState]) -> None:
@@ -420,6 +426,9 @@ class _RecoveryManager:
         st.d[:] = d
         st.settled[:] = settled
         st.active = active.copy()
+        # Distances lawfully rose: the incremental index must be rebuilt
+        # from the restored state before the next epoch reads it.
+        st.reindex()
         self.ctx.metrics.recovery.rank_restarts += 1
         if self.ctx.guards is not None:
             # A restore lawfully raises distances and clears settled flags;
@@ -626,6 +635,11 @@ def spmd_delta_stepping(
         # Re-snapshot: the in-memory crash checkpoint must cover the
         # *restored* state, not the pre-resume initial one.
         manager.checkpoint()
+    if config.incremental_buckets:
+        # Attach after the defense layer so a resumed solve indexes the
+        # restored state, not the initial one.
+        for st in states:
+            st.attach_index(delta)
     bf_hook = _chain(
         manager.on_epoch if manager is not None else None,
         defense.bf_hook if defense.enabled else None,
@@ -657,7 +671,12 @@ def spmd_delta_stepping(
                 defense.bucket_ordinal = bucket_ordinal
                 if config.use_hybrid:
                     settled_total = mailbox.allreduce_sum(
-                        [int(st.settled.sum()) for st in states]
+                        [
+                            st.num_local - st.num_unsettled
+                            if st.index is not None
+                            else int(st.settled.sum())
+                            for st in states
+                        ]
                     )
                     n = ctx.graph.num_vertices
                     if n == 0 or settled_total / n > config.tau:
@@ -695,6 +714,8 @@ def spmd_delta_stepping(
 # Epoch processing
 # ----------------------------------------------------------------------
 def _bucket_members_local(st: RankState, k: int, delta: int) -> np.ndarray:
+    if st.index is not None:
+        return st.index.members(k)
     lo_d, hi_d = k * delta, (k + 1) * delta
     mask = (st.d >= lo_d) & (st.d < hi_d) & ~st.settled
     return np.nonzero(mask)[0].astype(np.int64)
@@ -710,11 +731,12 @@ def _decide_mode_spmd(
 ) -> str:
     """The expectation decision heuristic from rank-local partial sums.
 
-    Reproduces :func:`repro.core.pushpull.estimate_models` exactly: each
-    rank contributes its long-degree sum over local members (push side) and
-    its expectation-weighted request sum over local later vertices (pull
-    side); sums and maxima combine associatively, so the SPMD decision
-    equals the orchestrated one. Charges the same two allreduces.
+    Equals :func:`repro.core.pushpull.estimate_models` *by construction*:
+    both call :func:`repro.core.pushpull.expectation_partials` per rank and
+    fold the partials with
+    :func:`repro.core.pushpull.combine_expectation_costs`, so the per-bucket
+    decision is bit-identical between the engines (a regression test pins
+    this on every preset). Charges the same two decision allreduces.
     """
     cfg = ctx.config
     if not cfg.use_pruning:
@@ -728,60 +750,37 @@ def _decide_mode_spmd(
     ):
         return cfg.pushpull_sequence[bucket_ordinal]
 
-    machine = ctx.machine
     delta = cfg.delta
     lo_d = k * delta
     hi_d = lo_d + delta
     w_max = max(ctx.graph.max_weight, 1)
-    p = machine.num_ranks
 
-    push_partials = []
-    pull_partials = []
+    push_partials: list[float] = []
+    pull_partials: list[float] = []
     for st, members in zip(states, members_per_rank):
-        long_deg = (st.local_degrees(members) - st.short_offsets[members]).astype(
-            np.float64
-        )
-        push_partials.append(float(long_deg.sum()))
         later = np.nonzero(~st.settled & (st.d >= hi_d))[0]
-        if later.size:
-            d_later = st.d[later].astype(np.float64)
-            window = np.where(d_later >= INF, np.float64(w_max), d_later - lo_d)
-            if cfg.use_ios:
-                deg = st.local_degrees(later).astype(np.float64)
-                frac = np.clip(window / w_max, 0.0, 1.0)
-            else:
-                deg = (
-                    st.local_degrees(later) - st.short_offsets[later]
-                ).astype(np.float64)
-                frac = np.clip(
-                    (window - delta) / max(w_max - delta + 1, 1), 0.0, 1.0
-                )
-            pull_partials.append(float((deg * frac).sum()))
+        if cfg.use_ios:
+            # Undirected rank-local adjacency doubles as in-edges.
+            total_in = st.local_degrees(later)
+            long_in = None
         else:
-            pull_partials.append(0.0)
-
-    push_records = sum(push_partials)
-    push_max = max(push_partials)
-    pull_requests = sum(pull_partials)
-    pull_max = max(pull_partials)
-    pull_responses = pull_requests
-
-    push_cost = (
-        machine.beta * push_records * RELAX_RECORD_BYTES
-        + machine.alpha * p
-        + cfg.imbalance_weight * machine.t_relax * push_max
-    )
-    pull_cost = (
-        machine.beta
-        * (
-            pull_requests * REQUEST_RECORD_BYTES
-            + pull_responses * RELAX_RECORD_BYTES
+            total_in = None
+            long_in = st.local_degrees(later) - st.short_offsets[later]
+        push_r, pull_r = expectation_partials(
+            cfg,
+            w_max,
+            lo_d,
+            st.local_degrees(members) - st.short_offsets[members],
+            st.d[later],
+            total_in,
+            long_in,
         )
-        + machine.alpha * 2 * p
-        + cfg.imbalance_weight * machine.t_request * pull_max
-    )
+        push_partials.append(push_r)
+        pull_partials.append(pull_r)
+
+    est = combine_expectation_costs(cfg, ctx.machine, push_partials, pull_partials)
     ctx.comm.allreduce(2, phase_kind="long")
-    return "push" if push_cost <= pull_cost else "pull"
+    return est.choice
 
 
 def _long_phase_push_spmd(
@@ -995,6 +994,9 @@ def _process_epoch_spmd(
     for st in states:
         members = _bucket_members_local(st, k, delta)
         st.settled[members] = True
+        if st.index is not None:
+            st.index.on_settled(members)
+            st.num_unsettled -= int(members.size)
         members_per_rank.append(members)
         members_count += members.size
     if ctx.guards is not None:
@@ -1019,6 +1021,9 @@ def _process_epoch_spmd(
         ctx.guards.after_relaxations(
             _gather_distances(states, ctx.graph.num_vertices)
         )
+        for st in states:
+            if st.index is not None:
+                ctx.guards.check_bucket_index(st.index, st.d, st.settled)
     stats["bucket"] = k
     stats["members"] = int(members_count)
     ctx.metrics.note_bucket(stats)

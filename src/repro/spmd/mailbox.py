@@ -72,6 +72,12 @@ class Mailbox:
             raise ValueError(
                 f"destination rank {bad} out of range [0, {self.num_ranks})"
             )
+        if lo == hi:
+            # Single-destination batch: no segmentation sort needed.
+            self._outbox[src_rank].append(
+                (lo, tuple(np.asarray(c) for c in columns))
+            )
+            return
         order = np.argsort(dst_ranks, kind="stable")
         sorted_dst = dst_ranks[order]
         sorted_cols = [np.asarray(c)[order] for c in columns]
@@ -103,49 +109,54 @@ class Mailbox:
         num_columns: int = 2,
     ) -> list[tuple[np.ndarray, ...]]:
         """Close the superstep: account the traffic and return, per receiving
-        rank, the concatenated record columns addressed to it."""
+        rank, the concatenated record columns addressed to it.
+
+        The hot path is batched by (src, dst) *lane*: traffic is accounted
+        from per-lane record counts (no per-record src/dst rank columns are
+        ever materialised — historically an O(P²) ``np.full`` allocation
+        pattern per superstep), empty lanes are skipped entirely, and an
+        idle superstep allocates no per-lane arrays at all.
+        """
         p = self.num_ranks
         self._check_columns(num_columns)
-        # Account every queued record with its true (src, dst) rank pair.
-        src_list = []
-        dst_list = []
-        for src in range(p):
-            for dst, cols in self._outbox[src]:
-                count = cols[0].size
-                src_list.append(np.full(count, src, dtype=np.int64))
-                dst_list.append(np.full(count, dst, dtype=np.int64))
-        if src_list:
-            self.comm.exchange_by_rank(
-                np.concatenate(src_list),
-                np.concatenate(dst_list),
-                record_bytes,
-                phase_kind=phase_kind,
-            )
-        else:
-            self.comm.exchange_by_rank(
-                np.empty(0, dtype=np.int64),
-                np.empty(0, dtype=np.int64),
-                record_bytes,
-                phase_kind=phase_kind,
-            )
-        # Deliver.
+        lane_src: list[int] = []
+        lane_dst: list[int] = []
+        lane_cnt: list[int] = []
         inbox: list[list[tuple[np.ndarray, ...]]] = [[] for _ in range(p)]
         for src in range(p):
             for dst, cols in self._outbox[src]:
+                count = cols[0].size
+                if count == 0:
+                    continue
+                lane_src.append(src)
+                lane_dst.append(dst)
+                lane_cnt.append(count)
                 inbox[dst].append(cols)
         self._outbox = [[] for _ in range(p)]
+        self.comm.exchange_by_rank_counts(
+            np.asarray(lane_src, dtype=np.int64),
+            np.asarray(lane_dst, dtype=np.int64),
+            np.asarray(lane_cnt, dtype=np.int64),
+            record_bytes,
+            phase_kind=phase_kind,
+        )
         out: list[tuple[np.ndarray, ...]] = []
         for dst in range(p):
-            if inbox[dst]:
-                out.append(
-                    tuple(
-                        np.concatenate([batch[i] for batch in inbox[dst]])
-                        for i in range(num_columns)
-                    )
-                )
-            else:
+            batches = inbox[dst]
+            if not batches:
                 out.append(
                     tuple(np.empty(0, dtype=np.int64) for _ in range(num_columns))
+                )
+            elif len(batches) == 1:
+                # Single-lane receiver: hand the posted columns through
+                # without a concatenate copy.
+                out.append(batches[0])
+            else:
+                out.append(
+                    tuple(
+                        np.concatenate([batch[i] for batch in batches])
+                        for i in range(num_columns)
+                    )
                 )
         return out
 
@@ -300,21 +311,30 @@ class ReliableMailbox(Mailbox):
                 self.on_restart(rank)
 
         # Flatten the outbox into one record stream (same order as the
-        # plain Mailbox concatenates batches).
-        src_parts: list[np.ndarray] = []
-        dst_parts: list[np.ndarray] = []
+        # plain Mailbox concatenates batches: src ascending, per-src post
+        # insertion order — fault-plan events key off stream positions, so
+        # this order is load-bearing). Lane endpoints expand via a single
+        # ``np.repeat`` over per-batch values instead of one ``np.full``
+        # pair per batch; empty batches are dropped up front.
+        batch_src: list[int] = []
+        batch_dst: list[int] = []
+        batch_cnt: list[int] = []
         col_parts: list[list[np.ndarray]] = [[] for _ in range(num_columns)]
         for src in range(p):
             for dst, cols in self._outbox[src]:
                 count = cols[0].size
-                src_parts.append(np.full(count, src, dtype=np.int64))
-                dst_parts.append(np.full(count, dst, dtype=np.int64))
+                if count == 0:
+                    continue
+                batch_src.append(src)
+                batch_dst.append(dst)
+                batch_cnt.append(count)
                 for i in range(num_columns):
                     col_parts[i].append(cols[i])
         self._outbox = [[] for _ in range(p)]
-        if src_parts:
-            src_arr = np.concatenate(src_parts)
-            dst_arr = np.concatenate(dst_parts)
+        if batch_cnt:
+            cnt_arr = np.asarray(batch_cnt, dtype=np.int64)
+            src_arr = np.repeat(np.asarray(batch_src, dtype=np.int64), cnt_arr)
+            dst_arr = np.repeat(np.asarray(batch_dst, dtype=np.int64), cnt_arr)
             cols = tuple(np.concatenate(c) for c in col_parts)
         else:
             src_arr = np.empty(0, dtype=np.int64)

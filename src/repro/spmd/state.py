@@ -13,6 +13,8 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
+from repro.core.bucket_index import BucketIndex
+from repro.core.buckets import NO_BUCKET
 from repro.core.distances import INF
 from repro.graph.csr import CSRGraph
 from repro.graph.partition import ContiguousPartition
@@ -39,6 +41,10 @@ class RankState:
     settled: np.ndarray
     active: np.ndarray = field(default_factory=lambda: np.empty(0, np.int64))
     """Local indices of currently active vertices."""
+    index: BucketIndex | None = None
+    """Incremental bucket index over the local slice (``attach_index``)."""
+    num_unsettled: int = -1
+    """Tracked unsettled count, valid while ``index`` is attached."""
 
     @property
     def num_local(self) -> int:
@@ -53,11 +59,28 @@ class RankState:
     def local_degrees(self, local: np.ndarray) -> np.ndarray:
         return self.indptr[local + 1] - self.indptr[local]
 
+    # ------------------------------------------------------------------
+    def attach_index(self, delta: int) -> None:
+        """Build the incremental bucket index over the current local state."""
+        self.index = BucketIndex(delta, self.d, self.settled)
+        self.num_unsettled = int((~self.settled).sum())
+
+    def reindex(self) -> None:
+        """Rebuild after a state restore (distances may have risen)."""
+        if self.index is not None:
+            self.index.rebuild(self.d, self.settled)
+            self.num_unsettled = int((~self.settled).sum())
+
     def unsettled_count(self) -> int:
+        if self.index is not None:
+            return self.num_unsettled
         return int((~self.settled).sum())
 
     def min_unsettled_bucket(self, delta: int) -> int:
         """Local next-bucket candidate (INF marker when none)."""
+        if self.index is not None:
+            k = self.index.min_bucket()
+            return int(INF) if k == NO_BUCKET else int(k)
         mask = (self.d < INF) & ~self.settled
         if not mask.any():
             return int(INF)
