@@ -11,9 +11,10 @@ from __future__ import annotations
 
 from typing import Any
 
-from repro.runtime.costmodel import _compute_unit_cost
+from repro.runtime.costmodel import price_record
 from repro.runtime.machine import MachineConfig
 from repro.runtime.metrics import Metrics
+from repro.util.tables import format_table
 
 __all__ = ["timeline", "time_by_phase_kind", "render_timeline"]
 
@@ -23,18 +24,15 @@ def timeline(metrics: Metrics, machine: MachineConfig) -> list[dict[str, Any]]:
 
     Columns: ``step``, ``kind``, ``phase``, ``cost_s`` (the record's
     simulated duration) and ``t_s`` (cumulative simulated time at the end
-    of the record). The final ``t_s`` equals the cost model's total time.
+    of the record). Each record is priced by
+    :func:`~repro.runtime.costmodel.price_record` — the same rule
+    :func:`~repro.runtime.costmodel.evaluate_cost` folds with — so the
+    final ``t_s`` equals the cost model's total time by construction.
     """
-    t_allreduce = machine.allreduce_time()
     rows: list[dict[str, Any]] = []
     t = 0.0
     for i, rec in enumerate(metrics.records):
-        if rec.kind == "exchange":
-            cost = machine.alpha * rec.msgs_max + machine.beta * rec.bytes_max
-        elif rec.kind == "allreduce":
-            cost = rec.allreduces * t_allreduce
-        else:
-            cost = rec.comp_max * _compute_unit_cost(rec.kind, machine)
+        cost = price_record(rec, machine)
         t += cost
         rows.append(
             {
@@ -71,12 +69,16 @@ def render_timeline(
     rows = timeline(metrics, machine)
     total = rows[-1]["t_s"] if rows else 0.0
     expensive = sorted(rows, key=lambda r: r["cost_s"], reverse=True)[:top]
-    lines = [f"total simulated time: {total * 1e3:.3f} ms; "
-             f"{len(rows)} records; top {len(expensive)} by cost:"]
-    for r in expensive:
-        share = r["cost_s"] / total if total else 0.0
-        lines.append(
-            f"  #{r['step']:>5} {r['kind']:<16} {r['phase']:<7} "
-            f"{r['cost_s'] * 1e6:>10.2f} us  {share:>6.1%}"
-        )
-    return "\n".join(lines)
+    title = (f"total simulated time: {total * 1e3:.3f} ms; "
+             f"{len(rows)} records; top {len(expensive)} by cost:")
+    table = [
+        {
+            "step": r["step"],
+            "kind": r["kind"],
+            "phase": r["phase"],
+            "cost_us": r["cost_s"] * 1e6,
+            "share": f"{(r['cost_s'] / total if total else 0.0):.1%}",
+        }
+        for r in expensive
+    ]
+    return format_table(table, title=title)

@@ -1,14 +1,18 @@
 """Command-line interface.
 
-Four subcommands cover the common workflows::
+Subcommands cover the common workflows::
 
-    python -m repro solve     --scale 13 --algorithm opt --delta 25
-    python -m repro compare   --scale 12 --delta 25
-    python -m repro graph500  --scale 12 --roots 16
-    python -m repro sweep     --scale 12 --deltas 1,10,25,40,100
+    python -m repro solve        --scale 13 --algorithm opt --delta 25
+    python -m repro compare      --scale 12 --delta 25
+    python -m repro graph500     --scale 12 --roots 16
+    python -m repro sweep        --scale 12 --deltas 1,10,25,40,100
+    python -m repro trace-report run.trace.jsonl
 
 All graph and machine knobs are flags; output is the same plain-text
-tables the benchmark harness prints.
+tables the benchmark harness prints.  ``solve --trace PATH`` captures a
+structured trace of the run (``--trace-format perfetto`` writes a
+Chrome/Perfetto ``trace_events`` file loadable in ui.perfetto.dev);
+``trace-report`` summarises a captured trace offline.
 """
 
 from __future__ import annotations
@@ -112,6 +116,21 @@ def build_parser() -> argparse.ArgumentParser:
                               "finality, IOS edge conservation)")
     p_solve.add_argument("--json", metavar="PATH", default=None,
                          help="also write a JSON report to PATH ('-' = stdout)")
+    p_solve.add_argument("--trace", metavar="PATH", default=None,
+                         help="capture a structured trace of the solve to "
+                              "PATH (see --trace-format)")
+    p_solve.add_argument("--trace-format", choices=["jsonl", "perfetto"],
+                         default="jsonl",
+                         help="trace file format: 'jsonl' event log (read "
+                              "back with 'repro trace-report') or 'perfetto' "
+                              "Chrome trace_events JSON for ui.perfetto.dev "
+                              "(default jsonl)")
+    p_solve.add_argument("--metrics-out", metavar="PATH", default=None,
+                         help="write a Prometheus text-format metrics "
+                              "snapshot of the solve to PATH")
+    p_solve.add_argument("--progress", action="store_true",
+                         help="print live per-epoch progress to stderr "
+                              "(enables the tracer)")
 
     p_cmp = sub.add_parser("compare", help="compare the algorithm family")
     _add_graph_args(p_cmp)
@@ -139,6 +158,19 @@ def build_parser() -> argparse.ArgumentParser:
     p_bfs.add_argument("--direction", choices=["auto", "top-down", "bottom-up"],
                        default="auto")
     p_bfs.add_argument("--root", type=int, default=None)
+
+    p_trace = sub.add_parser(
+        "trace-report",
+        help="summarise a trace captured with 'solve --trace'",
+    )
+    p_trace.add_argument("trace", metavar="TRACE",
+                         help="trace file (JSONL or Perfetto JSON)")
+    p_trace.add_argument("--top", type=int, default=15,
+                         help="spans to show in the slowest-spans table "
+                              "(default 15)")
+    p_trace.add_argument("--validate", action="store_true",
+                         help="schema-check the trace file and exit non-zero "
+                              "on problems (prints them) — used by CI")
     return parser
 
 
@@ -155,12 +187,23 @@ def _cmd_solve(args: argparse.Namespace) -> int:
             stall_patience=args.stall_patience,
             policy=args.deadline_policy,
         )
+    trace_cfg = None
+    if args.trace is not None or args.metrics_out is not None or args.progress:
+        from repro.obs.tracer import TraceConfig
+
+        trace_cfg = TraceConfig(
+            path=args.trace,
+            format=args.trace_format,
+            metrics_path=args.metrics_out,
+            progress=args.progress,
+        )
     defense_kwargs = dict(
         paranoid=args.paranoid,
         checkpoint_dir=args.checkpoint_dir,
         checkpoint_interval=args.checkpoint_interval,
         resume=args.resume,
         deadline=deadline,
+        trace=trace_cfg,
     )
     try:
         if args.faults is not None:
@@ -191,6 +234,13 @@ def _cmd_solve(args: argparse.Namespace) -> int:
             "faults": sum(rec.faults_injected.values()),
         }
         print(format_table([row], "recovery overhead"))
+    if res.trace is not None:
+        from repro.obs.report import drift_table
+
+        if res.trace.drift_rows:
+            print(drift_table(res.trace.drift_rows))
+        for kind, path in sorted(res.trace.artifacts.items()):
+            print(f"{kind} written to {path}")
     if args.json is not None:
         from repro.util.reports import dump_json, sssp_report
 
@@ -198,6 +248,23 @@ def _cmd_solve(args: argparse.Namespace) -> int:
                          None if args.json == "-" else args.json)
         if args.json == "-":
             print(text)
+    return 0
+
+
+def _cmd_trace_report(args: argparse.Namespace) -> int:
+    from repro.obs.export import validate_trace_file
+    from repro.obs.report import load_trace, render_report
+
+    if args.validate:
+        fmt, problems = validate_trace_file(args.trace)
+        if problems:
+            print(f"{args.trace}: INVALID ({fmt})")
+            for problem in problems:
+                print(f"  - {problem}")
+            return 1
+        print(f"{args.trace}: OK ({fmt})")
+        return 0
+    print(render_report(load_trace(args.trace), top=args.top))
     return 0
 
 
@@ -269,6 +336,7 @@ _COMMANDS = {
     "graph500": _cmd_graph500,
     "sweep": _cmd_sweep,
     "bfs": _cmd_bfs,
+    "trace-report": _cmd_trace_report,
 }
 
 

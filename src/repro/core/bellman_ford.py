@@ -59,6 +59,7 @@ def bellman_ford_stage(
     sync_kind = phase_kind if phase_kind == "recovery" else "bucket"
     active = np.asarray(initial_active, dtype=np.int64)
     iterations = 0
+    tr = ctx.tracer
     while True:
         # Global check whether any rank still has active vertices.
         ctx.comm.allreduce(1, phase_kind=sync_kind)
@@ -67,6 +68,14 @@ def bellman_ford_stage(
         if epoch_hook is not None:
             epoch_hook(active)
         iterations += 1
+        span = (
+            tr.begin(
+                "bf", cat="phase", iteration=iterations, kind=phase_kind,
+                active=int(active.size),
+            )
+            if tr is not None
+            else None
+        )
         # Building the active list is a scan over last phase's changed set.
         per_rank = np.bincount(
             np.asarray(ctx.partition.owner(active), dtype=np.int64),
@@ -94,6 +103,8 @@ def bellman_ford_stage(
         active = apply_relaxations(d, dst, nd)
         if ctx.guards is not None:
             ctx.guards.after_relaxations(d)
+        if tr is not None:
+            tr.end(span, relaxed=int(dst.size))
     return iterations
 
 

@@ -19,6 +19,10 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass, replace
+from typing import TYPE_CHECKING
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard, typing only
+    from repro.obs.tracer import TraceConfig
 
 __all__ = ["SolverConfig", "preset", "PRESETS", "DELTA_INFINITY"]
 
@@ -115,6 +119,11 @@ class SolverConfig:
     conservation and recovery-traffic separation. Off by default; every
     engine hook site is gated on the guards object, so a non-paranoid run
     executes no extra work and charges no extra accounting."""
+    trace: "TraceConfig | None" = None
+    """Optional telemetry configuration (:mod:`repro.obs`). ``None`` (the
+    default) means no tracer exists and no hook executes — distances,
+    metrics and simulated cost are bit-identical to an uninstrumented run,
+    the same pay-for-use discipline as :attr:`paranoid`."""
 
     def __post_init__(self) -> None:
         if self.delta < 1:

@@ -61,6 +61,11 @@ class ExecutionContext:
     """Precomputed per-vertex hardware-thread table
     (``thread_index(np.arange(n), partition, machine)``): turns every
     per-record work charge into a single gather."""
+    tracer: object | None = None
+    """Span tracer (:class:`repro.obs.tracer.Tracer`), present only when
+    ``config.trace`` asks for telemetry. Every engine hook site is gated on
+    ``ctx.tracer is not None`` — the same pay-for-use discipline as
+    :attr:`guards`."""
 
     # ------------------------------------------------------------------
     # In-edge views (pull model): identical to the forward views on
@@ -206,6 +211,13 @@ def make_context(
     thread_map = thread_index(
         np.arange(sorted_graph.num_vertices, dtype=np.int64), partition, machine
     )
+    tracer = None
+    trace_cfg = getattr(config, "trace", None)
+    if trace_cfg is not None and trace_cfg.enabled:
+        from repro.obs.tracer import Tracer
+
+        tracer = Tracer(machine, trace_cfg)
+        metrics.tracer = tracer
     return ExecutionContext(
         graph=sorted_graph,
         partition=partition,
@@ -222,4 +234,5 @@ def make_context(
         reverse_long_degrees=rev_long,
         guards=guards,
         thread_map=thread_map,
+        tracer=tracer,
     )

@@ -77,6 +77,7 @@ class DeltaSteppingEngine:
         ctx = self.ctx
         cfg = ctx.config
         n = ctx.graph.num_vertices
+        tr = ctx.tracer
 
         ckpt_mgr = None
         if checkpoint_dir is not None:
@@ -107,6 +108,19 @@ class DeltaSteppingEngine:
         stage = "bucket"
         start_active: np.ndarray | None = None
 
+        solve_span = (
+            tr.begin(
+                "solve",
+                cat="solve",
+                engine="core-delta",
+                root=int(root),
+                n=int(n),
+                delta=int(cfg.delta),
+            )
+            if tr is not None
+            else None
+        )
+
         start_ckpt = (
             ckpt_mgr.load_resume() if (ckpt_mgr is not None and resume) else None
         )
@@ -118,6 +132,11 @@ class DeltaSteppingEngine:
             stage = start_ckpt.stage
             start_active = start_ckpt.active.copy()
             ctx.metrics.hybrid_switch_bucket = start_ckpt.hybrid_switch_bucket
+            if tr is not None:
+                tr.instant(
+                    "resume", epoch=int(epoch), stage=stage,
+                    bucket_ordinal=int(bucket_ordinal),
+                )
 
         def checkpoint_now(stage_name: str, active, *, force: bool = False):
             if ckpt_mgr is None:
@@ -132,7 +151,13 @@ class DeltaSteppingEngine:
                 active=np.asarray(active, dtype=np.int64),
                 hybrid_switch_bucket=ctx.metrics.hybrid_switch_bucket,
             )
-            return ckpt_mgr.save(**kwargs) if force else ckpt_mgr.maybe_save(**kwargs)
+            path = ckpt_mgr.save(**kwargs) if force else ckpt_mgr.maybe_save(**kwargs)
+            if path is not None and tr is not None:
+                tr.instant(
+                    "checkpoint", stage=stage_name, epoch=int(epoch),
+                    path=str(path),
+                )
+            return path
 
         def tick() -> None:
             if watchdog is not None:
@@ -193,7 +218,9 @@ class DeltaSteppingEngine:
                     if cfg.use_hybrid:
                         # Settled-fraction aggregate for the switch decision.
                         ctx.comm.allreduce(1, phase_kind="bucket")
-                        if should_switch(settled, cfg.tau, count=settled_count):
+                        if should_switch(
+                            settled, cfg.tau, count=settled_count, tracer=tr
+                        ):
                             ctx.metrics.hybrid_switch_bucket = k
                             remaining = np.nonzero(~settled & (d < INF))[
                                 0
@@ -214,6 +241,9 @@ class DeltaSteppingEngine:
             ctx.guards.check_recovery_separation(
                 ctx.metrics, allowed=ctx.metrics.degraded_to_bf
             )
+        if tr is not None:
+            tr.end(solve_span, settled=int(settled.sum()))
+            tr.finish(metrics=ctx.metrics)
         return d
 
     # ------------------------------------------------------------------
@@ -228,6 +258,8 @@ class DeltaSteppingEngine:
             # shortest distances — the paper's own hybridization machinery,
             # charged to the recovery phase.
             ctx.metrics.degraded_to_bf = True
+            if ctx.tracer is not None:
+                ctx.tracer.instant("degrade-to-bf", reason=str(exc.reason))
             finite = np.nonzero(d < INF)[0].astype(np.int64)
             bellman_ford_stage(ctx, d, finite, phase_kind="recovery")
             settled[:] = d < INF
@@ -248,6 +280,10 @@ class DeltaSteppingEngine:
     def _short_phase(self, d: np.ndarray, active: np.ndarray, k: int) -> np.ndarray:
         """One short-edge phase over ``active``; returns changed vertices."""
         ctx = self.ctx
+        tr = ctx.tracer
+        span = (
+            tr.begin("short", cat="phase", bucket=int(k)) if tr is not None else None
+        )
         graph = ctx.graph
         delta = ctx.config.delta
         hi = (k + 1) * delta
@@ -277,6 +313,8 @@ class DeltaSteppingEngine:
         changed = apply_relaxations(d, dst, nd)
         if ctx.guards is not None:
             ctx.guards.after_relaxations(d)
+        if tr is not None:
+            tr.end(span, active=int(active.size), relaxed=int(dst.size))
         return changed
 
     # ------------------------------------------------------------------
@@ -300,6 +338,15 @@ class DeltaSteppingEngine:
         delta = cfg.delta
         lo = k * delta
         hi = lo + delta
+        tr = ctx.tracer
+        epoch_span = (
+            tr.begin(
+                f"bucket {k}", cat="epoch", bucket=int(k),
+                ordinal=int(bucket_ordinal),
+            )
+            if tr is not None
+            else None
+        )
         if ctx.guards is not None:
             ctx.guards.on_bucket_start(k)
 
@@ -351,11 +398,16 @@ class DeltaSteppingEngine:
             stats.update(bucket_census(ctx, d, settled, members, k))
 
         # --- Stage 2: one long phase, push or pull.
+        long_span = (
+            tr.begin("long", cat="phase", bucket=int(k)) if tr is not None else None
+        )
         mode, estimate = decide_mode(ctx, d, settled, members, k, bucket_ordinal)
         if mode == "push":
             changed, phase_stats = long_phase_push(ctx, d, members, k)
         else:
             changed, phase_stats = long_phase_pull(ctx, d, settled, members, k)
+        if tr is not None:
+            tr.end(long_span, mode=mode, relaxed=int(changed.size))
         if index is not None:
             index.on_relaxed(changed, d)
         if ctx.guards is not None:
@@ -369,6 +421,8 @@ class DeltaSteppingEngine:
             stats["est_push_cost"] = estimate.push_cost
             stats["est_pull_cost"] = estimate.pull_cost
         ctx.metrics.note_bucket(stats)
+        if tr is not None:
+            tr.end(epoch_span, members=int(members.size), mode=mode)
         return settled_count
 
 

@@ -19,17 +19,29 @@ DEFAULT_TAU = 0.4
 
 
 def should_switch(
-    settled: np.ndarray, tau: float, *, count: int | None = None
+    settled: np.ndarray,
+    tau: float,
+    *,
+    count: int | None = None,
+    tracer=None,
 ) -> bool:
     """True when the settled fraction exceeds ``tau``.
 
     Evaluated at the end of each epoch; the settled count is a global
     aggregate (one allreduce, charged by the engine). Callers tracking the
     settled count incrementally pass it as ``count`` to skip the O(n) sum;
-    the decision is identical either way.
+    the decision is identical either way. A ``tracer``
+    (:class:`repro.obs.tracer.Tracer`), when given, records the check as an
+    instant event — pure telemetry, no effect on the decision.
     """
     if settled.size == 0:
         return True
     if count is None:
         count = int(settled.sum())
-    return float(count) / settled.size > tau
+    fraction = float(count) / settled.size
+    decision = fraction > tau
+    if tracer is not None:
+        tracer.instant(
+            "hybrid-check", settled_fraction=fraction, tau=tau, switch=decision
+        )
+    return decision

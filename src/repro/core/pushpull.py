@@ -440,4 +440,13 @@ def decide_mode(
     # The decision aggregates are part of the pruning long-phase machinery,
     # not of bucket identification, so they bill to OtherTime.
     ctx.comm.allreduce(2, phase_kind="long")
+    if ctx.tracer is not None:
+        ctx.tracer.instant(
+            "pushpull-decision",
+            bucket=int(k),
+            mode=est.choice,
+            estimator=est.estimator,
+            push_cost=est.push_cost,
+            pull_cost=est.pull_cost,
+        )
     return est.choice, est

@@ -91,6 +91,10 @@ class SsspResult:
     num_proxies: int = 0
     #: populated when the solve ran with ``paranoid`` invariant guards
     guards: object | None = None
+    trace: object | None = None
+    """The solve's :class:`repro.obs.tracer.Tracer` (finalized, with
+    ``registry``/``drift_rows``/``artifacts`` filled in) when telemetry was
+    configured; ``None`` otherwise."""
 
     @property
     def num_reached(self) -> int:
@@ -131,6 +135,7 @@ def solve_sssp(
     checkpoint_interval: int = 1,
     resume: bool = False,
     deadline=None,
+    trace=None,
 ) -> SsspResult:
     """Solve single-source shortest paths on the simulated machine.
 
@@ -173,6 +178,10 @@ def solve_sssp(
     deadline:
         Optional :class:`~repro.runtime.watchdog.DeadlineConfig` arming
         the superstep-budget/stall watchdog.
+    trace:
+        Optional :class:`~repro.obs.tracer.TraceConfig` enabling the
+        telemetry layer; artifacts are written at solve end and the
+        finalized tracer is returned as ``result.trace``.
 
     Returns
     -------
@@ -186,6 +195,8 @@ def solve_sssp(
         name = algorithm
     if paranoid and not config.paranoid:
         config = config.evolve(paranoid=True)
+    if trace is not None:
+        config = config.evolve(trace=trace)
     if checkpoint_dir is not None:
         from repro.spmd.checkpoint import ensure_checkpoint_dir
 
@@ -226,6 +237,10 @@ def solve_sssp(
 
     cost = evaluate_cost(ctx.metrics, machine)
     gteps = simulated_gteps(graph.num_undirected_edges, ctx.metrics, machine)
+    if ctx.tracer is not None:
+        from repro.obs.export import finalize_trace
+
+        finalize_trace(ctx.tracer, metrics=ctx.metrics)
     return SsspResult(
         distances=distances,
         metrics=ctx.metrics,
@@ -240,6 +255,7 @@ def solve_sssp(
         wall_time_s=wall,
         num_proxies=num_proxies,
         guards=ctx.guards,
+        trace=ctx.tracer,
     )
 
 
@@ -325,6 +341,10 @@ class BatchSolver:
         gteps = simulated_gteps(
             self._original_graph.num_undirected_edges, ctx.metrics, self.machine
         )
+        if ctx.tracer is not None:
+            from repro.obs.export import finalize_trace
+
+            finalize_trace(ctx.tracer, metrics=ctx.metrics)
         return SsspResult(
             distances=distances,
             metrics=ctx.metrics,
@@ -339,6 +359,7 @@ class BatchSolver:
             wall_time_s=wall,
             num_proxies=self.num_proxies,
             guards=ctx.guards,
+            trace=ctx.tracer,
         )
 
     def solve_many(

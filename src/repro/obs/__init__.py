@@ -1,0 +1,26 @@
+"""Observability: span tracing, metrics registry, exporters, drift detection.
+
+Pay-for-use telemetry for both engines. A run configured with a
+:class:`~repro.obs.tracer.TraceConfig` (via ``SolverConfig.trace`` or the
+``trace=`` keyword of the solver front-ends) records nested spans
+(solve → bucket epoch → phase → superstep), per-record wall-clock and
+simulated durations, a counters/gauges/histograms registry with Prometheus
+text exposition, and a wall-time vs. cost-model drift report.  With tracing
+off (the default) no hook executes: distances, metrics and simulated cost
+are bit-identical to an uninstrumented run — the same discipline as the
+invariant guards and the checkpoint layer.
+
+Modules
+-------
+- :mod:`repro.obs.tracer` — :class:`TraceConfig`, :class:`Tracer`, spans.
+- :mod:`repro.obs.registry` — :class:`MetricsRegistry` (Prometheus text).
+- :mod:`repro.obs.drift` — :class:`DriftMonitor` (wall vs. simulated).
+- :mod:`repro.obs.export` — JSONL / Chrome-Perfetto / Prometheus writers.
+- :mod:`repro.obs.report` — trace loading and the text report renderer.
+"""
+
+from repro.obs.drift import DriftMonitor
+from repro.obs.registry import MetricsRegistry
+from repro.obs.tracer import TraceConfig, Tracer
+
+__all__ = ["TraceConfig", "Tracer", "MetricsRegistry", "DriftMonitor"]

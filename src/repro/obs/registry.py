@@ -1,0 +1,188 @@
+"""Metrics registry: counters, gauges and histograms with Prometheus output.
+
+A tiny in-process registry in the Prometheus data model. The tracer feeds
+it per-record counters (records, bytes, wall/simulated seconds by kind) and
+end-of-run gauges (the flat :meth:`~repro.runtime.metrics.Metrics.summary`);
+benches and the CLI consume :meth:`MetricsRegistry.snapshot`, and
+``--metrics-out`` writes :meth:`MetricsRegistry.prometheus_text` — the
+standard text exposition format, scrapable as a node-exporter-style file.
+
+No external dependency: the exposition format is a few lines of string
+formatting, which keeps the registry importable everywhere the simulator
+runs.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Iterable, Mapping
+
+__all__ = ["MetricsRegistry", "DEFAULT_BUCKETS"]
+
+DEFAULT_BUCKETS: tuple[float, ...] = (
+    1e-6, 1e-5, 1e-4, 1e-3, 1e-2, 0.1, 1.0, 10.0
+)
+"""Histogram bucket upper bounds in seconds (durations are the main use)."""
+
+_LabelKey = tuple[tuple[str, str], ...]
+
+
+def _label_key(labels: Mapping[str, Any]) -> _LabelKey:
+    """Canonical hashable form of a label set."""
+    return tuple(sorted((str(k), str(v)) for k, v in labels.items()))
+
+
+def _label_text(key: _LabelKey) -> str:
+    """Render a label key as Prometheus ``{k="v",...}`` (empty for none)."""
+    if not key:
+        return ""
+    inner = ",".join(f'{k}="{v}"' for k, v in key)
+    return "{" + inner + "}"
+
+
+def _fmt_value(value: float) -> str:
+    """Format a sample value the way Prometheus text exposition expects."""
+    if float(value).is_integer() and abs(value) < 1e15:
+        return str(int(value))
+    return repr(float(value))
+
+
+class MetricsRegistry:
+    """Counters, gauges and histograms keyed by (name, label set).
+
+    Metric names follow Prometheus conventions (``snake_case``, counters
+    end in ``_total``). All three families share one namespace; registering
+    the same name under two families is an error.
+    """
+
+    def __init__(self) -> None:
+        self._types: dict[str, str] = {}
+        self._help: dict[str, str] = {}
+        self._counters: dict[str, dict[_LabelKey, float]] = {}
+        self._gauges: dict[str, dict[_LabelKey, float]] = {}
+        self._hists: dict[str, dict[_LabelKey, dict[str, Any]]] = {}
+        self._buckets: dict[str, tuple[float, ...]] = {}
+
+    # ------------------------------------------------------------------
+    def _register(self, name: str, family: str, help_: str | None) -> None:
+        seen = self._types.get(name)
+        if seen is None:
+            self._types[name] = family
+            if help_:
+                self._help[name] = help_
+        elif seen != family:
+            raise ValueError(
+                f"metric {name!r} already registered as {seen}, not {family}"
+            )
+
+    def inc(
+        self, name: str, value: float = 1.0, *, help: str | None = None, **labels
+    ) -> None:
+        """Increment counter ``name`` (monotone; negative deltas rejected)."""
+        if value < 0:
+            raise ValueError("counters only go up")
+        self._register(name, "counter", help)
+        series = self._counters.setdefault(name, {})
+        key = _label_key(labels)
+        series[key] = series.get(key, 0.0) + float(value)
+
+    def set_gauge(
+        self, name: str, value: float, *, help: str | None = None, **labels
+    ) -> None:
+        """Set gauge ``name`` to ``value`` (last write wins)."""
+        self._register(name, "gauge", help)
+        self._gauges.setdefault(name, {})[_label_key(labels)] = float(value)
+
+    def observe(
+        self,
+        name: str,
+        value: float,
+        *,
+        buckets: Iterable[float] | None = None,
+        help: str | None = None,
+        **labels,
+    ) -> None:
+        """Record one observation into histogram ``name``.
+
+        ``buckets`` (upper bounds, ascending) is fixed at the histogram's
+        first observation; later calls reuse it.
+        """
+        self._register(name, "histogram", help)
+        if name not in self._buckets:
+            self._buckets[name] = tuple(
+                buckets if buckets is not None else DEFAULT_BUCKETS
+            )
+        bounds = self._buckets[name]
+        series = self._hists.setdefault(name, {})
+        key = _label_key(labels)
+        h = series.setdefault(
+            key, {"counts": [0] * len(bounds), "sum": 0.0, "count": 0}
+        )
+        for i, bound in enumerate(bounds):
+            if value <= bound:
+                h["counts"][i] += 1
+        h["sum"] += float(value)
+        h["count"] += 1
+
+    # ------------------------------------------------------------------
+    def snapshot(self) -> dict[str, Any]:
+        """Plain-dict view of every series (consumed by benches and tests).
+
+        Counter/gauge samples are keyed ``name{k="v"}``; histograms expose
+        ``_sum``/``_count``/``_bucket`` sub-dicts under the bare name.
+        """
+        out: dict[str, Any] = {}
+        for family in (self._counters, self._gauges):
+            for name, series in family.items():
+                for key, value in series.items():
+                    out[name + _label_text(key)] = value
+        for name, series in self._hists.items():
+            bounds = self._buckets[name]
+            for key, h in series.items():
+                base = name + _label_text(key)
+                out[base] = {
+                    "sum": h["sum"],
+                    "count": h["count"],
+                    "buckets": {
+                        _fmt_value(b): c for b, c in zip(bounds, h["counts"])
+                    },
+                }
+        return out
+
+    def prometheus_text(self) -> str:
+        """Render every metric in the Prometheus text exposition format."""
+        lines: list[str] = []
+        for name in sorted(self._types):
+            family = self._types[name]
+            if name in self._help:
+                lines.append(f"# HELP {name} {self._help[name]}")
+            lines.append(f"# TYPE {name} {family}")
+            if family == "counter":
+                series = self._counters.get(name, {})
+                for key in sorted(series):
+                    lines.append(
+                        f"{name}{_label_text(key)} {_fmt_value(series[key])}"
+                    )
+            elif family == "gauge":
+                series = self._gauges.get(name, {})
+                for key in sorted(series):
+                    lines.append(
+                        f"{name}{_label_text(key)} {_fmt_value(series[key])}"
+                    )
+            else:
+                bounds = self._buckets[name]
+                for key, h in sorted(self._hists.get(name, {}).items()):
+                    # ``counts`` is already cumulative (observe() bumps every
+                    # bucket whose bound covers the value), as the text
+                    # format's ``le`` semantics require.
+                    for bound, count in zip(bounds, h["counts"]):
+                        le = _label_key(dict(key) | {"le": _fmt_value(bound)})
+                        lines.append(
+                            f"{name}_bucket{_label_text(le)} {count}"
+                        )
+                    inf = _label_key(dict(key) | {"le": "+Inf"})
+                    lines.append(f"{name}_bucket{_label_text(inf)} {h['count']}")
+                    lines.append(
+                        f"{name}_sum{_label_text(key)} {_fmt_value(h['sum'])}"
+                    )
+                    lines.append(f"{name}_count{_label_text(key)} {h['count']}")
+        return "\n".join(lines) + "\n"

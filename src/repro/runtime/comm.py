@@ -186,7 +186,13 @@ class Communicator:
         rec = self.metrics.recovery
         rec.retries += 1
         rec.retransmitted_records += int(src.size)
-        rec.retransmitted_bytes += int((src != dst).sum()) * record_bytes
+        off_node_bytes = int((src != dst).sum()) * record_bytes
+        rec.retransmitted_bytes += off_node_bytes
+        tr = self.metrics.tracer
+        if tr is not None:
+            tr.instant(
+                "retransmit", records=int(src.size), bytes=off_node_bytes
+            )
 
     def allreduce(self, count: int = 1, *, phase_kind: str = "bucket") -> None:
         """Account ``count`` small allreduce operations (termination checks,

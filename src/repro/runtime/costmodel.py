@@ -27,7 +27,7 @@ from dataclasses import dataclass
 from repro.runtime.machine import MachineConfig
 from repro.runtime.metrics import ComputeKind, Metrics
 
-__all__ = ["CostBreakdown", "evaluate_cost", "simulated_gteps"]
+__all__ = ["CostBreakdown", "price_record", "evaluate_cost", "simulated_gteps"]
 
 
 @dataclass(frozen=True)
@@ -75,20 +75,34 @@ def _compute_unit_cost(kind: str, machine: MachineConfig) -> float:
     raise ValueError(f"unknown compute kind {kind!r}")
 
 
+def price_record(rec, machine: MachineConfig) -> float:
+    """Simulated duration of one :class:`~repro.runtime.metrics.StepRecord`.
+
+    The single authoritative pricing rule of the α–β model — an exchange is
+    ``alpha * msgs_max + beta * bytes_max``, an allreduce is ``allreduces *
+    allreduce_time()``, compute is ``comp_max * t_kind``. Both
+    :func:`evaluate_cost` and the analysis timeline
+    (:func:`repro.analysis.trace.timeline`) fold records through this
+    function, so their totals agree by construction.
+    """
+    if rec.kind == "exchange":
+        return machine.alpha * rec.msgs_max + machine.beta * rec.bytes_max
+    if rec.kind == "allreduce":
+        return rec.allreduces * machine.allreduce_time()
+    return rec.comp_max * _compute_unit_cost(rec.kind, machine)
+
+
 def evaluate_cost(metrics: Metrics, machine: MachineConfig) -> CostBreakdown:
     """Fold a run's records into a :class:`CostBreakdown`."""
     compute = comm = sync = 0.0
     bucket = other = 0.0
-    t_allreduce = machine.allreduce_time()
     for rec in metrics.records:
+        t = price_record(rec, machine)
         if rec.kind == "exchange":
-            t = machine.alpha * rec.msgs_max + machine.beta * rec.bytes_max
             comm += t
         elif rec.kind == "allreduce":
-            t = rec.allreduces * t_allreduce
             sync += t
         else:
-            t = rec.comp_max * _compute_unit_cost(rec.kind, machine)
             compute += t
         if rec.phase_kind == "bucket":
             bucket += t

@@ -143,12 +143,18 @@ class Metrics:
     hybrid_switch_bucket: int = -1
     degraded_to_bf: bool = False
     """True when the watchdog's ``degrade`` policy collapsed the remaining
-    buckets into a final Bellman-Ford pass (deliberately not part of
-    :meth:`summary` — a degraded run's counters are not comparable rows)."""
+    buckets into a final Bellman-Ford pass. Surfaced in :meth:`summary` as
+    ``degraded`` so report consumers can exclude such runs from comparable
+    rows instead of silently mixing them in."""
     per_phase_relaxations: list[tuple[str, int]] = field(default_factory=list)
     per_bucket_stats: list[dict[str, int | str]] = field(default_factory=list)
     recovery: RecoveryStats = field(default_factory=RecoveryStats)
     """Fault-tolerance overhead (all zero unless faults were injected)."""
+    tracer: object | None = field(default=None, repr=False, compare=False)
+    """Optional :class:`repro.obs.tracer.Tracer` notified of every record
+    (set by ``make_context`` when tracing is configured; duck-typed so the
+    runtime never imports :mod:`repro.obs`). Pay-for-use: ``None`` means the
+    recording path is identical to an uninstrumented run."""
 
     # ------------------------------------------------------------------
     # Recording API (called by algorithms and the communicator)
@@ -175,20 +181,22 @@ class Metrics:
                 f"thread_work must have {expected} entries, got {thread_work.size}"
             )
         total = float(thread_work.sum())
-        self.records.append(
-            StepRecord(
-                kind=kind.value,
-                comp_max=float(thread_work.max()) if thread_work.size else 0.0,
-                comp_total=total,
-                phase_kind=phase_kind,
-            )
+        rec = StepRecord(
+            kind=kind.value,
+            comp_max=float(thread_work.max()) if thread_work.size else 0.0,
+            comp_total=total,
+            phase_kind=phase_kind,
         )
+        self.records.append(rec)
         if count_as_relax is None:
             count_as_relax = kind in RELAX_KINDS
+        relaxed = int(round(total)) if count_as_relax else 0
         if count_as_relax:
-            self.relaxations[kind.value] = self.relaxations.get(kind.value, 0) + int(
-                round(total)
+            self.relaxations[kind.value] = (
+                self.relaxations.get(kind.value, 0) + relaxed
             )
+        if self.tracer is not None:
+            self.tracer.on_compute(rec, thread_work, relaxed)
 
     def add_exchange(
         self,
@@ -200,21 +208,23 @@ class Metrics:
         """Record one all-to-all exchange (called by the communicator)."""
         msgs = np.asarray(msgs_per_rank, dtype=np.int64)
         byt = np.asarray(bytes_per_rank, dtype=np.int64)
-        self.records.append(
-            StepRecord(
-                kind="exchange",
-                msgs_max=int(msgs.max()) if msgs.size else 0,
-                bytes_max=int(byt.max()) if byt.size else 0,
-                bytes_total=int(byt.sum()) // 2,  # each byte counted at src and dst
-                phase_kind=phase_kind,
-            )
+        rec = StepRecord(
+            kind="exchange",
+            msgs_max=int(msgs.max()) if msgs.size else 0,
+            bytes_max=int(byt.max()) if byt.size else 0,
+            bytes_total=int(byt.sum()) // 2,  # each byte counted at src and dst
+            phase_kind=phase_kind,
         )
+        self.records.append(rec)
+        if self.tracer is not None:
+            self.tracer.on_exchange(rec, msgs, byt)
 
     def add_allreduce(self, count: int = 1, *, phase_kind: str = "bucket") -> None:
         """Record ``count`` small allreduce operations."""
-        self.records.append(
-            StepRecord(kind="allreduce", allreduces=count, phase_kind=phase_kind)
-        )
+        rec = StepRecord(kind="allreduce", allreduces=count, phase_kind=phase_kind)
+        self.records.append(rec)
+        if self.tracer is not None:
+            self.tracer.on_allreduce(rec)
 
     def note_phase(self, kind: str, relaxations: int) -> None:
         """Record a paper-level phase and its relaxation count (Fig. 4 data)."""
@@ -302,5 +312,7 @@ class Metrics:
             "bytes": self.total_bytes,
             "recovery_bytes": self.recovery_bytes,
             "allreduces": self.total_allreduces,
+            "hybrid_switch_bucket": self.hybrid_switch_bucket,
+            "degraded": self.degraded_to_bf,
             **self.recovery.summary(),
         }

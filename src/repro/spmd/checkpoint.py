@@ -134,8 +134,11 @@ def fingerprint_run(config, machine, root: int, engine: str) -> str:
     ``engine`` distinguishes the orchestrated and SPMD engines (their loop
     state is compatible in format but not in schedule, so cross-engine
     resume is rejected). ``config``'s frozen-dataclass repr covers every
-    algorithm knob.
+    algorithm knob; the ``trace`` telemetry config is excluded so traced
+    and untraced runs of the same solve share checkpoints.
     """
+    if getattr(config, "trace", None) is not None:
+        config = config.evolve(trace=None)
     desc = (
         f"engine={engine}|root={root}|ranks={machine.num_ranks}"
         f"|threads={machine.threads_per_rank}|{config!r}"

@@ -151,6 +151,8 @@ def _bf_stage(
     iteration — the recovery manager uses it to take epoch checkpoints.
     """
     sync_kind = RECOVERY_PHASE if phase_kind == RECOVERY_PHASE else "bucket"
+    tr = ctx.tracer
+    iteration = 0
     while True:
         total_active = mailbox.allreduce_sum(
             [st.active.size for st in states], phase_kind=sync_kind
@@ -159,6 +161,15 @@ def _bf_stage(
             break
         if epoch_hook is not None:
             epoch_hook()
+        iteration += 1
+        span = (
+            tr.begin(
+                "bf", cat="phase", iteration=iteration, kind=phase_kind,
+                active=int(total_active),
+            )
+            if tr is not None
+            else None
+        )
         _active_scan_charge(ctx, states)
         gen: list[tuple[np.ndarray, np.ndarray | None]] = []
         for st in states:
@@ -189,6 +200,8 @@ def _bf_stage(
             ctx.guards.after_relaxations(
                 _gather_distances(states, ctx.graph.num_vertices)
             )
+        if tr is not None:
+            tr.end(span, relaxed=int(all_dst.size))
 
 
 # ----------------------------------------------------------------------
@@ -289,6 +302,11 @@ class _Defense:
             self.stage = self.start.stage
             self.bucket_ordinal = self.start.bucket_ordinal
             ctx.metrics.hybrid_switch_bucket = self.start.hybrid_switch_bucket
+            if ctx.tracer is not None:
+                ctx.tracer.instant(
+                    "resume", epoch=int(self.epoch), stage=self.stage,
+                    bucket_ordinal=int(self.bucket_ordinal),
+                )
             fast_forward = getattr(mailbox, "fast_forward", None)
             if fast_forward is not None:
                 # Fault-plan events are pinned to absolute supersteps; do
@@ -316,7 +334,13 @@ class _Defense:
             ),
             hybrid_switch_bucket=self.ctx.metrics.hybrid_switch_bucket,
         )
-        return self.mgr.save(**kwargs) if force else self.mgr.maybe_save(**kwargs)
+        path = self.mgr.save(**kwargs) if force else self.mgr.maybe_save(**kwargs)
+        if path is not None and self.ctx.tracer is not None:
+            self.ctx.tracer.instant(
+                "checkpoint", stage=self.stage, epoch=int(self.epoch),
+                path=str(path),
+            )
+        return path
 
     def tick(self) -> None:
         if self.watchdog is not None:
@@ -360,6 +384,8 @@ def _resolve_deadline_spmd(
     n = ctx.graph.num_vertices
     if deadline.policy == "degrade":
         ctx.metrics.degraded_to_bf = True
+        if ctx.tracer is not None:
+            ctx.tracer.instant("degrade-to-bf", reason=str(exc.reason))
         fresh = Mailbox(len(states), ctx.comm)
         for st in states:
             st.active = np.nonzero(st.d < INF)[0].astype(np.int64)
@@ -430,6 +456,8 @@ class _RecoveryManager:
         # from the restored state before the next epoch reads it.
         st.reindex()
         self.ctx.metrics.recovery.rank_restarts += 1
+        if self.ctx.tracer is not None:
+            self.ctx.tracer.instant("rank-restart", rank=int(rank))
         if self.ctx.guards is not None:
             # A restore lawfully raises distances and clears settled flags;
             # reset the monotonicity/finality baselines so the guards track
@@ -456,6 +484,11 @@ class _RecoveryManager:
             if accepted():
                 break
             ctx.metrics.recovery.healing_sweeps += 1
+            if ctx.tracer is not None:
+                ctx.tracer.instant(
+                    "healing-sweep",
+                    sweep=int(ctx.metrics.recovery.healing_sweeps),
+                )
             for st in self.states:
                 st.active = np.nonzero(st.d < INF)[0].astype(np.int64)
             _bf_stage(ctx, self.states, mailbox, phase_kind=RECOVERY_PHASE)
@@ -513,6 +546,7 @@ def spmd_bellman_ford(
     checkpoint_keep: int = 3,
     resume: bool = False,
     deadline: DeadlineConfig | None = None,
+    trace=None,
 ) -> tuple[np.ndarray, ExecutionContext]:
     """Rank-local Bellman-Ford; returns (distances, context-with-metrics).
 
@@ -521,10 +555,20 @@ def spmd_bellman_ford(
     crash restart, and the run ends with the self-healing sweep.
     ``checkpoint_dir``/``resume``/``deadline`` enable the durable defense
     layer (see :func:`spmd_delta_stepping`); ``paranoid`` turns on the
-    runtime invariant guards.
+    runtime invariant guards; ``trace`` (a
+    :class:`~repro.obs.tracer.TraceConfig`) attaches the telemetry layer.
     """
-    config = SolverConfig(delta=2**60, paranoid=paranoid)
+    config = SolverConfig(delta=2**60, paranoid=paranoid, trace=trace)
     ctx = make_context(graph, machine, config)
+    tr = ctx.tracer
+    solve_span = (
+        tr.begin(
+            "solve", cat="solve", engine="spmd-bf", root=int(root),
+            n=int(graph.num_vertices),
+        )
+        if tr is not None
+        else None
+    )
     states = build_rank_states(ctx.graph, ctx.partition, 2**60, root)
     mailbox, manager = _fault_setup(ctx, machine, states, faults)
     defense = _Defense(
@@ -562,6 +606,12 @@ def spmd_bellman_ford(
             allowed=(faults is not None and faults.injects_anything)
             or ctx.metrics.degraded_to_bf,
         )
+    if tr is not None:
+        tr.end(
+            solve_span,
+            settled=int(sum(int(st.settled.sum()) for st in states)),
+        )
+        tr.finish(metrics=ctx.metrics)
     return _gather_distances(states, graph.num_vertices), ctx
 
 
@@ -579,6 +629,7 @@ def spmd_delta_stepping(
     checkpoint_keep: int = 3,
     resume: bool = False,
     deadline: DeadlineConfig | None = None,
+    trace=None,
 ) -> tuple[np.ndarray, ExecutionContext]:
     """Rank-local Δ-stepping; returns (distances, context-with-metrics).
 
@@ -605,6 +656,8 @@ def spmd_delta_stepping(
     """
     if config is None:
         config = SolverConfig(delta=delta, use_ios=use_ios)
+    if trace is not None:
+        config = config.evolve(trace=trace)
     if config.pushpull_estimator not in ("expectation",):
         if config.use_pruning and config.pushpull_mode == "auto":
             raise ValueError(
@@ -616,6 +669,15 @@ def spmd_delta_stepping(
         raise ValueError("census collection is not implemented in SPMD mode")
     delta = config.delta
     ctx = make_context(graph, machine, config)
+    tr = ctx.tracer
+    solve_span = (
+        tr.begin(
+            "solve", cat="solve", engine="spmd-delta", root=int(root),
+            n=int(graph.num_vertices), delta=int(delta),
+        )
+        if tr is not None
+        else None
+    )
     states = build_rank_states(ctx.graph, ctx.partition, delta, root)
     mailbox, manager = _fault_setup(ctx, machine, states, faults)
     defense = _Defense(
@@ -707,6 +769,12 @@ def spmd_delta_stepping(
             allowed=(faults is not None and faults.injects_anything)
             or ctx.metrics.degraded_to_bf,
         )
+    if tr is not None:
+        tr.end(
+            solve_span,
+            settled=int(sum(int(st.settled.sum()) for st in states)),
+        )
+        tr.finish(metrics=ctx.metrics)
     return _gather_distances(states, graph.num_vertices), ctx
 
 
@@ -780,6 +848,15 @@ def _decide_mode_spmd(
 
     est = combine_expectation_costs(cfg, ctx.machine, push_partials, pull_partials)
     ctx.comm.allreduce(2, phase_kind="long")
+    if ctx.tracer is not None:
+        ctx.tracer.instant(
+            "pushpull-decision",
+            bucket=int(k),
+            mode=est.choice,
+            estimator=est.estimator,
+            push_cost=est.push_cost,
+            pull_cost=est.pull_cost,
+        )
     return est.choice
 
 
@@ -934,6 +1011,15 @@ def _process_epoch_spmd(
     cfg = ctx.config
     delta = cfg.delta
     hi_d = (k + 1) * delta
+    tr = ctx.tracer
+    epoch_span = (
+        tr.begin(
+            f"bucket {k}", cat="epoch", bucket=int(k),
+            ordinal=int(bucket_ordinal),
+        )
+        if tr is not None
+        else None
+    )
 
     # Epoch start: identify members (scan of the unsettled set).
     total_unsettled = sum(st.unsettled_count() for st in states)
@@ -946,6 +1032,11 @@ def _process_epoch_spmd(
         total_active = mailbox.allreduce_sum([st.active.size for st in states])
         if total_active == 0:
             break
+        short_span = (
+            tr.begin("short", cat="phase", bucket=int(k), active=int(total_active))
+            if tr is not None
+            else None
+        )
         _active_scan_charge(ctx, states)
         gen: list[tuple[np.ndarray, np.ndarray | None]] = []
         for st in states:
@@ -987,6 +1078,8 @@ def _process_epoch_spmd(
             ctx.guards.after_relaxations(
                 _gather_distances(states, ctx.graph.num_vertices)
             )
+        if tr is not None:
+            tr.end(short_span, relaxed=int(all_dst.size))
 
     # --- Settle and run the long phase.
     members_per_rank: list[np.ndarray] = []
@@ -1005,6 +1098,9 @@ def _process_epoch_spmd(
             _gather_distances(states, n), _gather_settled(states, n)
         )
 
+    long_span = (
+        tr.begin("long", cat="phase", bucket=int(k)) if tr is not None else None
+    )
     mode = _decide_mode_spmd(ctx, states, mailbox, members_per_rank, k, bucket_ordinal)
     if mode == "push":
         if members_count == 0:
@@ -1017,6 +1113,8 @@ def _process_epoch_spmd(
             stats = {"mode": "push", "relaxations": relax}
     else:
         stats = _long_phase_pull_spmd(ctx, states, mailbox, members_per_rank, k)
+    if tr is not None:
+        tr.end(long_span, mode=mode, relaxed=int(stats.get("relaxations", 0)))
     if ctx.guards is not None:
         ctx.guards.after_relaxations(
             _gather_distances(states, ctx.graph.num_vertices)
@@ -1027,3 +1125,5 @@ def _process_epoch_spmd(
     stats["bucket"] = k
     stats["members"] = int(members_count)
     ctx.metrics.note_bucket(stats)
+    if tr is not None:
+        tr.end(epoch_span, members=int(members_count), mode=mode)

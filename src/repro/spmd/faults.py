@@ -360,6 +360,7 @@ def solve_with_faults(
     checkpoint_interval: int = 1,
     resume: bool = False,
     deadline=None,
+    trace=None,
 ):
     """Run the self-healing SPMD engine under a fault plan.
 
@@ -376,7 +377,9 @@ def solve_with_faults(
     checkpoints (a crash *during* recovery is itself recoverable),
     ``deadline`` arms the superstep watchdog
     (:class:`~repro.runtime.watchdog.DeadlineConfig`), and ``paranoid``
-    turns on the runtime invariant guards.
+    turns on the runtime invariant guards.  ``trace`` is an optional
+    :class:`~repro.obs.tracer.TraceConfig` enabling the telemetry layer —
+    crash/retransmit/healing events show up as instants in the trace.
     """
     import time
 
@@ -398,6 +401,7 @@ def solve_with_faults(
         checkpoint_interval=checkpoint_interval,
         resume=resume,
         deadline=deadline,
+        trace=trace,
     )
     t0 = time.perf_counter()
     if algorithm in ("bellman-ford", "bf"):
@@ -422,6 +426,10 @@ def solve_with_faults(
         name = f"spmd-delta-{ctx.config.delta}"
     wall = time.perf_counter() - t0
     run_validation(d, graph, root, validate)
+    if ctx.tracer is not None:
+        from repro.obs.export import finalize_trace
+
+        finalize_trace(ctx.tracer, metrics=ctx.metrics)
     return SsspResult(
         distances=d,
         metrics=ctx.metrics,
@@ -435,5 +443,6 @@ def solve_with_faults(
         num_edges=graph.num_undirected_edges,
         wall_time_s=wall,
         guards=ctx.guards,
+        trace=ctx.tracer,
     )
 

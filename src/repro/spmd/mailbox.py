@@ -119,6 +119,12 @@ class Mailbox:
         """
         p = self.num_ranks
         self._check_columns(num_columns)
+        tr = self.comm.metrics.tracer
+        span = (
+            tr.begin("superstep", cat="superstep", phase=phase_kind)
+            if tr is not None
+            else None
+        )
         lane_src: list[int] = []
         lane_dst: list[int] = []
         lane_cnt: list[int] = []
@@ -158,6 +164,8 @@ class Mailbox:
                         for i in range(num_columns)
                     )
                 )
+        if tr is not None:
+            tr.end(span, lanes=len(lane_cnt), records=int(sum(lane_cnt)))
         return out
 
     def allreduce_sum(
@@ -302,11 +310,22 @@ class ReliableMailbox(Mailbox):
         self._superstep += 1
         self._check_columns(num_columns)
         rec = self.comm.metrics.recovery
+        tr = self.comm.metrics.tracer
+        span = (
+            tr.begin(
+                "superstep", cat="superstep", phase=phase_kind,
+                superstep=superstep,
+            )
+            if tr is not None
+            else None
+        )
 
         # Crash events fire first so the engine restores the rank's state
         # before any record of this superstep is applied to it.
         for rank in self._ranks_crashing(superstep):
             rec.note_fault(superstep, 0, "crash", 1)
+            if tr is not None:
+                tr.instant("crash", rank=int(rank), superstep=superstep)
             if self.on_restart is not None:
                 self.on_restart(rank)
 
@@ -419,4 +438,6 @@ class ReliableMailbox(Mailbox):
                 out.append(
                     tuple(np.empty(0, dtype=np.int64) for _ in range(num_columns))
                 )
+        if tr is not None:
+            tr.end(span, records=int(n), recovery_rounds=round_ - 1)
         return out

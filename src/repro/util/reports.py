@@ -34,9 +34,24 @@ def _jsonable(value: Any) -> Any:
 
 def sssp_report(result) -> dict[str, Any]:
     """Flatten an :class:`~repro.core.solver.SsspResult` (no distance array —
-    reports are about the run, not the n-sized payload)."""
+    reports are about the run, not the n-sized payload).
+
+    When the solve ran with telemetry (``result.trace``), the report gains a
+    ``trace`` section with the artifact paths, total wall/simulated time and
+    the per-kind drift rows.
+    """
+    trace = getattr(result, "trace", None)
+    extra: dict[str, Any] = {}
+    if trace is not None:
+        extra["trace"] = {
+            "artifacts": dict(trace.artifacts),
+            "wall_total_s": trace.wall_total,
+            "sim_total_s": trace.sim_t,
+            "drift": list(trace.drift_rows),
+        }
     return _jsonable(
         {
+            **extra,
             "kind": "sssp",
             "algorithm": result.algorithm,
             "root": result.root,

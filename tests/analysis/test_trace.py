@@ -58,10 +58,30 @@ class TestRendering:
     def test_render_contains_total_and_rows(self, run):
         res, machine = run
         text = render_timeline(res.metrics, machine, top=5)
-        assert "total simulated time" in text
-        assert text.count("\n") == 5
+        lines = text.splitlines()
+        assert "total simulated time" in lines[0]
+        # title + header + separator + 5 data rows
+        assert len(lines) == 8
 
     def test_render_empty(self):
         machine = MachineConfig(num_ranks=1, threads_per_rank=1)
         text = render_timeline(Metrics(num_ranks=1, threads_per_rank=1), machine)
         assert "0 records" in text
+
+
+class TestPriceRecordConsistency:
+    """timeline() and the cost model share price_record — the cumulative
+    timeline must land exactly on the cost model's total for every preset."""
+
+    @pytest.mark.parametrize(
+        "algorithm", ["dijkstra", "bellman-ford", "delta", "prune", "opt",
+                      "lb-opt"]
+    )
+    def test_timeline_total_matches_cost_model(self, rmat1_small, algorithm):
+        machine = MachineConfig(num_ranks=4, threads_per_rank=4)
+        res = solve_sssp(
+            rmat1_small, 3, algorithm=algorithm, delta=25, machine=machine
+        )
+        rows = timeline(res.metrics, machine)
+        total = evaluate_cost(res.metrics, machine).total_time
+        assert rows[-1]["t_s"] == pytest.approx(total, rel=1e-12)

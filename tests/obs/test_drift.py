@@ -1,0 +1,58 @@
+"""Unit tests for the wall-clock vs. cost-model drift monitor."""
+
+import pytest
+
+from repro.obs.drift import DriftMonitor
+
+
+class TestReport:
+    def test_balanced_kinds_not_flagged(self):
+        mon = DriftMonitor(threshold=3.0)
+        # Both kinds have the same wall/sim ratio -> rel == 1 everywhere.
+        for _ in range(10):
+            mon.add("a", 0.01, 1e-5)
+            mon.add("b", 0.02, 2e-5)
+        rows = {r["kind"]: r for r in mon.report()}
+        assert rows["a"]["rel"] == pytest.approx(1.0)
+        assert rows["b"]["rel"] == pytest.approx(1.0)
+        assert mon.flagged() == []
+
+    def test_diverging_kind_flagged(self):
+        mon = DriftMonitor(threshold=3.0)
+        # Two well-priced kinds dominate; a third burns 100x more wall per
+        # simulated second than the run-wide ratio predicts.
+        for _ in range(100):
+            mon.add("a", 0.01, 1e-4)
+            mon.add("b", 0.01, 1e-4)
+        for _ in range(10):
+            mon.add("slow", 0.1, 1e-5)
+        rows = {r["kind"]: r for r in mon.report()}
+        assert rows["slow"]["rel"] > 3.0
+        flagged = {r["kind"] for r in mon.flagged()}
+        assert "slow" in flagged
+        assert "a" not in flagged and "b" not in flagged
+
+    def test_tiny_wall_aggregates_never_flagged(self):
+        mon = DriftMonitor(threshold=3.0, min_wall_s=5e-3)
+        # Extreme ratio but only microseconds of wall time: timer noise.
+        mon.add("fast", 1e-6, 1e-5)
+        mon.add("noisy", 1e-4, 1e-9)
+        assert mon.flagged() == []
+
+    def test_rel_is_normalized_by_overall_ratio(self):
+        mon = DriftMonitor()
+        mon.add("a", 0.4, 1e-5)
+        mon.add("b", 0.1, 1e-5)
+        rows = {r["kind"]: r for r in mon.report()}
+        overall = mon.total_wall_s / mon.total_sim_s
+        assert rows["a"]["rel"] == pytest.approx(rows["a"]["ratio"] / overall)
+
+    def test_totals(self):
+        mon = DriftMonitor()
+        mon.add("a", 1.0, 0.25)
+        mon.add("b", 2.0, 0.75)
+        assert mon.total_wall_s == pytest.approx(3.0)
+        assert mon.total_sim_s == pytest.approx(1.0)
+
+    def test_empty_report(self):
+        assert DriftMonitor().report() == []

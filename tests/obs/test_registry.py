@@ -1,0 +1,79 @@
+"""Unit tests for the metrics registry and its Prometheus exposition."""
+
+import pytest
+
+from repro.obs.registry import DEFAULT_BUCKETS, MetricsRegistry
+
+
+class TestCounters:
+    def test_inc_accumulates(self):
+        reg = MetricsRegistry()
+        reg.inc("requests_total", 1)
+        reg.inc("requests_total", 2)
+        assert reg.snapshot()["requests_total"] == 3
+
+    def test_labels_make_distinct_series(self):
+        reg = MetricsRegistry()
+        reg.inc("records_total", 1, kind="short")
+        reg.inc("records_total", 4, kind="long")
+        snap = reg.snapshot()
+        assert snap['records_total{kind="short"}'] == 1
+        assert snap['records_total{kind="long"}'] == 4
+
+    def test_negative_delta_rejected(self):
+        reg = MetricsRegistry()
+        with pytest.raises(ValueError):
+            reg.inc("requests_total", -1)
+
+    def test_family_clash_rejected(self):
+        reg = MetricsRegistry()
+        reg.inc("x_total", 1)
+        with pytest.raises(ValueError):
+            reg.set_gauge("x_total", 5)
+
+
+class TestGauges:
+    def test_last_write_wins(self):
+        reg = MetricsRegistry()
+        reg.set_gauge("temp", 1.0)
+        reg.set_gauge("temp", 2.5)
+        assert reg.snapshot()["temp"] == 2.5
+
+
+class TestHistograms:
+    def test_counts_are_cumulative(self):
+        reg = MetricsRegistry()
+        reg.observe("lat", 1e-5, buckets=(1e-5, 1e-3, 1.0))
+        reg.observe("lat", 1e-4)
+        h = reg.snapshot()["lat"]
+        assert h["count"] == 2
+        assert h["sum"] == pytest.approx(1.1e-4)
+        # le=1e-05 covers only the first observation; the larger bounds both.
+        assert h["buckets"]["1e-05"] == 1
+        assert h["buckets"]["0.001"] == 2
+        assert h["buckets"]["1"] == 2
+
+    def test_default_buckets_used(self):
+        reg = MetricsRegistry()
+        reg.observe("lat", 0.5)
+        assert len(reg.snapshot()["lat"]["buckets"]) == len(DEFAULT_BUCKETS)
+
+
+class TestPrometheusText:
+    def test_exposition_structure(self):
+        reg = MetricsRegistry()
+        reg.inc("records_total", 3, kind="short", help="records by kind")
+        reg.set_gauge("wall_seconds", 1.5, help="wall time")
+        reg.observe("epoch_seconds", 0.02, buckets=(0.01, 0.1))
+        text = reg.prometheus_text()
+        assert "# HELP records_total records by kind" in text
+        assert "# TYPE records_total counter" in text
+        assert 'records_total{kind="short"} 3' in text
+        assert "# TYPE wall_seconds gauge" in text
+        assert "wall_seconds 1.5" in text
+        assert "# TYPE epoch_seconds histogram" in text
+        assert 'epoch_seconds_bucket{le="0.01"} 0' in text
+        assert 'epoch_seconds_bucket{le="0.1"} 1' in text
+        assert 'epoch_seconds_bucket{le="+Inf"} 1' in text
+        assert "epoch_seconds_count 1" in text
+        assert text.endswith("\n")

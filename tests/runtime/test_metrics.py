@@ -108,4 +108,16 @@ class TestPhasesAndBuckets:
             "allreduces",
             "push_buckets",
             "pull_buckets",
+            "hybrid_switch_bucket",
+            "degraded",
         } <= set(s)
+
+    def test_summary_surfaces_hybrid_switch_and_degraded(self):
+        m = fresh()
+        assert m.summary()["hybrid_switch_bucket"] == -1
+        assert m.summary()["degraded"] is False
+        m.hybrid_switch_bucket = 7
+        m.degraded_to_bf = True
+        s = m.summary()
+        assert s["hybrid_switch_bucket"] == 7
+        assert s["degraded"] is True
