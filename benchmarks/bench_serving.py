@@ -1,0 +1,277 @@
+"""Serving benchmark: micro-batching + cache vs one-solve-per-request.
+
+The PR 5 baseline (DESIGN.md §11). Drives the same Zipf-skewed
+closed-loop workload through the :class:`~repro.serve.broker.QueryBroker`
+in two shapes:
+
+- **baseline** — ``max_batch_size=1``, cache disabled: every request is
+  its own engine solve, the pre-serving behavior a caller hand-rolling
+  ``solve_sssp`` per query would get;
+- **batched-k** — a batch-size curve (k = 2..max) with the distance
+  cache on: duplicate roots coalesce within a batch window and hot roots
+  hit the cache, which is where a skewed workload's throughput comes
+  from.
+
+Reports throughput (qps) and tail latency (p50/p99) per variant plus the
+cache-hit vs cold-solve latency split of the largest batched variant.
+
+Standalone usage::
+
+    python benchmarks/bench_serving.py --scale tiny --out bench_tiny.json
+    python benchmarks/bench_serving.py --scale default --update BENCH_PR5.json
+    python benchmarks/bench_serving.py --scale tiny --check
+
+``--check`` is the CI ``serve-smoke`` gate; it is self-contained (no
+committed baseline needed) and fails unless
+
+1. the best batched variant's throughput beats the unbatched baseline's
+   (micro-batching must pay for itself on a Zipf workload), and
+2. the cache-hit p50 latency is measurably below the cold-solve p50
+   (at most ``HIT_LATENCY_CEILING`` of it).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+
+if __package__ in (None, ""):  # standalone execution: python benchmarks/bench_*.py
+    sys.path.insert(0, str(Path(__file__).resolve().parent.parent))
+
+from benchmarks.common import (
+    cached_rmat,
+    default_machine,
+    load_bench_json,
+    print_table,
+    write_bench_json,
+)
+from repro.serve import QueryBroker, WorkloadSpec, run_workload
+from repro.serve.slo import percentile
+
+SCALE_LABELS = {"tiny": 10, "default": 14}
+REQUESTS = {"tiny": 120, "default": 400}
+
+#: CI gate: batched throughput must exceed baseline throughput by this factor.
+THROUGHPUT_FLOOR = 1.10
+#: CI gate: cache-hit p50 latency must be at most this fraction of the
+#: cold-solve p50.
+HIT_LATENCY_CEILING = 0.5
+
+BATCH_CURVE = (2, 4, 8, 16)
+
+
+def _run_variant(
+    graph,
+    spec: WorkloadSpec,
+    *,
+    machine,
+    batch_size: int,
+    cache_bytes: int,
+    workers: int,
+) -> dict:
+    """One broker configuration through the workload; returns a run row."""
+    broker = QueryBroker(
+        graph,
+        algorithm="opt",
+        delta=25,
+        machine=machine,
+        capacity=max(spec.num_requests, 256),
+        max_batch_size=batch_size,
+        flush_interval_s=0.002,
+        num_workers=workers,
+        cache_bytes=cache_bytes,
+    )
+    try:
+        report = run_workload(broker, spec)
+    finally:
+        broker.shutdown(drain=True)
+    row = {
+        "batch_size": batch_size,
+        "cache": cache_bytes > 0,
+        "completed": report["completed"],
+        "shed": report["shed"],
+        "throughput_qps": report["throughput_qps"],
+        "p50_s": report["p50_s"],
+        "p99_s": report["p99_s"],
+        "mean_batch_size": report["mean_batch_size"],
+        "solves": report["solves"],
+        "cache_hit_rate": report["cache_hit_rate"],
+    }
+    # Exact per-source percentiles for the hit-vs-cold latency split.
+    for source in ("cache", "solve"):
+        samples = broker.latency.samples(source)
+        if samples:
+            row[f"p50_{source}_s"] = percentile(samples, 50)
+    return row
+
+
+def run_suite(
+    scale_label: str, *, num_ranks: int, workers: int, requests: int | None
+) -> dict:
+    scale = SCALE_LABELS.get(scale_label)
+    if scale is None:
+        scale = int(scale_label)
+    if requests is None:
+        requests = REQUESTS.get(scale_label, 200)
+    graph = cached_rmat(scale, "rmat1")
+    machine = default_machine(num_ranks, threads_per_rank=8)
+    spec = WorkloadSpec(
+        num_requests=requests,
+        arrival="closed",
+        concurrency=4,
+        zipf_s=1.2,
+        root_universe=32,
+        seed=5,
+    )
+    cache_bytes = 64 << 20
+    runs = []
+    baseline = _run_variant(
+        graph, spec, machine=machine, batch_size=1, cache_bytes=0,
+        workers=workers,
+    )
+    baseline["variant"] = "baseline"
+    runs.append(baseline)
+    for k in BATCH_CURVE:
+        row = _run_variant(
+            graph, spec, machine=machine, batch_size=k,
+            cache_bytes=cache_bytes, workers=workers,
+        )
+        row["variant"] = f"batched-{k}"
+        row["speedup_vs_baseline"] = (
+            row["throughput_qps"] / baseline["throughput_qps"]
+        )
+        runs.append(row)
+    for run in runs:
+        run["scale_label"] = scale_label
+        run["scale"] = scale
+    return {
+        "schema": 1,
+        "machine": {"num_ranks": num_ranks, "threads_per_rank": 8},
+        "workload": {
+            "arrival": spec.arrival,
+            "num_requests": spec.num_requests,
+            "concurrency": spec.concurrency,
+            "zipf_s": spec.zipf_s,
+            "root_universe": spec.root_universe,
+            "seed": spec.seed,
+        },
+        "runs": runs,
+    }
+
+
+def check_gates(payload: dict) -> list[str]:
+    """The self-contained CI gate (see module docstring)."""
+    failures: list[str] = []
+    runs = payload["runs"]
+    baseline = next(r for r in runs if r["variant"] == "baseline")
+    batched = [r for r in runs if r["variant"] != "baseline"]
+    best = max(batched, key=lambda r: r["throughput_qps"])
+    if best["throughput_qps"] < baseline["throughput_qps"] * THROUGHPUT_FLOOR:
+        failures.append(
+            f"batched throughput {best['throughput_qps']:.1f} qps "
+            f"({best['variant']}) < {THROUGHPUT_FLOOR:.2f}x baseline "
+            f"{baseline['throughput_qps']:.1f} qps"
+        )
+    split = [r for r in batched if "p50_cache_s" in r and "p50_solve_s" in r]
+    if not split:
+        failures.append("no batched variant observed both cache hits and solves")
+    for run in split:
+        ceiling = run["p50_solve_s"] * HIT_LATENCY_CEILING
+        if run["p50_cache_s"] > ceiling:
+            failures.append(
+                f"{run['variant']}: cache-hit p50 {run['p50_cache_s'] * 1e3:.3f} ms "
+                f"not measurably below cold-solve p50 "
+                f"{run['p50_solve_s'] * 1e3:.3f} ms "
+                f"(ceiling {HIT_LATENCY_CEILING:.0%})"
+            )
+    return failures
+
+
+def merge_into_baseline(current: dict, baseline: dict) -> dict:
+    """Replace rows matched by (scale_label, variant); keep the rest."""
+    fresh = {(r["scale_label"], r["variant"]): r for r in current["runs"]}
+    kept = [
+        r
+        for r in baseline.get("runs", [])
+        if (r["scale_label"], r["variant"]) not in fresh
+    ]
+    merged = dict(baseline) if baseline else {}
+    merged["schema"] = current["schema"]
+    merged["machine"] = current["machine"]
+    merged["workload"] = current["workload"]
+    merged["runs"] = sorted(
+        kept + list(fresh.values()),
+        key=lambda r: (r["scale_label"], r["batch_size"]),
+    )
+    return merged
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--scale",
+        default="default",
+        help="'tiny' (2^10), 'default' (2^14) or an explicit log2 vertex count",
+    )
+    parser.add_argument("--ranks", type=int, default=8)
+    parser.add_argument("--workers", type=int, default=1,
+                        help="broker worker threads (default 1)")
+    parser.add_argument("--requests", type=int, default=None,
+                        help="override the per-scale request count")
+    parser.add_argument("--out", help="write results JSON to this path")
+    parser.add_argument(
+        "--update", help="merge results into this baseline JSON (create if absent)"
+    )
+    parser.add_argument(
+        "--check",
+        action="store_true",
+        help="fail unless batching beats the unbatched baseline and "
+             "cache hits are measurably faster than cold solves",
+    )
+    args = parser.parse_args(argv)
+
+    payload = run_suite(
+        args.scale, num_ranks=args.ranks, workers=args.workers,
+        requests=args.requests,
+    )
+    rows = []
+    for run in payload["runs"]:
+        row = {
+            "variant": run["variant"],
+            "qps": f"{run['throughput_qps']:.1f}",
+            "p50 ms": f"{run['p50_s'] * 1e3:.3f}",
+            "p99 ms": f"{run['p99_s'] * 1e3:.3f}",
+            "hit rate": f"{run['cache_hit_rate']:.2f}",
+            "solves": run["solves"],
+            "mean batch": f"{run['mean_batch_size']:.2f}",
+        }
+        if "speedup_vs_baseline" in run:
+            row["vs baseline"] = f"{run['speedup_vs_baseline']:.2f}x"
+        if "p50_cache_s" in run and "p50_solve_s" in run:
+            row["hit/cold p50"] = (
+                f"{run['p50_cache_s'] * 1e3:.3f}/"
+                f"{run['p50_solve_s'] * 1e3:.3f} ms"
+            )
+        rows.append(row)
+    print_table(
+        rows, f"Serving: batched + cached vs unbatched baseline ({args.scale})"
+    )
+
+    if args.out:
+        write_bench_json(args.out, payload)
+    if args.update:
+        base = load_bench_json(args.update) if Path(args.update).exists() else {}
+        write_bench_json(args.update, merge_into_baseline(payload, base))
+    if args.check:
+        failures = check_gates(payload)
+        for failure in failures:
+            print(f"SERVE GATE: {failure}", file=sys.stderr)
+        if failures:
+            return 1
+        print("serving gate: OK (batching beats baseline; hits beat cold solves)")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -64,6 +64,13 @@ from repro.runtime import (
     evaluate_cost,
     simulated_gteps,
 )
+from repro.serve import (
+    DistanceCache,
+    QueryBroker,
+    ServiceOverload,
+    ServiceShutdown,
+    WorkloadSpec,
+)
 
 __version__ = "1.0.0"
 
@@ -73,14 +80,19 @@ __all__ = [
     "BlockPartition",
     "CSRGraph",
     "DELTA_INFINITY",
+    "DistanceCache",
     "INF",
     "MachineConfig",
     "Metrics",
+    "QueryBroker",
     "RMAT1",
     "RMAT2",
     "RMATParams",
+    "ServiceOverload",
+    "ServiceShutdown",
     "SolverConfig",
     "SsspResult",
+    "WorkloadSpec",
     "__version__",
     "betweenness_centrality",
     "build_parent_tree",

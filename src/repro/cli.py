@@ -6,6 +6,7 @@ Subcommands cover the common workflows::
     python -m repro compare      --scale 12 --delta 25
     python -m repro graph500     --scale 12 --roots 16
     python -m repro sweep        --scale 12 --deltas 1,10,25,40,100
+    python -m repro serve-bench  --scale 12 --requests 200 --zipf 1.1
     python -m repro trace-report run.trace.jsonl
 
 All graph and machine knobs are flags; output is the same plain-text
@@ -159,6 +160,53 @@ def build_parser() -> argparse.ArgumentParser:
                        default="auto")
     p_bfs.add_argument("--root", type=int, default=None)
 
+    p_serve = sub.add_parser(
+        "serve-bench",
+        help="run a synthetic query workload against the serving layer",
+    )
+    _add_graph_args(p_serve)
+    _add_machine_args(p_serve)
+    p_serve.add_argument("--algorithm", choices=sorted(PRESETS), default="opt")
+    p_serve.add_argument("--delta", type=int, default=25)
+    p_serve.add_argument("--requests", type=int, default=200,
+                         help="queries in the stream (default 200)")
+    p_serve.add_argument("--arrival", choices=["open", "closed"],
+                         default="closed",
+                         help="open loop (Poisson arrivals at --rate) or "
+                              "closed loop (--concurrency sync clients)")
+    p_serve.add_argument("--rate", type=float, default=500.0,
+                         help="open-loop arrival rate in queries/s")
+    p_serve.add_argument("--concurrency", type=int, default=4,
+                         help="closed-loop client count (default 4)")
+    p_serve.add_argument("--zipf", type=float, default=1.1,
+                         help="root popularity skew s in p(k) ~ 1/k^s "
+                              "(0 = uniform; default 1.1)")
+    p_serve.add_argument("--root-universe", type=int, default=64,
+                         help="distinct candidate roots (default 64)")
+    p_serve.add_argument("--batch-size", type=int, default=16,
+                         help="micro-batcher size trigger (default 16)")
+    p_serve.add_argument("--flush-ms", type=float, default=2.0,
+                         help="micro-batcher latency trigger in ms")
+    p_serve.add_argument("--capacity", type=int, default=256,
+                         help="request queue bound; beyond it requests are "
+                              "shed with ServiceOverload")
+    p_serve.add_argument("--workers", type=int, default=1,
+                         help="batch worker threads (default 1)")
+    p_serve.add_argument("--cache-mb", type=float, default=64.0,
+                         help="distance-cache byte budget in MiB (0 disables)")
+    p_serve.add_argument("--deadline", type=int, metavar="N", default=None,
+                         help="per-request superstep budget (watchdog)")
+    p_serve.add_argument("--slo-p99-ms", type=float, default=None,
+                         help="fail (exit 1) when p99 latency exceeds this")
+    p_serve.add_argument("--slo-min-hit-rate", type=float, default=None,
+                         help="fail (exit 1) when the cache hit rate is lower")
+    p_serve.add_argument("--metrics-out", metavar="PATH", default=None,
+                         help="write the service metrics registry in "
+                              "Prometheus text format to PATH")
+    p_serve.add_argument("--json", metavar="PATH", default=None,
+                         help="also write the report as JSON to PATH "
+                              "('-' = stdout)")
+
     p_trace = sub.add_parser(
         "trace-report",
         help="summarise a trace captured with 'solve --trace'",
@@ -251,6 +299,73 @@ def _cmd_solve(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_serve_bench(args: argparse.Namespace) -> int:
+    from repro.runtime.watchdog import DeadlineConfig
+    from repro.serve import QueryBroker, SloPolicy, WorkloadSpec, run_workload
+
+    graph = _make_graph(args)
+    deadline = None
+    if args.deadline is not None:
+        deadline = DeadlineConfig(max_supersteps=args.deadline)
+    spec = WorkloadSpec(
+        num_requests=args.requests,
+        arrival=args.arrival,
+        rate_qps=args.rate,
+        concurrency=args.concurrency,
+        zipf_s=args.zipf,
+        root_universe=args.root_universe,
+        seed=args.seed,
+    )
+    broker = QueryBroker(
+        graph,
+        algorithm=args.algorithm,
+        delta=args.delta,
+        machine=_machine(args),
+        capacity=args.capacity,
+        max_batch_size=args.batch_size,
+        flush_interval_s=args.flush_ms / 1e3,
+        num_workers=args.workers,
+        cache_bytes=int(args.cache_mb * (1 << 20)),
+        default_deadline=deadline,
+    )
+    try:
+        report = run_workload(broker, spec)
+    finally:
+        broker.shutdown(drain=True)
+    print(f"graph: {graph}")
+    traffic = {
+        k: report[k]
+        for k in ("workload", "offered", "completed", "shed", "batches",
+                  "solves", "mean_batch_size", "throughput_qps")
+    }
+    latency = {
+        k: v for k, v in report.items()
+        if k.endswith("_s") and k not in ("wall_s", "zipf_s")
+    }
+    print(format_table([traffic], "traffic"))
+    print(format_table([{k: f"{v * 1e3:.3f}" for k, v in latency.items()}],
+                       "latency (ms)"))
+    print(format_table([broker.cache.stats.as_row()], "distance cache"))
+    if args.metrics_out is not None:
+        with open(args.metrics_out, "w") as fh:
+            fh.write(broker.registry.prometheus_text())
+        print(f"metrics written to {args.metrics_out}")
+    if args.json is not None:
+        from repro.util.reports import dump_json
+
+        text = dump_json(report, None if args.json == "-" else args.json)
+        if args.json == "-":
+            print(text)
+    policy = SloPolicy(
+        p99_s=None if args.slo_p99_ms is None else args.slo_p99_ms / 1e3,
+        min_hit_rate=args.slo_min_hit_rate,
+    )
+    violations = policy.check(report)
+    for violation in violations:
+        print(f"SLO VIOLATION: {violation}", file=sys.stderr)
+    return 1 if violations else 0
+
+
 def _cmd_trace_report(args: argparse.Namespace) -> int:
     from repro.obs.export import validate_trace_file
     from repro.obs.report import load_trace, render_report
@@ -336,6 +451,7 @@ _COMMANDS = {
     "graph500": _cmd_graph500,
     "sweep": _cmd_sweep,
     "bfs": _cmd_bfs,
+    "serve-bench": _cmd_serve_bench,
     "trace-report": _cmd_trace_report,
 }
 

@@ -160,12 +160,20 @@ def make_context(
     graph: CSRGraph,
     machine: MachineConfig,
     config: SolverConfig,
+    *,
+    tracer=None,
 ) -> ExecutionContext:
     """Prepare an :class:`ExecutionContext` (the preprocessing stage).
 
     Sorts adjacency lists by weight, computes the short/long split tables for
     the configured Δ, resolves the load-balancing thresholds, and wires up
     metrics + communicator.
+
+    ``tracer`` attaches an existing :class:`~repro.obs.tracer.Tracer`
+    instead of building one from ``config.trace`` — multi-root front-ends
+    (:meth:`~repro.core.solver.BatchSolver.solve_many`, the serving layer)
+    use it to share one trace across several contexts; the caller then owns
+    finalization.
     """
     sorted_graph = graph.sorted_by_weight()
     if config.partition == "degree":
@@ -211,13 +219,15 @@ def make_context(
     thread_map = thread_index(
         np.arange(sorted_graph.num_vertices, dtype=np.int64), partition, machine
     )
-    tracer = None
-    trace_cfg = getattr(config, "trace", None)
-    if trace_cfg is not None and trace_cfg.enabled:
-        from repro.obs.tracer import Tracer
-
-        tracer = Tracer(machine, trace_cfg)
+    if tracer is not None:
         metrics.tracer = tracer
+    else:
+        trace_cfg = getattr(config, "trace", None)
+        if trace_cfg is not None and trace_cfg.enabled:
+            from repro.obs.tracer import Tracer
+
+            tracer = Tracer(machine, trace_cfg)
+            metrics.tracer = tracer
     return ExecutionContext(
         graph=sorted_graph,
         partition=partition,

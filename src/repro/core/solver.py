@@ -270,10 +270,13 @@ class BatchSolver:
     Example::
 
         solver = BatchSolver(graph, algorithm="opt", delta=25, num_ranks=8)
-        results = [solver.solve(root) for root in roots]
+        results = solver.solve_many(roots)          # input order preserved
 
-    Each ``solve`` still gets fresh metrics and accounting (runs are
-    independent), but graph preprocessing is shared.
+    Each solve still gets fresh metrics and accounting (runs are
+    independent), but graph preprocessing is shared. :meth:`solve_many`
+    can additionally share one trace across the whole batch
+    (``solve_many(roots, trace=TraceConfig(...))``), which is how the
+    serving layer (:mod:`repro.serve`) captures per-batch telemetry.
     """
 
     def __init__(
@@ -319,17 +322,33 @@ class BatchSolver:
         self._template_ctx = make_context(work_graph, machine, config)
         self._work_graph = self._template_ctx.graph
 
-    def solve(self, root: int, *, validate: bool | str = False) -> SsspResult:
-        """Solve from one root; metrics and accounting are per-call."""
+    def solve(
+        self,
+        root: int,
+        *,
+        validate: bool | str = False,
+        deadline=None,
+        tracer=None,
+    ) -> SsspResult:
+        """Solve from one root; metrics and accounting are per-call.
+
+        ``deadline`` arms the superstep-budget/stall watchdog
+        (:class:`~repro.runtime.watchdog.DeadlineConfig`) for this solve
+        only — the serving layer uses it for per-request timeouts.
+        ``tracer`` attaches a caller-owned shared tracer (see
+        :meth:`solve_many`); the caller then finalizes it.
+        """
         root = _validate_root(root, self._original_graph.num_vertices)
-        ctx = make_context(self._work_graph, self.machine, self.config)
+        ctx = make_context(
+            self._work_graph, self.machine, self.config, tracer=tracer
+        )
         start_root = (
             int(self._mapping.new_id_of_original[root])
             if self._mapping is not None
             else root
         )
         t0 = time.perf_counter()
-        d = DeltaSteppingEngine(ctx).run(start_root)
+        d = DeltaSteppingEngine(ctx).run(start_root, deadline=deadline)
         wall = time.perf_counter() - t0
         distances = (
             self._mapping.distances_for_original(d)
@@ -341,7 +360,7 @@ class BatchSolver:
         gteps = simulated_gteps(
             self._original_graph.num_undirected_edges, ctx.metrics, self.machine
         )
-        if ctx.tracer is not None:
+        if ctx.tracer is not None and tracer is None:
             from repro.obs.export import finalize_trace
 
             finalize_trace(ctx.tracer, metrics=ctx.metrics)
@@ -363,7 +382,43 @@ class BatchSolver:
         )
 
     def solve_many(
-        self, roots, *, validate: bool | str = False
+        self,
+        roots,
+        *,
+        validate: bool | str = False,
+        deadline=None,
+        trace=None,
     ) -> list[SsspResult]:
-        """Solve from every root in ``roots``."""
-        return [self.solve(int(r), validate=validate) for r in roots]
+        """Solve from every root in ``roots``; results come back in input
+        order.
+
+        ``trace`` (a :class:`~repro.obs.tracer.TraceConfig`) opens **one**
+        shared tracer spanning the whole batch: every per-root solve nests
+        under a ``root-<r>`` span in the same event stream, artifacts are
+        written once at the end, and each returned result's ``trace``
+        attribute is that shared tracer. ``deadline`` applies per root.
+        """
+        roots = [int(r) for r in roots]
+        shared = None
+        if trace is not None and getattr(trace, "enabled", True):
+            from repro.obs.tracer import Tracer
+
+            shared = Tracer(self.machine, trace)
+        results: list[SsspResult] = []
+        for r in roots:
+            if shared is None:
+                results.append(
+                    self.solve(r, validate=validate, deadline=deadline)
+                )
+                continue
+            with shared.span(f"root-{r}", cat="root", root=r):
+                results.append(
+                    self.solve(
+                        r, validate=validate, deadline=deadline, tracer=shared
+                    )
+                )
+        if shared is not None:
+            from repro.obs.export import finalize_trace
+
+            finalize_trace(shared)
+        return results

@@ -1,0 +1,156 @@
+"""Micro-batcher: bounded queue with size- and latency-triggered flush.
+
+The same shape as an inference server's request batcher: admitted
+requests accumulate in a bounded FIFO; a worker takes a *batch* when
+either the batch-size trigger fires (``max_batch_size`` requests are
+waiting — solve them together and amortize the per-batch overhead) or
+the latency trigger fires (the oldest waiting request has been queued
+for ``flush_interval_s`` — never hold a lonely request hostage to batch
+economics). A closed batcher flushes whatever remains immediately, which
+is what makes graceful drain prompt.
+
+Admission control lives here too: :meth:`put` on a full queue raises
+:class:`~repro.serve.request.ServiceOverload` instead of growing the
+queue — the typed shed the broker surfaces to callers.
+
+The clock is injectable (``clock=``) so the flush policy is unit-testable
+without sleeping.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from typing import Callable
+
+from repro.serve.request import ServiceOverload, ServiceShutdown
+
+__all__ = ["MicroBatcher"]
+
+
+class MicroBatcher:
+    """Bounded FIFO of requests with coalescing batch take-off.
+
+    ``capacity`` bounds the number of *queued* (not yet taken) requests;
+    ``max_batch_size`` bounds one take; ``flush_interval_s`` is the
+    longest a request may wait for its batch to fill.
+    """
+
+    def __init__(
+        self,
+        *,
+        capacity: int,
+        max_batch_size: int,
+        flush_interval_s: float,
+        clock: Callable[[], float] = time.monotonic,
+    ) -> None:
+        if capacity < 1:
+            raise ValueError("capacity must be >= 1")
+        if max_batch_size < 1:
+            raise ValueError("max_batch_size must be >= 1")
+        if flush_interval_s < 0:
+            raise ValueError("flush_interval_s must be >= 0")
+        self.capacity = int(capacity)
+        self.max_batch_size = int(max_batch_size)
+        self.flush_interval_s = float(flush_interval_s)
+        self.clock = clock
+        self._queue: list = []
+        self._enqueued_at: list[float] = []
+        self._closed = False
+        self._cond = threading.Condition()
+
+    # ------------------------------------------------------------------
+    @property
+    def depth(self) -> int:
+        """Number of queued (not yet taken) requests."""
+        with self._cond:
+            return len(self._queue)
+
+    def __len__(self) -> int:
+        return self.depth
+
+    @property
+    def closed(self) -> bool:
+        with self._cond:
+            return self._closed
+
+    # ------------------------------------------------------------------
+    def put(self, request) -> int:
+        """Admit one request; returns the new depth.
+
+        Raises :class:`ServiceOverload` when the queue is at capacity and
+        :class:`ServiceShutdown` when the batcher is closed.
+        """
+        with self._cond:
+            if self._closed:
+                raise ServiceShutdown("batcher is closed")
+            depth = len(self._queue)
+            if depth >= self.capacity:
+                raise ServiceOverload(depth, self.capacity)
+            self._queue.append(request)
+            self._enqueued_at.append(self.clock())
+            self._cond.notify_all()
+            return len(self._queue)
+
+    def _flush_wait(self, now: float) -> float | None:
+        """Seconds to wait before the latency trigger fires; <=0 = now.
+
+        Assumes the queue is non-empty and the lock is held. None means
+        "wait for more requests" cannot happen (closed or full batch).
+        """
+        if self._closed or len(self._queue) >= self.max_batch_size:
+            return 0.0
+        return self.flush_interval_s - (now - self._enqueued_at[0])
+
+    def take(self, *, block: bool = True) -> list | None:
+        """Take the next batch (1..max_batch_size requests, FIFO).
+
+        Blocks until a flush trigger fires; returns ``None`` when the
+        batcher is closed and empty (the worker's exit signal). With
+        ``block=False``, returns an immediately-ready batch or ``None``.
+        """
+        with self._cond:
+            while True:
+                if self._queue:
+                    wait = self._flush_wait(self.clock())
+                    if wait is not None and wait <= 0:
+                        batch = self._queue[: self.max_batch_size]
+                        del self._queue[: self.max_batch_size]
+                        del self._enqueued_at[: self.max_batch_size]
+                        self._cond.notify_all()
+                        return batch
+                    if not block:
+                        return None
+                    self._cond.wait(timeout=wait)
+                else:
+                    if self._closed or not block:
+                        return None
+                    self._cond.wait()
+
+    # ------------------------------------------------------------------
+    def close(self) -> None:
+        """Stop admissions; queued requests remain takeable (drain)."""
+        with self._cond:
+            self._closed = True
+            self._cond.notify_all()
+
+    def cancel_pending(self) -> list:
+        """Pop and return every queued request (immediate shutdown)."""
+        with self._cond:
+            pending, self._queue = self._queue, []
+            self._enqueued_at = []
+            self._cond.notify_all()
+            return pending
+
+    def wait_empty(self, timeout: float | None = None) -> bool:
+        """Block until the queue is empty; True on success."""
+        deadline = None if timeout is None else time.monotonic() + timeout
+        with self._cond:
+            while self._queue:
+                remaining = None
+                if deadline is not None:
+                    remaining = deadline - time.monotonic()
+                    if remaining <= 0:
+                        return False
+                self._cond.wait(timeout=remaining)
+            return True

@@ -1,0 +1,559 @@
+"""QueryBroker: the embeddable SSSP query service (DESIGN.md §11).
+
+Request path::
+
+    submit ──▶ admission control ──▶ distance cache ──▶ micro-batcher
+                  │ (bounded queue)       │ (hit: done)      │
+                  ▼                       ▼                  ▼
+           ServiceOverload          QueryFuture        worker pool
+                                                   (BatchSolver.solve_many)
+
+One broker serves one (graph, config, machine) triple — the coordinates
+the distance cache is keyed under; run one broker per graph/config pair
+you serve. Queries for the same root arriving in one batch window are
+*coalesced* into a single solve; different per-request deadlines are
+never coalesced (a strict budget must not fail a lax request). Answers
+are bit-identical to offline :func:`~repro.core.solver.solve_sssp` on
+every path — cache hit, cache miss and batched — because the engine is
+deterministic and the cache stores engine output verbatim.
+
+Overload sheds at admission with a typed
+:class:`~repro.serve.request.ServiceOverload`; shutdown drains: admitted
+requests complete, new ones are refused. Telemetry flows into a
+:class:`~repro.obs.registry.MetricsRegistry` (queue depth, batch size,
+latency histograms, cache and shed counters) and — when a
+:class:`~repro.obs.tracer.TraceConfig` is given — into per-request and
+per-batch tracer spans written at shutdown.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+
+import numpy as np
+
+from repro.core.paths import build_parent_tree, extract_path
+from repro.core.solver import BatchSolver
+from repro.runtime.watchdog import SolveTimeout
+from repro.serve.batcher import MicroBatcher
+from repro.serve.cache import DistanceCache
+from repro.serve.request import (
+    QueryFuture,
+    QueryRequest,
+    QueryResult,
+    ServiceOverload,
+    ServiceShutdown,
+)
+from repro.serve.slo import LatencyWindow
+
+__all__ = ["QueryBroker"]
+
+_BATCH_SIZE_BUCKETS = (1.0, 2.0, 4.0, 8.0, 16.0, 32.0, 64.0, 128.0)
+
+_UNSET = object()
+
+
+class QueryBroker:
+    """Batched, cached, admission-controlled SSSP query service.
+
+    Parameters
+    ----------
+    graph:
+        The served graph (preprocessing is hoisted once via
+        :class:`~repro.core.solver.BatchSolver`).
+    algorithm, delta, config, machine, num_ranks, threads_per_rank:
+        Solver/machine coordinates, as for ``solve_sssp``.
+    capacity:
+        Bound on queued requests; submits beyond it shed with
+        :class:`ServiceOverload`.
+    max_batch_size:
+        Size trigger of the micro-batcher.
+    flush_interval_s:
+        Latency trigger: the longest a queued request waits for its
+        batch to fill.
+    num_workers:
+        Worker threads executing batches. ``0`` is manual mode — nothing
+        runs until :meth:`process_once` is called — which tests and
+        single-threaded embeddings use for determinism.
+    cache_bytes:
+        Byte budget of the distance cache (``0`` disables caching).
+    default_deadline:
+        :class:`~repro.runtime.watchdog.DeadlineConfig` applied to
+        requests that do not carry their own.
+    trace:
+        Optional :class:`~repro.obs.tracer.TraceConfig`; per-request and
+        per-batch spans are recorded and artifacts written at shutdown.
+    registry:
+        Optional external :class:`~repro.obs.registry.MetricsRegistry`;
+        defaults to the tracer's (when tracing) or a fresh one.
+    """
+
+    def __init__(
+        self,
+        graph,
+        *,
+        algorithm: str = "opt",
+        delta: int = 25,
+        config=None,
+        machine=None,
+        num_ranks: int = 8,
+        threads_per_rank: int = 8,
+        capacity: int = 256,
+        max_batch_size: int = 16,
+        flush_interval_s: float = 0.002,
+        num_workers: int = 1,
+        cache_bytes: int = 64 << 20,
+        default_deadline=None,
+        trace=None,
+        registry=None,
+    ) -> None:
+        if num_workers < 0:
+            raise ValueError("num_workers must be >= 0")
+        self.graph = graph
+        self._solver = BatchSolver(
+            graph,
+            algorithm=algorithm,
+            delta=delta,
+            config=config,
+            machine=machine,
+            num_ranks=num_ranks,
+            threads_per_rank=threads_per_rank,
+        )
+        self.default_deadline = default_deadline
+        self._tracer = None
+        if trace is not None and getattr(trace, "enabled", True):
+            from repro.obs.tracer import Tracer
+
+            self._tracer = Tracer(self._solver.machine, trace)
+        if registry is not None:
+            self.registry = registry
+        elif self._tracer is not None:
+            self.registry = self._tracer.registry
+        else:
+            from repro.obs.registry import MetricsRegistry
+
+            self.registry = MetricsRegistry()
+        self._clock = (
+            self._tracer.wall_now if self._tracer is not None else time.perf_counter
+        )
+        self.cache = DistanceCache(cache_bytes, registry=self.registry)
+        self._batcher = MicroBatcher(
+            capacity=capacity,
+            max_batch_size=max_batch_size,
+            flush_interval_s=flush_interval_s,
+            clock=self._clock,
+        )
+        self.latency = LatencyWindow()
+        self._lock = threading.Lock()
+        self._idle = threading.Condition(self._lock)
+        self._trace_lock = threading.Lock()
+        self._closed = False
+        self._inflight = 0
+        self._next_batch_id = 0
+        self._offered = 0
+        self._shed = 0
+        self._batches = 0
+        self._batched_requests = 0
+        self._solves = 0
+        self._outcomes: dict[str, int] = {}
+        self._t_start = self._clock()
+        self._workers = [
+            threading.Thread(
+                target=self._worker_loop, name=f"sssp-serve-{i}", daemon=True
+            )
+            for i in range(num_workers)
+        ]
+        for worker in self._workers:
+            worker.start()
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    @property
+    def queue_depth(self) -> int:
+        return self._batcher.depth
+
+    @property
+    def capacity(self) -> int:
+        return self._batcher.capacity
+
+    @property
+    def closed(self) -> bool:
+        return self._closed
+
+    @property
+    def manual(self) -> bool:
+        """True when no worker threads run (``num_workers=0``)."""
+        return not self._workers
+
+    @property
+    def tracer(self):
+        """The service tracer (None unless constructed with ``trace=``)."""
+        return self._tracer
+
+    # ------------------------------------------------------------------
+    # Submission (the client-facing edge)
+    # ------------------------------------------------------------------
+    def submit(
+        self, root: int, *, targets=(), deadline=_UNSET
+    ) -> QueryFuture:
+        """Admit one query; returns its :class:`QueryFuture`.
+
+        Admission control happens here, synchronously: an out-of-range
+        root or target raises ``ValueError``, a closed broker raises
+        :class:`ServiceShutdown`, and a full queue sheds with
+        :class:`ServiceOverload` — the queue never grows past its bound.
+        A cache hit completes the future before ``submit`` returns.
+        """
+        if self._closed:
+            raise ServiceShutdown("broker is shut down")
+        n = self.graph.num_vertices
+        root = int(root)
+        if not 0 <= root < n:
+            raise ValueError(f"root {root} out of range (n={n})")
+        targets = tuple(int(t) for t in targets)
+        for t in targets:
+            if not 0 <= t < n:
+                raise ValueError(f"path target {t} out of range (n={n})")
+        if deadline is _UNSET:
+            deadline = self.default_deadline
+        req = QueryRequest(
+            root, targets, deadline, submitted_at=self._clock()
+        )
+        with self._lock:
+            self._offered += 1
+        cached = self.cache.get(root)
+        if cached is not None:
+            self._complete(req, cached, source="cache", batch_id=None)
+            return req.future
+        try:
+            depth = self._batcher.put(req)
+        except ServiceOverload:
+            with self._lock:
+                self._shed += 1
+            self.registry.inc(
+                "serve_shed_total", help="requests shed by admission control"
+            )
+            raise
+        self.registry.set_gauge(
+            "serve_queue_depth", depth, help="queued requests awaiting a batch"
+        )
+        return req.future
+
+    def submit_many(self, roots, **kwargs) -> list[QueryFuture]:
+        """Admit a k-root query; one future per root, in input order."""
+        return [self.submit(int(r), **kwargs) for r in roots]
+
+    def query(
+        self, root: int, *, targets=(), deadline=_UNSET,
+        timeout: float | None = None,
+    ) -> QueryResult:
+        """Synchronous convenience: submit and wait for the answer."""
+        future = self.submit(root, targets=targets, deadline=deadline)
+        # Manual mode: nobody else will run the batch.
+        while not self._workers and not future.done():
+            if self.process_once(block=True) == 0:
+                break
+        return future.result(timeout)
+
+    def query_many(self, roots, **kwargs) -> list[QueryResult]:
+        """Synchronous k-root query; results in input order."""
+        timeout = kwargs.pop("timeout", None)
+        futures = self.submit_many(roots, **kwargs)
+        while not self._workers and any(not f.done() for f in futures):
+            if self.process_once(block=True) == 0:
+                break
+        return [f.result(timeout) for f in futures]
+
+    # ------------------------------------------------------------------
+    # Batch execution (the worker edge)
+    # ------------------------------------------------------------------
+    def _worker_loop(self) -> None:
+        while True:
+            batch = self._batcher.take(block=True)
+            if batch is None:
+                return
+            self._execute_batch(batch)
+
+    def process_once(self, *, block: bool = False) -> int:
+        """Manual mode: take and execute one batch inline.
+
+        Returns the number of requests served (0 = nothing ready). Safe
+        to call alongside worker threads, but intended for
+        ``num_workers=0`` embeddings and deterministic tests.
+        """
+        batch = self._batcher.take(block=block)
+        if batch is None:
+            return 0
+        self._execute_batch(batch)
+        return len(batch)
+
+    def _execute_batch(self, batch: list) -> None:
+        with self._lock:
+            self._inflight += len(batch)
+            batch_id = self._next_batch_id
+            self._next_batch_id += 1
+        t0 = self._clock()
+        hits = solves = timeouts = 0
+        try:
+            # Coalesce: requests sharing (root, deadline) share one solve.
+            groups: dict[tuple, list[QueryRequest]] = {}
+            for req in batch:
+                groups.setdefault(req.coalesce_key, []).append(req)
+            to_solve: list[tuple[tuple, list[QueryRequest]]] = []
+            for key, reqs in groups.items():
+                # Re-check the cache at dispatch: an earlier batch may have
+                # populated this root after these requests were queued.
+                cached = self.cache.peek(key[0])
+                if cached is not None:
+                    hits += len(reqs)
+                    for req in reqs:
+                        self._complete(
+                            req, cached, source="cache", batch_id=batch_id
+                        )
+                else:
+                    to_solve.append((key, reqs))
+            # The hot path: every no-deadline root of the batch in one
+            # solve_many call over the shared preprocessed context.
+            plain = [key for key, _ in to_solve if key[1] is None]
+            results = {}
+            if plain:
+                for res in self._solver.solve_many([r for r, _ in plain]):
+                    results[(res.root, None)] = res
+            for key, reqs in to_solve:
+                root, deadline = key
+                res = results.get(key)
+                if res is None:
+                    try:
+                        res = self._solver.solve(root, deadline=deadline)
+                    except SolveTimeout as exc:
+                        timeouts += len(reqs)
+                        for req in reqs:
+                            self._fail(req, exc, outcome="timeout")
+                        continue
+                solves += 1
+                self.cache.put(root, res.distances)
+                for i, req in enumerate(reqs):
+                    self._complete(
+                        req,
+                        res.distances,
+                        source="solve" if i == 0 else "coalesced",
+                        batch_id=batch_id,
+                        sssp=res,
+                    )
+        except Exception as exc:  # defensive: never strand a future
+            for req in batch:
+                if not req.future.done():
+                    self._fail(req, exc, outcome="error")
+        finally:
+            wall = self._clock() - t0
+            with self._lock:
+                self._inflight -= len(batch)
+                self._batches += 1
+                self._batched_requests += len(batch)
+                self._solves += solves
+                self._idle.notify_all()
+            self.registry.inc("serve_batches_total", help="executed batches")
+            self.registry.inc(
+                "serve_solves_total", solves, help="fresh engine solves"
+            )
+            self.registry.observe(
+                "serve_batch_size",
+                len(batch),
+                buckets=_BATCH_SIZE_BUCKETS,
+                help="requests per executed batch",
+            )
+            self.registry.observe(
+                "serve_batch_wall_seconds", wall,
+                help="wall-clock duration of batch execution",
+            )
+            self.registry.set_gauge("serve_queue_depth", self._batcher.depth)
+            self._trace_span(
+                f"batch-{batch_id}",
+                "batch",
+                t0,
+                wall,
+                requests=len(batch),
+                solves=solves,
+                cache_hits=hits,
+                timeouts=timeouts,
+            )
+
+    # ------------------------------------------------------------------
+    # Completion
+    # ------------------------------------------------------------------
+    def _paths(
+        self, root: int, distances: np.ndarray, targets: tuple[int, ...]
+    ) -> dict[int, list[int] | None]:
+        if not targets:
+            return {}
+        parent = build_parent_tree(self.graph, distances, root)
+        out: dict[int, list[int] | None] = {}
+        for t in targets:
+            path = extract_path(parent, root, t)
+            out[t] = path if path else None
+        return out
+
+    def _complete(
+        self,
+        req: QueryRequest,
+        distances: np.ndarray,
+        *,
+        source: str,
+        batch_id: int | None,
+        sssp=None,
+    ) -> None:
+        latency = self._clock() - req.submitted_at
+        result = QueryResult(
+            root=req.root,
+            distances=distances,
+            source=source,
+            latency_s=latency,
+            batch_id=batch_id,
+            paths=self._paths(req.root, distances, req.targets),
+            sssp=sssp,
+        )
+        self._account(req, source, latency)
+        req.future.set_result(result)
+
+    def _fail(self, req: QueryRequest, error: BaseException, *, outcome: str) -> None:
+        latency = self._clock() - req.submitted_at
+        self._account(req, outcome, latency)
+        req.future.set_error(error)
+
+    def _account(self, req: QueryRequest, outcome: str, latency: float) -> None:
+        with self._lock:
+            self._outcomes[outcome] = self._outcomes.get(outcome, 0) + 1
+        self.latency.record(outcome, latency)
+        self.registry.inc(
+            "serve_requests_total", outcome=outcome,
+            help="completed requests by outcome",
+        )
+        self.registry.observe(
+            "serve_request_latency_seconds", latency, source=outcome,
+            help="end-to-end request latency",
+        )
+        self._trace_span(
+            "request", "request", req.submitted_at, latency,
+            root=req.root, outcome=outcome,
+        )
+
+    def _trace_span(
+        self, name: str, cat: str, ts: float, dur: float, **args
+    ) -> None:
+        tracer = self._tracer
+        if tracer is None:
+            return
+        event = {
+            "type": "span",
+            "name": name,
+            "cat": cat,
+            "ts": ts,
+            "dur": max(dur, 0.0),
+            "sim_ts": tracer.sim_t,
+            "sim_dur": 0.0,
+            "depth": 0,
+            "args": dict(args),
+        }
+        with self._trace_lock:
+            tracer.events.append(event)
+
+    # ------------------------------------------------------------------
+    # Drain and shutdown
+    # ------------------------------------------------------------------
+    def drain(self, timeout: float | None = None) -> bool:
+        """Block until every admitted request has completed.
+
+        In manual mode (``num_workers=0``) this *executes* the backlog
+        inline. Returns False if ``timeout`` expired first.
+        """
+        if not self._workers:
+            while self.process_once(block=False):
+                pass
+        if not self._batcher.wait_empty(timeout):
+            return False
+        deadline = None if timeout is None else time.monotonic() + timeout
+        with self._idle:
+            while self._inflight:
+                remaining = None
+                if deadline is not None:
+                    remaining = deadline - time.monotonic()
+                    if remaining <= 0:
+                        return False
+                self._idle.wait(timeout=remaining)
+        return True
+
+    def shutdown(self, *, drain: bool = True, timeout: float | None = None) -> None:
+        """Stop the service. Idempotent.
+
+        With ``drain=True`` (graceful): new submits are refused, every
+        already-admitted request completes, workers exit, trace/metrics
+        artifacts are written. With ``drain=False``: queued requests fail
+        with :class:`ServiceShutdown`; requests already inside a batch
+        still complete (a batch is never abandoned mid-flight).
+        """
+        with self._lock:
+            if self._closed:
+                return
+            self._closed = True
+        if not drain:
+            for req in self._batcher.cancel_pending():
+                self._fail(
+                    req,
+                    ServiceShutdown("broker shut down before execution"),
+                    outcome="cancelled",
+                )
+        self._batcher.close()
+        if not self._workers:
+            if drain:
+                while self.process_once(block=False):
+                    pass
+        else:
+            for worker in self._workers:
+                worker.join(timeout)
+        if self._tracer is not None:
+            from repro.obs.export import finalize_trace
+
+            self.registry.set_gauge("serve_queue_depth", self._batcher.depth)
+            finalize_trace(self._tracer)
+
+    def __enter__(self) -> "QueryBroker":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.shutdown(drain=True)
+
+    # ------------------------------------------------------------------
+    # Reporting
+    # ------------------------------------------------------------------
+    def report(self) -> dict:
+        """Flat service report: traffic, latency percentiles, cache, SLO
+        inputs (consumed by ``repro serve-bench`` and the benchmarks)."""
+        with self._lock:
+            completed = sum(self._outcomes.values())
+            row = {
+                "offered": self._offered,
+                "completed": completed,
+                "shed": self._shed,
+                "batches": self._batches,
+                "solves": self._solves,
+                "mean_batch_size": (
+                    self._batched_requests / self._batches
+                    if self._batches
+                    else 0.0
+                ),
+                "queue_depth": self._batcher.depth,
+                **{
+                    f"outcome_{k}": v
+                    for k, v in sorted(self._outcomes.items())
+                },
+            }
+        row["cache_hit_rate"] = self.cache.stats.hit_rate
+        row["cache_bytes"] = self.cache.stats.bytes_in_use
+        row["cache_evictions"] = self.cache.stats.evictions
+        row.update(self.latency.summary())
+        wall = self._clock() - self._t_start
+        row["wall_s"] = wall
+        row["throughput_qps"] = completed / wall if wall > 0 else 0.0
+        return row

@@ -1,0 +1,176 @@
+"""Byte-budgeted LRU distance cache (DESIGN.md §11).
+
+One :class:`DistanceCache` serves one (graph, config, machine) triple —
+the broker owns exactly one, so the key is simply the root. Values are
+full distance arrays, stored read-only so a hit can hand back the cached
+array itself without a copy: hits are **bit-identical** to a fresh solve
+because the cached array *was* a fresh solve's output, and solves are
+deterministic. A miss degrades to an exact solve — the cache can only
+ever make a query faster, never different.
+
+Eviction is LRU under a byte budget (``distances.nbytes`` per entry). An
+entry larger than the whole budget is rejected outright (counted in
+``stats.rejected``) instead of evicting everything for a value that
+cannot fit. All operations are thread-safe; stats mirror into an optional
+:class:`~repro.obs.registry.MetricsRegistry`.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import OrderedDict
+from dataclasses import dataclass, field
+
+import numpy as np
+
+__all__ = ["CacheStats", "DistanceCache"]
+
+
+@dataclass
+class CacheStats:
+    """Hit/miss/eviction counters plus the live byte footprint."""
+
+    hits: int = 0
+    misses: int = 0
+    insertions: int = 0
+    evictions: int = 0
+    rejected: int = 0
+    bytes_in_use: int = 0
+    byte_budget: int = 0
+
+    @property
+    def hit_rate(self) -> float:
+        total = self.hits + self.misses
+        return self.hits / total if total else 0.0
+
+    def as_row(self) -> dict[str, int | float]:
+        return {
+            "hits": self.hits,
+            "misses": self.misses,
+            "hit_rate": self.hit_rate,
+            "insertions": self.insertions,
+            "evictions": self.evictions,
+            "rejected": self.rejected,
+            "bytes_in_use": self.bytes_in_use,
+            "byte_budget": self.byte_budget,
+        }
+
+
+@dataclass
+class _Entry:
+    distances: np.ndarray
+    nbytes: int = field(default=0)
+
+
+class DistanceCache:
+    """LRU root → distance-array cache under a byte budget.
+
+    ``byte_budget=0`` disables storage entirely (every ``put`` is
+    rejected, every ``get`` misses) — the broker uses that to run a
+    cache-less baseline through the identical code path.
+    """
+
+    def __init__(self, byte_budget: int, *, registry=None) -> None:
+        if byte_budget < 0:
+            raise ValueError("byte_budget must be >= 0")
+        self.byte_budget = int(byte_budget)
+        self.stats = CacheStats(byte_budget=self.byte_budget)
+        self.registry = registry
+        self._entries: "OrderedDict[int, _Entry]" = OrderedDict()
+        self._lock = threading.Lock()
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._entries)
+
+    def __contains__(self, root: int) -> bool:
+        with self._lock:
+            return int(root) in self._entries
+
+    def roots(self) -> list[int]:
+        """Cached roots, least- to most-recently used."""
+        with self._lock:
+            return list(self._entries)
+
+    # ------------------------------------------------------------------
+    def get(self, root: int) -> np.ndarray | None:
+        """The cached distance array for ``root`` (read-only), or None.
+
+        A hit refreshes the entry's LRU position. Misses and hits are
+        both counted — the hit rate is the headline cache metric.
+        """
+        root = int(root)
+        with self._lock:
+            entry = self._entries.get(root)
+            if entry is None:
+                self.stats.misses += 1
+                self._mirror("serve_cache_misses_total", 1)
+                return None
+            self._entries.move_to_end(root)
+            self.stats.hits += 1
+            self._mirror("serve_cache_hits_total", 1)
+            return entry.distances
+
+    def peek(self, root: int) -> np.ndarray | None:
+        """Like :meth:`get` but touches neither stats nor LRU order."""
+        with self._lock:
+            entry = self._entries.get(int(root))
+            return entry.distances if entry is not None else None
+
+    def put(self, root: int, distances: np.ndarray) -> bool:
+        """Insert ``root``'s distances; returns False when rejected.
+
+        The array is stored as a read-only view (no copy) so the caller
+        must not mutate it afterwards — the broker hands out the same
+        array to result futures, which makes hits bit-identical by
+        construction. Evicts LRU entries until the budget holds.
+        """
+        root = int(root)
+        distances = np.asarray(distances)
+        distances.setflags(write=False)
+        nbytes = int(distances.nbytes)
+        with self._lock:
+            if nbytes > self.byte_budget:
+                self.stats.rejected += 1
+                self._mirror("serve_cache_rejected_total", 1)
+                return False
+            old = self._entries.pop(root, None)
+            if old is not None:
+                self.stats.bytes_in_use -= old.nbytes
+            while (
+                self._entries
+                and self.stats.bytes_in_use + nbytes > self.byte_budget
+            ):
+                _, victim = self._entries.popitem(last=False)
+                self.stats.bytes_in_use -= victim.nbytes
+                self.stats.evictions += 1
+                self._mirror("serve_cache_evictions_total", 1)
+            self._entries[root] = _Entry(distances, nbytes)
+            self.stats.bytes_in_use += nbytes
+            self.stats.insertions += 1
+            self._gauge()
+            return True
+
+    def clear(self) -> None:
+        with self._lock:
+            self._entries.clear()
+            self.stats.bytes_in_use = 0
+            self._gauge()
+
+    # ------------------------------------------------------------------
+    def _mirror(self, name: str, value: float) -> None:
+        if self.registry is not None:
+            self.registry.inc(name, value)
+
+    def _gauge(self) -> None:
+        if self.registry is not None:
+            self.registry.set_gauge(
+                "serve_cache_bytes",
+                self.stats.bytes_in_use,
+                help="live byte footprint of the distance cache",
+            )
+            self.registry.set_gauge(
+                "serve_cache_entries",
+                len(self._entries),
+                help="live entry count of the distance cache",
+            )

@@ -1,0 +1,165 @@
+"""Request/response types of the query service (DESIGN.md §11).
+
+A query enters the broker as a :class:`QueryRequest` (one root, optional
+path targets, optional per-request deadline), travels through the
+micro-batcher as-is, and resolves into a :class:`QueryResult` via a
+:class:`QueryFuture` the submitter holds. Rejections are *typed*: a full
+queue sheds with :class:`ServiceOverload` (the caller can back off and
+retry), a closed broker refuses with :class:`ServiceShutdown`, and a
+deadline trip surfaces the engine's own
+:class:`~repro.runtime.watchdog.SolveTimeout` through the future.
+"""
+
+from __future__ import annotations
+
+import threading
+from dataclasses import dataclass, field
+from typing import Any
+
+import numpy as np
+
+__all__ = [
+    "ServiceOverload",
+    "ServiceShutdown",
+    "QueryRequest",
+    "QueryResult",
+    "QueryFuture",
+]
+
+
+class ServiceOverload(RuntimeError):
+    """The bounded request queue is at capacity; the request was shed.
+
+    Carries the observed ``depth`` and configured ``capacity`` so callers
+    (and tests) can reason about the rejection. Shedding at admission is
+    the overload policy: the queue never grows past its bound, so queued
+    requests keep their latency budget instead of collapsing together.
+    """
+
+    def __init__(self, depth: int, capacity: int) -> None:
+        super().__init__(
+            f"request queue at capacity ({depth}/{capacity}); request shed"
+        )
+        self.depth = depth
+        self.capacity = capacity
+
+
+class ServiceShutdown(RuntimeError):
+    """The broker is shut down (or shutting down) and takes no new work."""
+
+
+@dataclass
+class QueryRequest:
+    """One admitted query: a root, optional path targets, a deadline.
+
+    ``submitted_at`` is the broker-clock admission timestamp (seconds);
+    request latency is measured from it. ``deadline`` is the per-request
+    :class:`~repro.runtime.watchdog.DeadlineConfig` forwarded to the
+    engine's watchdog — requests with different deadlines are never
+    coalesced into one solve, so a strict budget cannot fail a lax one.
+    """
+
+    root: int
+    targets: tuple[int, ...] = ()
+    deadline: Any = None
+    submitted_at: float = 0.0
+    future: "QueryFuture" = field(default_factory=lambda: QueryFuture())
+
+    @property
+    def coalesce_key(self) -> tuple:
+        """Requests sharing this key are served by one solve."""
+        return (self.root, self.deadline)
+
+
+@dataclass
+class QueryResult:
+    """The answer to one query.
+
+    ``distances`` is the full distance array from ``root`` (read-only; on
+    a cache hit it *is* the cached array — bit-identical to a fresh
+    solve). ``paths`` maps each requested target to its vertex sequence
+    (root..target inclusive; ``None`` for unreachable targets), extracted
+    deterministically from the distances. ``source`` records how the
+    answer was produced: ``"cache"``, ``"solve"`` (fresh member of a
+    batch) or ``"coalesced"`` (shared another request's solve in the same
+    batch). ``sssp`` is the full :class:`~repro.core.solver.SsspResult`
+    for fresh solves, ``None`` for cache hits (the cache stores only
+    distances, by byte budget).
+    """
+
+    root: int
+    distances: np.ndarray
+    source: str
+    latency_s: float
+    batch_id: int | None = None
+    paths: dict[int, list[int] | None] = field(default_factory=dict)
+    sssp: Any = None
+
+    @property
+    def cached(self) -> bool:
+        return self.source == "cache"
+
+    def distance_to(self, vertex: int) -> int:
+        """Distance to one vertex (``INF`` when unreachable)."""
+        return int(self.distances[int(vertex)])
+
+
+class QueryFuture:
+    """Completion handle for one submitted query.
+
+    A tiny thread-safe future (no executor dependency): exactly one of
+    :meth:`set_result` / :meth:`set_error` is called by the broker;
+    :meth:`result` blocks the submitter until then. ``add_done_callback``
+    is invoked inline on completion (used by closed-loop workload
+    clients).
+    """
+
+    def __init__(self) -> None:
+        self._event = threading.Event()
+        self._result: QueryResult | None = None
+        self._error: BaseException | None = None
+        self._callbacks: list = []
+        self._lock = threading.Lock()
+
+    def done(self) -> bool:
+        return self._event.is_set()
+
+    def set_result(self, result: QueryResult) -> None:
+        with self._lock:
+            if self._event.is_set():
+                raise RuntimeError("future already completed")
+            self._result = result
+            self._event.set()
+            callbacks, self._callbacks = self._callbacks, []
+        for cb in callbacks:
+            cb(self)
+
+    def set_error(self, error: BaseException) -> None:
+        with self._lock:
+            if self._event.is_set():
+                raise RuntimeError("future already completed")
+            self._error = error
+            self._event.set()
+            callbacks, self._callbacks = self._callbacks, []
+        for cb in callbacks:
+            cb(self)
+
+    def add_done_callback(self, callback) -> None:
+        with self._lock:
+            if not self._event.is_set():
+                self._callbacks.append(callback)
+                return
+        callback(self)
+
+    def exception(self) -> BaseException | None:
+        """The stored error, or None (does not block; None if pending)."""
+        return self._error
+
+    def result(self, timeout: float | None = None) -> QueryResult:
+        """Block until completed; re-raise the stored error if any."""
+        if not self._event.wait(timeout):
+            raise TimeoutError("query still pending")
+        if self._error is not None:
+            raise self._error
+        assert self._result is not None
+        return self._result

@@ -1,0 +1,122 @@
+"""Latency accounting and SLO evaluation for the query service.
+
+The registry's histograms are great for scraping but quantize latency
+into fixed buckets; SLO verdicts want exact order statistics. The broker
+therefore also streams every completed request's latency into a bounded
+:class:`LatencyWindow` (reservoir of the most recent ``window`` samples,
+split by result source), from which :func:`percentile` computes exact
+p50/p99 and :class:`SloPolicy` renders a pass/fail verdict — the object
+``repro serve-bench`` and the CI gate consume.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import deque
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = ["LatencyWindow", "SloPolicy", "percentile"]
+
+
+def percentile(samples, q: float) -> float:
+    """Exact q-th percentile (0..100) of ``samples``; NaN when empty.
+
+    Uses the 'lower' interpolation so small sample sets report a latency
+    that was actually observed rather than an average of two.
+    """
+    arr = np.asarray(list(samples), dtype=np.float64)
+    if arr.size == 0:
+        return float("nan")
+    return float(np.percentile(arr, q, method="lower"))
+
+
+class LatencyWindow:
+    """Sliding window of request latencies, split by result source."""
+
+    def __init__(self, window: int = 100_000) -> None:
+        if window < 1:
+            raise ValueError("window must be >= 1")
+        self.window = int(window)
+        self._samples: dict[str, deque] = {}
+        self._lock = threading.Lock()
+        self.count = 0
+
+    def record(self, source: str, latency_s: float) -> None:
+        with self._lock:
+            bucket = self._samples.get(source)
+            if bucket is None:
+                bucket = self._samples[source] = deque(maxlen=self.window)
+            bucket.append(float(latency_s))
+            self.count += 1
+
+    def samples(self, source: str | None = None) -> list[float]:
+        """Samples of one source, or all sources merged (``None``)."""
+        with self._lock:
+            if source is not None:
+                return list(self._samples.get(source, ()))
+            merged: list[float] = []
+            for bucket in self._samples.values():
+                merged.extend(bucket)
+            return merged
+
+    def summary(self) -> dict[str, float | int]:
+        """p50/p99/mean over all sources plus per-source p50s."""
+        merged = self.samples()
+        row: dict[str, float | int] = {
+            "requests": len(merged),
+            "p50_s": percentile(merged, 50),
+            "p99_s": percentile(merged, 99),
+            "mean_s": float(np.mean(merged)) if merged else float("nan"),
+        }
+        with self._lock:
+            sources = list(self._samples)
+        for source in sorted(sources):
+            row[f"p50_{source}_s"] = percentile(self.samples(source), 50)
+        return row
+
+
+@dataclass(frozen=True)
+class SloPolicy:
+    """Service-level objectives; ``None`` disables a bound.
+
+    ``p50_s``/``p99_s`` bound the merged latency percentiles,
+    ``min_hit_rate`` bounds the cache hit rate from below, and
+    ``max_shed_fraction`` bounds sheds over offered load. :meth:`check`
+    returns the list of violations (empty = SLOs met) against a report
+    row as produced by ``QueryBroker.report()``.
+    """
+
+    p50_s: float | None = None
+    p99_s: float | None = None
+    min_hit_rate: float | None = None
+    max_shed_fraction: float | None = None
+
+    def check(self, report: dict) -> list[str]:
+        violations: list[str] = []
+
+        def over(key: str, bound: float | None) -> None:
+            value = report.get(key)
+            if bound is not None and value is not None and value > bound:
+                violations.append(f"{key} {value:.6f} > SLO {bound:.6f}")
+
+        over("p50_s", self.p50_s)
+        over("p99_s", self.p99_s)
+        if self.min_hit_rate is not None:
+            hit_rate = report.get("cache_hit_rate")
+            if hit_rate is not None and hit_rate < self.min_hit_rate:
+                violations.append(
+                    f"cache_hit_rate {hit_rate:.3f} < SLO {self.min_hit_rate:.3f}"
+                )
+        if self.max_shed_fraction is not None:
+            offered = report.get("offered", 0)
+            shed = report.get("shed", 0)
+            if offered:
+                fraction = shed / offered
+                if fraction > self.max_shed_fraction:
+                    violations.append(
+                        f"shed fraction {fraction:.3f} > SLO "
+                        f"{self.max_shed_fraction:.3f}"
+                    )
+        return violations

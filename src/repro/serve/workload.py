@@ -1,0 +1,188 @@
+"""Synthetic query workloads: arrival processes and Zipf root popularity.
+
+Serving benchmarks need traffic that looks like traffic. This module
+generates deterministic (seeded) query streams with the two standard
+load-generator shapes:
+
+- **open loop** — requests arrive on a Poisson process at ``rate_qps``
+  regardless of how the service is doing; this is what exposes queueing
+  collapse and shed behavior under overload;
+- **closed loop** — ``concurrency`` synchronous clients each wait for
+  their answer before sending the next; this is what measures sustainable
+  throughput.
+
+Root popularity is Zipf-skewed over a bounded universe of candidate
+roots (``p(k) ∝ 1/k^s``): a handful of hot roots dominate — the regime
+where the distance cache earns its keep — while ``zipf_s=0`` degenerates
+to uniform (the cache-hostile regime). :func:`run_workload` drives a
+:class:`~repro.serve.broker.QueryBroker` with a spec and returns the
+merged report.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from dataclasses import dataclass, replace
+
+import numpy as np
+
+from repro.graph.roots import choose_roots
+from repro.serve.request import ServiceOverload
+
+__all__ = [
+    "WorkloadSpec",
+    "zipf_weights",
+    "root_sequence",
+    "interarrival_times",
+    "run_workload",
+]
+
+
+@dataclass(frozen=True)
+class WorkloadSpec:
+    """One synthetic query stream.
+
+    ``arrival`` selects the loop shape (``"open"`` / ``"closed"``);
+    ``zipf_s`` the popularity skew (0 = uniform); ``root_universe`` how
+    many distinct candidate roots the stream draws from.
+    """
+
+    num_requests: int = 200
+    arrival: str = "closed"
+    rate_qps: float = 500.0
+    concurrency: int = 4
+    zipf_s: float = 1.1
+    root_universe: int = 64
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if self.arrival not in ("open", "closed"):
+            raise ValueError(
+                f"unknown arrival process {self.arrival!r} "
+                "(expected 'open' or 'closed')"
+            )
+        if self.num_requests < 1:
+            raise ValueError("num_requests must be >= 1")
+        if self.rate_qps <= 0:
+            raise ValueError("rate_qps must be > 0")
+        if self.concurrency < 1:
+            raise ValueError("concurrency must be >= 1")
+        if self.zipf_s < 0:
+            raise ValueError("zipf_s must be >= 0")
+        if self.root_universe < 1:
+            raise ValueError("root_universe must be >= 1")
+
+    def evolve(self, **changes) -> "WorkloadSpec":
+        return replace(self, **changes)
+
+
+def zipf_weights(k: int, s: float) -> np.ndarray:
+    """Normalized Zipf probabilities ``p(rank) ∝ 1/rank^s`` for ranks 1..k."""
+    ranks = np.arange(1, k + 1, dtype=np.float64)
+    weights = ranks ** (-float(s))
+    return weights / weights.sum()
+
+def root_sequence(graph, spec: WorkloadSpec) -> np.ndarray:
+    """The stream's root per request (``int64[num_requests]``).
+
+    Candidates are non-isolated vertices (via
+    :func:`~repro.graph.roots.choose_roots`); popularity rank is the
+    candidate's position in that draw, so the same seed reproduces the
+    same hot set.
+    """
+    universe = np.asarray(
+        choose_roots(
+            graph,
+            min(spec.root_universe, max(int((graph.degrees > 0).sum()), 1)),
+            seed=spec.seed,
+        ),
+        dtype=np.int64,
+    )
+    rng = np.random.default_rng(spec.seed + 1)
+    p = zipf_weights(universe.size, spec.zipf_s)
+    return rng.choice(universe, size=spec.num_requests, p=p)
+
+
+def interarrival_times(spec: WorkloadSpec) -> np.ndarray:
+    """Open-loop inter-arrival gaps in seconds (exponential, seeded)."""
+    rng = np.random.default_rng(spec.seed + 2)
+    return rng.exponential(1.0 / spec.rate_qps, size=spec.num_requests)
+
+
+def run_workload(broker, spec: WorkloadSpec) -> dict:
+    """Drive ``broker`` with the spec's stream; returns a report row.
+
+    The report is the broker's :meth:`~repro.serve.broker.QueryBroker.
+    report` restricted to this run (delta-based counters), plus the
+    workload's own offered/shed/duration accounting. Shed requests
+    (:class:`ServiceOverload`) are counted, not retried — the workload
+    measures the service's overload policy rather than hiding it.
+    """
+    roots = root_sequence(broker.graph, spec)
+    before = broker.report()
+    t0 = time.perf_counter()
+    if spec.arrival == "open":
+        gaps = interarrival_times(spec)
+        futures = []
+        next_at = time.perf_counter()
+        for i, root in enumerate(roots):
+            next_at += gaps[i]
+            pause = next_at - time.perf_counter()
+            if pause > 0:
+                time.sleep(pause)
+            try:
+                futures.append(broker.submit(int(root)))
+            except ServiceOverload:
+                pass  # counted by the broker; the stream does not retry
+            if broker.manual:
+                # Manual mode: interleave batch execution with arrivals.
+                broker.process_once(block=False)
+        broker.drain()
+        for future in futures:
+            future.result()
+    else:
+        # Closed loop: `concurrency` clients, each synchronous.
+        chunks = np.array_split(roots, spec.concurrency)
+        errors: list[BaseException] = []
+
+        def client(chunk: np.ndarray) -> None:
+            for root in chunk:
+                try:
+                    broker.query(int(root))
+                except ServiceOverload:
+                    pass  # counted by the broker; clients do not retry
+                except BaseException as exc:  # surfaced after the join
+                    errors.append(exc)
+
+        if broker.manual and spec.concurrency == 1:
+            client(roots)
+        else:
+            threads = [
+                threading.Thread(target=client, args=(chunk,))
+                for chunk in chunks
+                if chunk.size
+            ]
+            for t in threads:
+                t.start()
+            for t in threads:
+                t.join()
+        if errors:
+            raise errors[0]
+    wall = time.perf_counter() - t0
+    after = broker.report()
+    completed = after["completed"] - before["completed"]
+    report = dict(after)
+    report.update(
+        {
+            "workload": spec.arrival,
+            "zipf_s": spec.zipf_s,
+            "root_universe": spec.root_universe,
+            "offered": spec.num_requests,
+            "completed": completed,
+            "shed": after["shed"] - before["shed"],
+            "wall_s": wall,
+            "throughput_qps": completed / wall if wall > 0 else 0.0,
+        }
+    )
+    return report

@@ -28,6 +28,36 @@ class TestBatchSolver:
         assert len(results) == 3
         assert [r.root for r in results] == [int(x) for x in roots]
 
+    def test_solve_many_shared_trace(self, rmat1_small, tmp_path):
+        from repro.obs.export import validate_trace_file
+        from repro.obs.tracer import TraceConfig
+
+        path = tmp_path / "batch.jsonl"
+        solver = BatchSolver(rmat1_small, num_ranks=2, threads_per_rank=2)
+        roots = [int(r) for r in choose_roots(rmat1_small, 3, seed=4)]
+        results = solver.solve_many(roots, trace=TraceConfig(path=str(path)))
+        assert [r.root for r in results] == roots
+        fmt, problems = validate_trace_file(str(path))
+        assert fmt == "jsonl"
+        assert problems == []
+        import json
+
+        lines = [json.loads(l) for l in path.read_text().splitlines()]
+        root_spans = [e for e in lines
+                      if e.get("type") == "span" and e.get("cat") == "root"]
+        # one trace file, one root-level span per solved root
+        assert [s["args"]["root"] for s in root_spans] == roots
+
+    def test_solve_many_deadline_forwarded(self, rmat1_small):
+        from repro.runtime.watchdog import DeadlineConfig, SolveTimeout
+
+        solver = BatchSolver(rmat1_small, algorithm="delta", delta=1,
+                             num_ranks=2, threads_per_rank=2)
+        root = int(choose_roots(rmat1_small, 1, seed=3)[0])
+        with pytest.raises(SolveTimeout):
+            solver.solve_many([root],
+                              deadline=DeadlineConfig(max_supersteps=2))
+
     def test_metrics_independent_per_root(self, rmat1_small):
         solver = BatchSolver(rmat1_small, num_ranks=2, threads_per_rank=2)
         a = solver.solve(3)

@@ -1,0 +1,114 @@
+"""Unit tests for the micro-batcher's flush and admission policy.
+
+The clock is injected so flush timing is tested without sleeping.
+"""
+
+import pytest
+
+from repro.serve.batcher import MicroBatcher
+from repro.serve.request import ServiceOverload, ServiceShutdown
+
+
+class FakeClock:
+    def __init__(self) -> None:
+        self.t = 0.0
+
+    def __call__(self) -> float:
+        return self.t
+
+
+def make(capacity=8, max_batch_size=3, flush_interval_s=1.0):
+    clock = FakeClock()
+    batcher = MicroBatcher(
+        capacity=capacity,
+        max_batch_size=max_batch_size,
+        flush_interval_s=flush_interval_s,
+        clock=clock,
+    )
+    return batcher, clock
+
+
+class TestFlushTriggers:
+    def test_size_trigger(self):
+        batcher, _ = make(max_batch_size=3)
+        for i in range(2):
+            batcher.put(i)
+        assert batcher.take(block=False) is None  # below size, before interval
+        batcher.put(2)
+        assert batcher.take(block=False) == [0, 1, 2]
+
+    def test_latency_trigger(self):
+        batcher, clock = make(max_batch_size=8, flush_interval_s=1.0)
+        batcher.put("lonely")
+        clock.t = 0.5
+        assert batcher.take(block=False) is None
+        clock.t = 1.0  # the oldest request has now waited the full interval
+        assert batcher.take(block=False) == ["lonely"]
+
+    def test_fifo_and_batch_bound(self):
+        batcher, clock = make(max_batch_size=3, flush_interval_s=1.0)
+        for i in range(5):
+            batcher.put(i)
+        assert batcher.take(block=False) == [0, 1, 2]
+        clock.t = 1.0
+        assert batcher.take(block=False) == [3, 4]
+        assert batcher.depth == 0
+
+    def test_zero_interval_flushes_immediately(self):
+        batcher, _ = make(max_batch_size=8, flush_interval_s=0.0)
+        batcher.put("x")
+        assert batcher.take(block=False) == ["x"]
+
+
+class TestAdmission:
+    def test_put_returns_depth(self):
+        batcher, _ = make()
+        assert batcher.put("a") == 1
+        assert batcher.put("b") == 2
+        assert len(batcher) == 2
+
+    def test_overload_at_capacity(self):
+        batcher, _ = make(capacity=2)
+        batcher.put("a")
+        batcher.put("b")
+        with pytest.raises(ServiceOverload) as info:
+            batcher.put("c")
+        assert info.value.depth == 2
+        assert info.value.capacity == 2
+        assert batcher.depth == 2  # the queue never grows past its bound
+
+    def test_invalid_parameters(self):
+        with pytest.raises(ValueError):
+            MicroBatcher(capacity=0, max_batch_size=1, flush_interval_s=0)
+        with pytest.raises(ValueError):
+            MicroBatcher(capacity=1, max_batch_size=0, flush_interval_s=0)
+        with pytest.raises(ValueError):
+            MicroBatcher(capacity=1, max_batch_size=1, flush_interval_s=-1)
+
+
+class TestShutdown:
+    def test_close_refuses_new_but_drains_queued(self):
+        batcher, _ = make(max_batch_size=8, flush_interval_s=60.0)
+        batcher.put("a")
+        batcher.put("b")
+        batcher.close()
+        with pytest.raises(ServiceShutdown):
+            batcher.put("c")
+        # a closed batcher flushes immediately regardless of triggers
+        assert batcher.take(block=False) == ["a", "b"]
+        assert batcher.take(block=True) is None  # closed + empty: exit signal
+
+    def test_cancel_pending(self):
+        batcher, _ = make()
+        batcher.put("a")
+        batcher.put("b")
+        assert batcher.cancel_pending() == ["a", "b"]
+        assert batcher.depth == 0
+
+    def test_wait_empty(self):
+        batcher, _ = make(flush_interval_s=0.0)
+        assert batcher.wait_empty(timeout=0.01)
+        batcher.put("a")
+        assert not batcher.wait_empty(timeout=0.01)
+        batcher.take(block=False)
+        assert batcher.wait_empty(timeout=0.01)

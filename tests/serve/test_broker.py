@@ -1,0 +1,270 @@
+"""QueryBroker semantics: admission, coalescing, deadlines, drain/shutdown.
+
+Most tests run the broker in manual mode (``num_workers=0`` with
+``process_once``) so batch composition is deterministic; a couple of
+threaded smoke tests cover the worker-pool path.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.solver import solve_sssp
+from repro.graph.roots import choose_root, choose_roots
+from repro.runtime.watchdog import DeadlineConfig, SolveTimeout
+from repro.serve.broker import QueryBroker
+from repro.serve.request import ServiceOverload, ServiceShutdown
+
+
+def manual_broker(graph, **kwargs):
+    kwargs.setdefault("num_workers", 0)
+    kwargs.setdefault("flush_interval_s", 0.0)
+    kwargs.setdefault("num_ranks", 2)
+    kwargs.setdefault("threads_per_rank", 2)
+    return QueryBroker(graph, **kwargs)
+
+
+class TestQueryPath:
+    def test_cold_then_warm(self, rmat1_small):
+        broker = manual_broker(rmat1_small)
+        root = int(choose_root(rmat1_small, seed=0))
+        cold = broker.query(root)
+        warm = broker.query(root)
+        assert cold.source == "solve"
+        assert warm.source == "cache" and warm.cached
+        # a hit hands back the cached array itself: bit-identical for free
+        assert warm.distances is cold.distances
+        broker.shutdown()
+
+    def test_distances_match_offline_solve(self, rmat1_small):
+        broker = manual_broker(rmat1_small)
+        root = int(choose_root(rmat1_small, seed=1))
+        served = broker.query(root)
+        offline = solve_sssp(rmat1_small, root, algorithm="opt", delta=25,
+                             num_ranks=2, threads_per_rank=2)
+        assert np.array_equal(served.distances, offline.distances)
+        assert served.distances.dtype == offline.distances.dtype
+        broker.shutdown()
+
+    def test_paths_to_targets(self, path_graph):
+        broker = manual_broker(path_graph)
+        res = broker.query(0, targets=(4, 2))
+        assert res.paths[4] == [0, 1, 2, 3, 4]
+        assert res.paths[2] == [0, 1, 2]
+        assert res.distance_to(4) == 16
+        broker.shutdown()
+
+    def test_unreachable_target_is_none(self, disconnected_graph):
+        broker = manual_broker(disconnected_graph)
+        res = broker.query(0, targets=(1, 3))
+        assert res.paths[1] == [0, 1]
+        assert res.paths[3] is None
+        broker.shutdown()
+
+    def test_invalid_root_and_target(self, path_graph):
+        broker = manual_broker(path_graph)
+        with pytest.raises(ValueError, match="root"):
+            broker.submit(99)
+        with pytest.raises(ValueError, match="target"):
+            broker.submit(0, targets=(99,))
+        broker.shutdown()
+
+    def test_query_many_input_order(self, rmat1_small):
+        broker = manual_broker(rmat1_small, max_batch_size=8)
+        roots = [int(r) for r in choose_roots(rmat1_small, 4, seed=2)]
+        results = broker.query_many(roots)
+        assert [r.root for r in results] == roots
+        broker.shutdown()
+
+
+class TestCoalescing:
+    def test_duplicate_roots_share_one_solve(self, rmat1_small):
+        broker = manual_broker(rmat1_small, max_batch_size=8)
+        root = int(choose_root(rmat1_small, seed=3))
+        other = int(choose_root(rmat1_small, seed=4))
+        assert root != other
+        futures = broker.submit_many([root, root, root, other])
+        served = broker.process_once(block=True)
+        assert served == 4
+        results = [f.result() for f in futures]
+        assert [r.source for r in results] == [
+            "solve", "coalesced", "coalesced", "solve",
+        ]
+        assert broker.report()["solves"] == 2
+        # coalesced answers are the same array as the fresh solve's
+        assert results[1].distances is results[0].distances
+        broker.shutdown()
+
+    def test_different_deadlines_never_coalesce(self, rmat1_small):
+        broker = manual_broker(rmat1_small, max_batch_size=8)
+        root = int(choose_root(rmat1_small, seed=3))
+        lax = DeadlineConfig(max_supersteps=100_000)
+        f1 = broker.submit(root, deadline=None)
+        f2 = broker.submit(root, deadline=lax)
+        broker.process_once(block=True)
+        assert f1.result().source == "solve"
+        assert f2.result().source == "solve"  # own solve, not coalesced
+        assert broker.report()["solves"] == 2
+        broker.shutdown()
+
+    def test_dispatch_rechecks_cache(self, rmat1_small):
+        # A root queued behind an identical earlier batch is answered from
+        # the cache at dispatch time, without another solve.
+        broker = manual_broker(rmat1_small, max_batch_size=1)
+        root = int(choose_root(rmat1_small, seed=3))
+        f1 = broker.submit(root)
+        f2 = broker.submit(root)  # separate batch (max_batch_size=1)
+        broker.process_once(block=True)
+        broker.process_once(block=True)
+        assert f1.result().source == "solve"
+        assert f2.result().source == "cache"
+        assert broker.report()["solves"] == 1
+        broker.shutdown()
+
+
+class TestOverloadAndShutdown:
+    def test_overload_sheds_typed(self, rmat1_small):
+        broker = manual_broker(
+            rmat1_small, capacity=2, flush_interval_s=60.0
+        )
+        roots = [int(r) for r in choose_roots(rmat1_small, 3, seed=5)]
+        broker.submit(roots[0])
+        broker.submit(roots[1])
+        with pytest.raises(ServiceOverload) as info:
+            broker.submit(roots[2])
+        assert info.value.capacity == 2
+        assert broker.queue_depth == 2
+        report = broker.report()
+        assert report["shed"] == 1
+        assert report["offered"] == 3
+        assert "serve_shed_total 1" in broker.registry.prometheus_text()
+        broker.shutdown()  # graceful: the two queued requests complete
+        assert broker.report()["completed"] == 2
+
+    def test_shutdown_drains_queued_work(self, rmat1_small):
+        broker = manual_broker(rmat1_small, flush_interval_s=60.0)
+        roots = [int(r) for r in choose_roots(rmat1_small, 3, seed=6)]
+        futures = broker.submit_many(roots)
+        assert not any(f.done() for f in futures)
+        broker.shutdown(drain=True)
+        assert all(f.done() for f in futures)
+        assert [f.result().root for f in futures] == roots
+
+    def test_shutdown_refuses_new_submits(self, rmat1_small):
+        broker = manual_broker(rmat1_small)
+        broker.shutdown()
+        with pytest.raises(ServiceShutdown):
+            broker.submit(0)
+        with pytest.raises(ServiceShutdown):
+            broker.query(0)
+
+    def test_shutdown_without_drain_cancels_queued(self, rmat1_small):
+        broker = manual_broker(rmat1_small, flush_interval_s=60.0)
+        futures = broker.submit_many(
+            [int(r) for r in choose_roots(rmat1_small, 2, seed=7)]
+        )
+        broker.shutdown(drain=False)
+        for future in futures:
+            with pytest.raises(ServiceShutdown):
+                future.result()
+        assert broker.report()["outcome_cancelled"] == 2
+
+    def test_shutdown_idempotent(self, rmat1_small):
+        broker = manual_broker(rmat1_small)
+        broker.shutdown()
+        broker.shutdown()
+
+    def test_context_manager_drains(self, rmat1_small):
+        with manual_broker(rmat1_small, flush_interval_s=60.0) as broker:
+            future = broker.submit(int(choose_root(rmat1_small, seed=8)))
+        assert future.done()
+        assert broker.closed
+
+
+class TestDeadlines:
+    def test_deadline_expiry_surfaces_watchdog_timeout(self, rmat1_small):
+        # delta=1 forces many bucket epochs, so a 2-superstep budget trips.
+        broker = manual_broker(rmat1_small, algorithm="delta", delta=1)
+        root = int(choose_root(rmat1_small, seed=3))
+        future = broker.submit(
+            root, deadline=DeadlineConfig(max_supersteps=2)
+        )
+        broker.process_once(block=True)
+        with pytest.raises(SolveTimeout, match="superstep budget"):
+            future.result()
+        assert broker.report()["outcome_timeout"] == 1
+        broker.shutdown()
+
+    def test_default_deadline_applies(self, rmat1_small):
+        broker = manual_broker(
+            rmat1_small,
+            algorithm="delta",
+            delta=1,
+            default_deadline=DeadlineConfig(max_supersteps=2),
+        )
+        root = int(choose_root(rmat1_small, seed=3))
+        with pytest.raises(SolveTimeout):
+            broker.query(root)
+        broker.shutdown()
+
+    def test_timed_out_root_is_not_cached(self, rmat1_small):
+        broker = manual_broker(rmat1_small, algorithm="delta", delta=1)
+        root = int(choose_root(rmat1_small, seed=3))
+        with pytest.raises(SolveTimeout):
+            broker.query(root, deadline=DeadlineConfig(max_supersteps=2))
+        # a lax retry must re-solve, not hit a poisoned cache entry
+        res = broker.query(root)
+        assert res.source == "solve"
+        broker.shutdown()
+
+
+class TestWorkersAndTelemetry:
+    def test_worker_pool_serves(self, rmat1_small):
+        broker = QueryBroker(
+            rmat1_small, num_ranks=2, threads_per_rank=2,
+            num_workers=2, max_batch_size=4, flush_interval_s=0.001,
+        )
+        roots = [int(r) for r in choose_roots(rmat1_small, 6, seed=9)]
+        futures = broker.submit_many(roots + roots)  # half should hit/coalesce
+        assert broker.drain(timeout=30.0)
+        results = [f.result(timeout=5.0) for f in futures]
+        base = {r: results[i].distances for i, r in enumerate(roots)}
+        for res in results:
+            assert np.array_equal(res.distances, base[res.root])
+        broker.shutdown()
+        report = broker.report()
+        assert report["completed"] == 12
+        # with racing workers duplicates may each solve before the cache
+        # fills; the guarantee is answer identity, not solve count
+        assert 6 <= report["solves"] <= 12
+
+    def test_registry_metrics_exposed(self, rmat1_small):
+        broker = manual_broker(rmat1_small)
+        broker.query(int(choose_root(rmat1_small, seed=0)))
+        broker.shutdown()
+        text = broker.registry.prometheus_text()
+        for name in (
+            "serve_requests_total",
+            "serve_batches_total",
+            "serve_solves_total",
+            "serve_batch_size",
+            "serve_request_latency_seconds",
+            "serve_queue_depth",
+            "serve_cache_misses_total",
+        ):
+            assert name in text, name
+
+    def test_trace_artifacts_validate(self, rmat1_small, tmp_path):
+        from repro.obs.export import validate_trace_file
+        from repro.obs.tracer import TraceConfig
+
+        path = tmp_path / "serve.jsonl"
+        broker = manual_broker(
+            rmat1_small, trace=TraceConfig(path=str(path))
+        )
+        root = int(choose_root(rmat1_small, seed=0))
+        broker.query(root)
+        broker.query(root)  # one cache hit
+        broker.shutdown()
+        fmt, problems = validate_trace_file(str(path))
+        assert fmt == "jsonl"
+        assert problems == []

@@ -1,0 +1,115 @@
+"""Unit tests for the byte-budgeted LRU distance cache."""
+
+import numpy as np
+import pytest
+
+from repro.obs.registry import MetricsRegistry
+from repro.serve.cache import DistanceCache
+
+
+def arr(n: int, fill: int = 0) -> np.ndarray:
+    return np.full(n, fill, dtype=np.int64)
+
+
+class TestLru:
+    def test_get_hit_and_miss(self):
+        cache = DistanceCache(1 << 20)
+        assert cache.get(0) is None
+        cache.put(0, arr(8))
+        got = cache.get(0)
+        assert got is not None
+        assert np.array_equal(got, arr(8))
+        assert cache.stats.hits == 1
+        assert cache.stats.misses == 1
+        assert cache.stats.hit_rate == 0.5
+
+    def test_lru_order_and_refresh(self):
+        cache = DistanceCache(1 << 20)
+        for root in (1, 2, 3):
+            cache.put(root, arr(4, root))
+        assert cache.roots() == [1, 2, 3]
+        cache.get(1)  # refreshes 1 to most-recently-used
+        assert cache.roots() == [2, 3, 1]
+
+    def test_eviction_respects_byte_budget(self):
+        entry = arr(8)
+        budget = 3 * entry.nbytes
+        cache = DistanceCache(budget)
+        for root in range(5):
+            cache.put(root, arr(8, root))
+        assert len(cache) == 3
+        assert cache.stats.evictions == 2
+        assert cache.stats.bytes_in_use <= budget
+        # LRU victims: the oldest two inserts are gone
+        assert cache.roots() == [2, 3, 4]
+        assert cache.get(0) is None
+
+    def test_reinsert_same_root_replaces(self):
+        cache = DistanceCache(1 << 20)
+        cache.put(7, arr(4, 1))
+        cache.put(7, arr(4, 2))
+        assert len(cache) == 1
+        assert cache.stats.bytes_in_use == arr(4).nbytes
+        assert cache.get(7)[0] == 2
+
+    def test_oversize_entry_rejected(self):
+        small = arr(2)
+        cache = DistanceCache(small.nbytes)
+        cache.put(0, small)
+        assert not cache.put(1, arr(64))
+        assert cache.stats.rejected == 1
+        # the resident entry survives a rejected put
+        assert 0 in cache
+        assert 1 not in cache
+
+    def test_zero_budget_disables_storage(self):
+        cache = DistanceCache(0)
+        assert not cache.put(0, arr(4))
+        assert cache.get(0) is None
+        assert cache.stats.rejected == 1
+        assert len(cache) == 0
+
+    def test_clear(self):
+        cache = DistanceCache(1 << 20)
+        cache.put(0, arr(4))
+        cache.clear()
+        assert len(cache) == 0
+        assert cache.stats.bytes_in_use == 0
+
+
+class TestContract:
+    def test_stored_array_is_read_only_and_uncopied(self):
+        cache = DistanceCache(1 << 20)
+        original = arr(8, 5)
+        cache.put(0, original)
+        got = cache.get(0)
+        assert got is original  # no copy: a hit is the solve's own output
+        with pytest.raises(ValueError):
+            got[0] = 99
+
+    def test_peek_touches_nothing(self):
+        cache = DistanceCache(1 << 20)
+        cache.put(1, arr(4))
+        cache.put(2, arr(4))
+        before = (cache.stats.hits, cache.stats.misses)
+        assert cache.peek(1) is not None
+        assert cache.peek(99) is None
+        assert (cache.stats.hits, cache.stats.misses) == before
+        assert cache.roots() == [1, 2]  # LRU order unchanged
+
+    def test_negative_budget_rejected(self):
+        with pytest.raises(ValueError, match=">= 0"):
+            DistanceCache(-1)
+
+    def test_registry_mirroring(self):
+        registry = MetricsRegistry()
+        cache = DistanceCache(arr(4).nbytes, registry=registry)
+        cache.put(0, arr(4))
+        cache.get(0)
+        cache.get(1)
+        cache.put(1, arr(4))  # evicts 0
+        text = registry.prometheus_text()
+        assert "serve_cache_hits_total 1" in text
+        assert "serve_cache_misses_total 1" in text
+        assert "serve_cache_evictions_total 1" in text
+        assert "serve_cache_entries 1" in text

@@ -97,6 +97,38 @@ class TestCommands:
                    "--ranks", "2", "--threads", "2"])
         assert rc == 0
 
+    def test_serve_bench_runs(self, capsys, tmp_path):
+        metrics = tmp_path / "serve.prom"
+        rc = main(["serve-bench", "--scale", "9", "--ranks", "2",
+                   "--threads", "2", "--requests", "20", "--workers", "0",
+                   "--flush-ms", "0", "--root-universe", "4",
+                   "--concurrency", "1", "--metrics-out", str(metrics),
+                   "--json", "-"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "traffic" in out
+        assert "latency (ms)" in out
+        assert "distance cache" in out
+        assert '"throughput_qps"' in out
+        text = metrics.read_text()
+        assert "serve_requests_total" in text
+        assert "serve_cache_hits_total" in text
+
+    def test_serve_bench_slo_violation_fails(self, capsys):
+        # a hit rate above 1.0 is unreachable: the SLO gate must trip
+        rc = main(["serve-bench", "--scale", "9", "--ranks", "2",
+                   "--threads", "2", "--requests", "10", "--workers", "0",
+                   "--flush-ms", "0", "--root-universe", "4",
+                   "--concurrency", "1", "--slo-min-hit-rate", "1.5"])
+        assert rc == 1
+        assert "SLO VIOLATION" in capsys.readouterr().err
+
+    def test_serve_bench_parser_defaults(self):
+        args = build_parser().parse_args(["serve-bench"])
+        assert args.arrival == "closed"
+        assert args.batch_size == 16
+        assert args.cache_mb == 64.0
+
     def test_module_entry_point(self):
         import subprocess
         import sys
