@@ -28,6 +28,17 @@ committed baseline needed) and fails unless
    (micro-batching must pay for itself on a Zipf workload), and
 2. the cache-hit p50 latency is measurably below the cold-solve p50
    (at most ``HIT_LATENCY_CEILING`` of it).
+
+``--overhead-check`` is the CI ``chaos-smoke`` gate (DESIGN.md §12): it
+runs the same workload with the resilience machinery armed (retries +
+circuit breaker + cache checksums) but **no chaos**, interleaved
+best-of-3 against the resilience-off shape, and fails unless
+
+1. answers under the armed broker are bit-identical to offline
+   ``solve_sssp`` calls (resilience must be invisible when nothing
+   fails), and
+2. armed throughput is within ``--max-overhead-pct`` (default 2%) of
+   the resilience-off throughput.
 """
 
 from __future__ import annotations
@@ -188,6 +199,108 @@ def check_gates(payload: dict) -> list[str]:
     return failures
 
 
+def _resilience_kwargs() -> dict:
+    """The armed-but-quiet broker shape gated by ``--overhead-check``."""
+    from repro.serve.breaker import BreakerConfig
+    from repro.serve.retry import RetryPolicy
+
+    return {
+        "retry": RetryPolicy(max_attempts=3, backoff_base_s=0.001),
+        "breaker": BreakerConfig(failure_threshold=3, recovery_time_s=0.25),
+    }
+
+
+def run_overhead_check(
+    scale_label: str,
+    *,
+    num_ranks: int,
+    workers: int,
+    requests: int | None,
+    max_overhead_pct: float,
+    trials: int = 5,
+) -> list[str]:
+    """Resilience-off vs armed-no-chaos, paired over ``trials`` rounds.
+
+    Throughput at tiny scale is noisy (sub-second runs), so the gate is
+    computed from *paired* trials: each round runs both shapes back to
+    back and contributes one on/off ratio; the median ratio is gated.
+    Machine drift between rounds cancels out of each pair.
+    """
+    from repro.core.solver import solve_sssp
+    from repro.graph.roots import choose_roots
+
+    import numpy as np
+
+    scale = SCALE_LABELS.get(scale_label)
+    if scale is None:
+        scale = int(scale_label)
+    if requests is None:
+        requests = REQUESTS.get(scale_label, 200)
+    graph = cached_rmat(scale, "rmat1")
+    machine = default_machine(num_ranks, threads_per_rank=8)
+    spec = WorkloadSpec(
+        num_requests=requests,
+        arrival="closed",
+        concurrency=4,
+        zipf_s=1.2,
+        root_universe=32,
+        seed=5,
+    )
+
+    def one_trial(armed: bool) -> float:
+        broker = QueryBroker(
+            graph,
+            algorithm="opt",
+            delta=25,
+            machine=machine,
+            capacity=max(spec.num_requests, 256),
+            max_batch_size=8,
+            flush_interval_s=0.002,
+            num_workers=workers,
+            cache_bytes=64 << 20,
+            **(_resilience_kwargs() if armed else {}),
+        )
+        try:
+            report = run_workload(broker, spec)
+            if armed:  # answers must be unchanged while armed
+                for root in choose_roots(graph, 3, seed=7):
+                    served = broker.query(int(root))
+                    offline = solve_sssp(
+                        graph, int(root), algorithm="opt", delta=25,
+                        machine=machine,
+                    )
+                    assert np.array_equal(
+                        served.distances, offline.distances
+                    ), f"armed broker diverged from offline solve at {root}"
+        finally:
+            broker.shutdown(drain=True)
+        return report["throughput_qps"]
+
+    one_trial(False)  # untimed warmup: imports, graph + solver caches
+    ratios, off_qps, on_qps = [], [], []
+    for _ in range(trials):
+        off = one_trial(False)
+        on = one_trial(True)
+        off_qps.append(off)
+        on_qps.append(on)
+        ratios.append(on / off)
+    ratio = sorted(ratios)[len(ratios) // 2]
+    print(
+        f"overhead check ({scale_label}): resilience-off {max(off_qps):.1f} "
+        f"qps, armed-no-chaos {max(on_qps):.1f} qps; paired median ratio "
+        f"{ratio:.4f} ({(1 - ratio) * 100:+.2f}% overhead over "
+        f"{trials} rounds)"
+    )
+    failures = []
+    if ratio < 1.0 - max_overhead_pct / 100.0:
+        failures.append(
+            f"armed-no-chaos throughput is more than {max_overhead_pct:.1f}% "
+            f"below resilience-off (paired median ratio {ratio:.4f}; "
+            f"off {off_qps}, on {on_qps})"
+        )
+    return failures
+
+
 def merge_into_baseline(current: dict, baseline: dict) -> dict:
     """Replace rows matched by (scale_label, variant); keep the rest."""
     fresh = {(r["scale_label"], r["variant"]): r for r in current["runs"]}
@@ -229,7 +342,30 @@ def main(argv: list[str] | None = None) -> int:
         help="fail unless batching beats the unbatched baseline and "
              "cache hits are measurably faster than cold solves",
     )
+    parser.add_argument(
+        "--overhead-check",
+        action="store_true",
+        help="gate only: armed-no-chaos resilience must stay bit-identical "
+             "and within --max-overhead-pct of resilience-off throughput",
+    )
+    parser.add_argument(
+        "--max-overhead-pct", type=float, default=2.0,
+        help="allowed armed-no-chaos throughput regression (default 2%%)",
+    )
     args = parser.parse_args(argv)
+
+    if args.overhead_check:
+        failures = run_overhead_check(
+            args.scale, num_ranks=args.ranks, workers=args.workers,
+            requests=args.requests, max_overhead_pct=args.max_overhead_pct,
+        )
+        for failure in failures:
+            print(f"OVERHEAD GATE: {failure}", file=sys.stderr)
+        if failures:
+            return 1
+        print("overhead gate: OK (resilience armed, bit-identical, "
+              "within budget)")
+        return 0
 
     payload = run_suite(
         args.scale, num_ranks=args.ranks, workers=args.workers,

@@ -206,6 +206,31 @@ def build_parser() -> argparse.ArgumentParser:
     p_serve.add_argument("--json", metavar="PATH", default=None,
                          help="also write the report as JSON to PATH "
                               "('-' = stdout)")
+    p_serve.add_argument("--chaos", metavar="SPEC", default=None,
+                         help="inject seeded faults, e.g. "
+                              "'error=0.2,corrupt=0.1,clean-after=2,seed=3' "
+                              "(see ChaosPlan.from_spec)")
+    p_serve.add_argument("--retries", type=int, metavar="N", default=None,
+                         help="retry failed solves up to N attempts total")
+    p_serve.add_argument("--retry-backoff-ms", type=float, default=1.0,
+                         help="base retry backoff in ms (doubles per "
+                              "attempt, capped; default 1)")
+    p_serve.add_argument("--hedge-ms", type=float, default=None,
+                         help="launch a hedged attempt when the primary "
+                              "straggles past this many ms")
+    p_serve.add_argument("--breaker-threshold", type=int, metavar="N",
+                         default=None,
+                         help="open the circuit breaker after N consecutive "
+                              "failures of one class")
+    p_serve.add_argument("--breaker-recovery-ms", type=float, default=250.0,
+                         help="open→half-open recovery window in ms "
+                              "(default 250)")
+    p_serve.add_argument("--negative-ttl-ms", type=float, default=0.0,
+                         help="fast-fail repeat queries for a timed-out "
+                              "root for this long (default off)")
+    p_serve.add_argument("--verify-structural", action="store_true",
+                         help="structurally validate every solve before "
+                              "serving it (detects corruption)")
 
     p_trace = sub.add_parser(
         "trace-report",
@@ -307,6 +332,32 @@ def _cmd_serve_bench(args: argparse.Namespace) -> int:
     deadline = None
     if args.deadline is not None:
         deadline = DeadlineConfig(max_supersteps=args.deadline)
+    resilience: dict = {}
+    if args.chaos is not None:
+        from repro.serve.chaos import ChaosPlan
+
+        resilience["chaos"] = ChaosPlan.from_spec(args.chaos)
+    if args.retries is not None or args.hedge_ms is not None:
+        from repro.serve.retry import RetryPolicy
+
+        resilience["retry"] = RetryPolicy(
+            max_attempts=args.retries if args.retries is not None else 3,
+            backoff_base_s=args.retry_backoff_ms / 1e3,
+            hedge_after_s=(
+                None if args.hedge_ms is None else args.hedge_ms / 1e3
+            ),
+        )
+    if args.breaker_threshold is not None:
+        from repro.serve.breaker import BreakerConfig
+
+        resilience["breaker"] = BreakerConfig(
+            failure_threshold=args.breaker_threshold,
+            recovery_time_s=args.breaker_recovery_ms / 1e3,
+        )
+    if args.verify_structural:
+        resilience["verify"] = "structural"
+    if args.negative_ttl_ms:
+        resilience["negative_ttl_s"] = args.negative_ttl_ms / 1e3
     spec = WorkloadSpec(
         num_requests=args.requests,
         arrival=args.arrival,
@@ -327,6 +378,7 @@ def _cmd_serve_bench(args: argparse.Namespace) -> int:
         num_workers=args.workers,
         cache_bytes=int(args.cache_mb * (1 << 20)),
         default_deadline=deadline,
+        **resilience,
     )
     try:
         report = run_workload(broker, spec)
@@ -346,6 +398,17 @@ def _cmd_serve_bench(args: argparse.Namespace) -> int:
     print(format_table([{k: f"{v * 1e3:.3f}" for k, v in latency.items()}],
                        "latency (ms)"))
     print(format_table([broker.cache.stats.as_row()], "distance cache"))
+    if resilience:
+        row = {
+            k: report[k]
+            for k in ("retries", "hedges", "retried_ok",
+                      "cache_quarantined", "negative_hits")
+        }
+        row.update({
+            k: v for k, v in sorted(report.items())
+            if k.startswith("outcome_")
+        })
+        print(format_table([row], "resilience"))
     if args.metrics_out is not None:
         with open(args.metrics_out, "w") as fh:
             fh.write(broker.registry.prometheus_text())

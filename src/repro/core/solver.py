@@ -381,6 +381,22 @@ class BatchSolver:
             trace=ctx.tracer,
         )
 
+    def solve_degraded(
+        self, root: int, *, max_supersteps: int = 8
+    ) -> SsspResult:
+        """Bounded-exact fallback solve: after ``max_supersteps`` bucket
+        epochs the engine collapses all remaining buckets into one
+        Bellman-Ford fixpoint pass (the ``degrade`` deadline policy), so
+        the result is still *exact* but the epoch structure is bounded.
+        The serving layer's circuit breaker uses this as its degradation
+        path on small graphs (DESIGN.md §12).
+        """
+        from repro.runtime.watchdog import DeadlineConfig
+
+        return self.solve(
+            root, deadline=DeadlineConfig.degraded(max_supersteps)
+        )
+
     def solve_many(
         self,
         roots,

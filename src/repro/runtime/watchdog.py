@@ -75,6 +75,7 @@ class SolveTimeout(RuntimeError):
         epochs_completed: int = 0,
         supersteps: int = 0,
         checkpoint_path=None,
+        root: int | None = None,
     ) -> None:
         detail = f"solve deadline exceeded: {reason} " \
                  f"(epochs={epochs_completed}, supersteps={supersteps})"
@@ -86,6 +87,10 @@ class SolveTimeout(RuntimeError):
         self.epochs_completed = epochs_completed
         self.supersteps = supersteps
         self.checkpoint_path = checkpoint_path
+        #: the solve's source vertex when known — the serving layer
+        #: (:mod:`repro.serve`) sets it so a timeout stays attributable to
+        #: its request after leaving the engine.
+        self.root = root
 
 
 @dataclass(frozen=True)
@@ -116,6 +121,14 @@ class DeadlineConfig:
     @property
     def enabled(self) -> bool:
         return self.max_supersteps is not None or self.stall_patience is not None
+
+    @classmethod
+    def degraded(cls, max_supersteps: int = 8) -> "DeadlineConfig":
+        """The bounded-exact fallback shape: after ``max_supersteps`` the
+        engine collapses the remaining buckets into one Bellman-Ford
+        fixpoint pass and finishes with *correct* distances. Used by the
+        serving layer's circuit-breaker degradation path."""
+        return cls(max_supersteps=max_supersteps, policy="degrade")
 
 
 class Watchdog:

@@ -32,15 +32,20 @@ See DESIGN.md §11 for the architecture and overload policy.
 """
 
 from repro.serve.batcher import MicroBatcher
+from repro.serve.breaker import BreakerConfig, CircuitBreaker
 from repro.serve.broker import QueryBroker
 from repro.serve.cache import CacheStats, DistanceCache
+from repro.serve.chaos import ChaosEvent, ChaosPlan, ChaosSolver, InjectedFault
 from repro.serve.request import (
     QueryFuture,
     QueryRequest,
     QueryResult,
     ServiceOverload,
     ServiceShutdown,
+    ServiceUnavailable,
+    SolveCorrupted,
 )
+from repro.serve.retry import RetryPolicy
 from repro.serve.slo import LatencyWindow, SloPolicy, percentile
 from repro.serve.workload import (
     WorkloadSpec,
@@ -51,17 +56,26 @@ from repro.serve.workload import (
 )
 
 __all__ = [
+    "BreakerConfig",
     "CacheStats",
+    "ChaosEvent",
+    "ChaosPlan",
+    "ChaosSolver",
+    "CircuitBreaker",
     "DistanceCache",
+    "InjectedFault",
     "LatencyWindow",
     "MicroBatcher",
     "QueryBroker",
     "QueryFuture",
     "QueryRequest",
     "QueryResult",
+    "RetryPolicy",
     "ServiceOverload",
     "ServiceShutdown",
+    "ServiceUnavailable",
     "SloPolicy",
+    "SolveCorrupted",
     "WorkloadSpec",
     "interarrival_times",
     "percentile",

@@ -1,7 +1,7 @@
-"""Micro-batcher: bounded queue with size- and latency-triggered flush.
+"""Micro-batcher: bounded queue with size/latency flush and EDF take order.
 
 The same shape as an inference server's request batcher: admitted
-requests accumulate in a bounded FIFO; a worker takes a *batch* when
+requests accumulate in a bounded queue; a worker takes a *batch* when
 either the batch-size trigger fires (``max_batch_size`` requests are
 waiting — solve them together and amortize the per-batch overhead) or
 the latency trigger fires (the oldest waiting request has been queued
@@ -9,18 +9,32 @@ for ``flush_interval_s`` — never hold a lonely request hostage to batch
 economics). A closed batcher flushes whatever remains immediately, which
 is what makes graceful drain prompt.
 
+Within a flush the batch is ordered **earliest-deadline-first**: requests
+exposing a ``deadline_at`` (``submitted_at + latency_budget_s``, see
+:class:`~repro.serve.request.QueryRequest`) are served tightest-deadline
+first, so a late-arriving tight-SLO request jumps older slack ones.
+Requests without a budget sort as ``deadline_at = inf`` and keep FIFO
+order among themselves — with no budgets anywhere the batcher is exactly
+the old FIFO.
+
 Admission control lives here too: :meth:`put` on a full queue raises
 :class:`~repro.serve.request.ServiceOverload` instead of growing the
-queue — the typed shed the broker surfaces to callers.
+queue — the typed shed the broker surfaces to callers. Retries re-enter
+through :meth:`requeue`, which bypasses both the capacity check (the
+request was already admitted once) and the closed check (a draining
+broker must still finish its retries); a ``ready_at`` in the future holds
+the entry back until its backoff expires.
 
-The clock is injectable (``clock=``) so the flush policy is unit-testable
-without sleeping.
+The clock is injectable (``clock=``) so the flush and EDF policies are
+unit-testable without sleeping.
 """
 
 from __future__ import annotations
 
+import itertools
 import threading
 import time
+from dataclasses import dataclass
 from typing import Callable
 
 from repro.serve.request import ServiceOverload, ServiceShutdown
@@ -28,8 +42,17 @@ from repro.serve.request import ServiceOverload, ServiceShutdown
 __all__ = ["MicroBatcher"]
 
 
+@dataclass
+class _Entry:
+    request: object
+    seq: int
+    enqueued_at: float
+    ready_at: float
+    deadline_at: float
+
+
 class MicroBatcher:
-    """Bounded FIFO of requests with coalescing batch take-off.
+    """Bounded queue of requests with EDF-ordered coalescing take-off.
 
     ``capacity`` bounds the number of *queued* (not yet taken) requests;
     ``max_batch_size`` bounds one take; ``flush_interval_s`` is the
@@ -54,8 +77,8 @@ class MicroBatcher:
         self.max_batch_size = int(max_batch_size)
         self.flush_interval_s = float(flush_interval_s)
         self.clock = clock
-        self._queue: list = []
-        self._enqueued_at: list[float] = []
+        self._queue: list[_Entry] = []
+        self._seq = itertools.count()
         self._closed = False
         self._cond = threading.Condition()
 
@@ -75,6 +98,15 @@ class MicroBatcher:
             return self._closed
 
     # ------------------------------------------------------------------
+    def _entry(self, request, now: float, ready_at: float | None) -> _Entry:
+        return _Entry(
+            request=request,
+            seq=next(self._seq),
+            enqueued_at=now,
+            ready_at=now if ready_at is None else float(ready_at),
+            deadline_at=float(getattr(request, "deadline_at", float("inf"))),
+        )
+
     def put(self, request) -> int:
         """Admit one request; returns the new depth.
 
@@ -87,23 +119,27 @@ class MicroBatcher:
             depth = len(self._queue)
             if depth >= self.capacity:
                 raise ServiceOverload(depth, self.capacity)
-            self._queue.append(request)
-            self._enqueued_at.append(self.clock())
+            self._queue.append(self._entry(request, self.clock(), None))
             self._cond.notify_all()
             return len(self._queue)
 
-    def _flush_wait(self, now: float) -> float | None:
-        """Seconds to wait before the latency trigger fires; <=0 = now.
+    def requeue(self, request, *, ready_at: float | None = None) -> int:
+        """Re-admit a retried request, bypassing capacity *and* closed
+        state: it was admitted once already (shedding it again would
+        double-count the overload) and a draining broker must still
+        finish its retries. ``ready_at`` (batcher-clock time) holds the
+        entry back until its backoff expires."""
+        with self._cond:
+            self._queue.append(self._entry(request, self.clock(), ready_at))
+            self._cond.notify_all()
+            return len(self._queue)
 
-        Assumes the queue is non-empty and the lock is held. None means
-        "wait for more requests" cannot happen (closed or full batch).
-        """
-        if self._closed or len(self._queue) >= self.max_batch_size:
-            return 0.0
-        return self.flush_interval_s - (now - self._enqueued_at[0])
+    # ------------------------------------------------------------------
+    def _ready(self, now: float) -> list[_Entry]:
+        return [e for e in self._queue if e.ready_at <= now]
 
     def take(self, *, block: bool = True) -> list | None:
-        """Take the next batch (1..max_batch_size requests, FIFO).
+        """Take the next batch (1..max_batch_size requests, EDF order).
 
         Blocks until a flush trigger fires; returns ``None`` when the
         batcher is closed and empty (the worker's exit signal). With
@@ -111,21 +147,41 @@ class MicroBatcher:
         """
         with self._cond:
             while True:
-                if self._queue:
-                    wait = self._flush_wait(self.clock())
-                    if wait is not None and wait <= 0:
-                        batch = self._queue[: self.max_batch_size]
-                        del self._queue[: self.max_batch_size]
-                        del self._enqueued_at[: self.max_batch_size]
+                now = self.clock()
+                ready = self._ready(now)
+                if ready:
+                    wait = 0.0
+                    if not self._closed and len(ready) < self.max_batch_size:
+                        # latency trigger runs off the oldest ready entry
+                        # (queue is append-ordered, so ready[0] is oldest)
+                        wait = self.flush_interval_s - (
+                            now - ready[0].enqueued_at
+                        )
+                    if wait <= 0:
+                        ready.sort(key=lambda e: (e.deadline_at, e.seq))
+                        batch = ready[: self.max_batch_size]
+                        taken = {id(e) for e in batch}
+                        self._queue = [
+                            e for e in self._queue if id(e) not in taken
+                        ]
                         self._cond.notify_all()
-                        return batch
-                    if not block:
-                        return None
-                    self._cond.wait(timeout=wait)
-                else:
-                    if self._closed or not block:
-                        return None
-                    self._cond.wait()
+                        return [e.request for e in batch]
+                elif not self._queue and (self._closed or not block):
+                    return None
+                if not block:
+                    return None
+                # Sleep until the earliest of: latency flush of the oldest
+                # ready entry, or the next held-back entry becoming ready.
+                timeout = wait if ready else None
+                pending = [e.ready_at for e in self._queue if e.ready_at > now]
+                if pending:
+                    until_ready = min(pending) - now
+                    timeout = (
+                        until_ready
+                        if timeout is None
+                        else min(timeout, until_ready)
+                    )
+                self._cond.wait(timeout=timeout)
 
     # ------------------------------------------------------------------
     def close(self) -> None:
@@ -138,9 +194,8 @@ class MicroBatcher:
         """Pop and return every queued request (immediate shutdown)."""
         with self._cond:
             pending, self._queue = self._queue, []
-            self._enqueued_at = []
             self._cond.notify_all()
-            return pending
+            return [e.request for e in pending]
 
     def wait_empty(self, timeout: float | None = None) -> bool:
         """Block until the queue is empty; True on success."""

@@ -1,12 +1,13 @@
-"""QueryBroker: the embeddable SSSP query service (DESIGN.md §11).
+"""QueryBroker: the embeddable SSSP query service (DESIGN.md §11/§12).
 
 Request path::
 
     submit ──▶ admission control ──▶ distance cache ──▶ micro-batcher
-                  │ (bounded queue)       │ (hit: done)      │
+                  │ (bounded queue)       │ (hit: done)      │ (EDF order)
                   ▼                       ▼                  ▼
            ServiceOverload          QueryFuture        worker pool
-                                                   (BatchSolver.solve_many)
+                                                  (per-request isolation,
+                                                   retries, breaker ladder)
 
 One broker serves one (graph, config, machine) triple — the coordinates
 the distance cache is keyed under; run one broker per graph/config pair
@@ -14,16 +15,31 @@ you serve. Queries for the same root arriving in one batch window are
 *coalesced* into a single solve; different per-request deadlines are
 never coalesced (a strict budget must not fail a lax request). Answers
 are bit-identical to offline :func:`~repro.core.solver.solve_sssp` on
-every path — cache hit, cache miss and batched — because the engine is
-deterministic and the cache stores engine output verbatim.
+every path — cache hit, cache miss, batched, retried and degraded —
+because the engine is deterministic and the cache stores engine output
+verbatim.
+
+Resilience (DESIGN.md §12): a failing, stalling or corrupted root fails
+**only its own request** — batch-mates complete normally. Failed solve
+groups go through the :class:`~repro.serve.retry.RetryPolicy` (capped
+exponential backoff back into the batcher, budgeted hedged re-attempts
+for stragglers) before a typed terminal error. A per-failure-class
+:class:`~repro.serve.breaker.CircuitBreaker` trips on consecutive
+failures; while open the broker walks the degradation ladder — cache
+hits flagged ``stale_ok``, bounded-exact Bellman-Ford fallback on small
+graphs, typed :class:`~repro.serve.request.ServiceUnavailable` otherwise
+— and cache reads re-verify their checksums. Chaos
+(:class:`~repro.serve.chaos.ChaosPlan`) injects deterministic faults
+underneath all of it for replayable scenario tests.
 
 Overload sheds at admission with a typed
 :class:`~repro.serve.request.ServiceOverload`; shutdown drains: admitted
-requests complete, new ones are refused. Telemetry flows into a
+requests complete — including in-flight retries, which drain waits for
+and abort cancels — new ones are refused. Telemetry flows into a
 :class:`~repro.obs.registry.MetricsRegistry` (queue depth, batch size,
-latency histograms, cache and shed counters) and — when a
-:class:`~repro.obs.tracer.TraceConfig` is given — into per-request and
-per-batch tracer spans written at shutdown.
+latency histograms, cache/shed/retry/breaker counters) and — when a
+:class:`~repro.obs.tracer.TraceConfig` is given — into per-request,
+per-batch and resilience tracer spans written at shutdown.
 """
 
 from __future__ import annotations
@@ -34,17 +50,22 @@ import time
 import numpy as np
 
 from repro.core.paths import build_parent_tree, extract_path
-from repro.core.solver import BatchSolver
+from repro.core.solver import BatchSolver, run_validation
 from repro.runtime.watchdog import SolveTimeout
 from repro.serve.batcher import MicroBatcher
+from repro.serve.breaker import BreakerConfig, CircuitBreaker
 from repro.serve.cache import DistanceCache
+from repro.serve.chaos import ChaosPlan, ChaosSolver
 from repro.serve.request import (
     QueryFuture,
     QueryRequest,
     QueryResult,
     ServiceOverload,
     ServiceShutdown,
+    ServiceUnavailable,
+    SolveCorrupted,
 )
+from repro.serve.retry import RetryPolicy
 from repro.serve.slo import LatencyWindow
 
 __all__ = ["QueryBroker"]
@@ -52,6 +73,15 @@ __all__ = ["QueryBroker"]
 _BATCH_SIZE_BUCKETS = (1.0, 2.0, 4.0, 8.0, 16.0, 32.0, 64.0, 128.0)
 
 _UNSET = object()
+
+
+def _classify(exc: BaseException) -> str:
+    """Map an attempt failure onto the breaker/retry failure taxonomy."""
+    if isinstance(exc, SolveTimeout):
+        return "timeout"
+    if isinstance(exc, SolveCorrupted):
+        return "corrupt"
+    return "error"
 
 
 class QueryBroker:
@@ -81,9 +111,32 @@ class QueryBroker:
     default_deadline:
         :class:`~repro.runtime.watchdog.DeadlineConfig` applied to
         requests that do not carry their own.
+    retry:
+        Optional :class:`~repro.serve.retry.RetryPolicy`. ``None`` (the
+        default) keeps the pre-resilience behavior: first failure is
+        terminal.
+    breaker:
+        Optional :class:`~repro.serve.breaker.BreakerConfig` (the broker
+        builds the breaker on its own clock) or a ready
+        :class:`~repro.serve.breaker.CircuitBreaker` (tests inject one
+        with a fake clock). Enables cache checksums and the degradation
+        ladder.
+    chaos:
+        Optional :class:`~repro.serve.chaos.ChaosPlan`; solves then run
+        through a :class:`~repro.serve.chaos.ChaosSolver` (exposed as
+        ``broker.chaos``) injecting the plan's deterministic faults.
+    verify:
+        Post-solve result verification, as ``solve_sssp``'s ``validate``
+        (``"structural"`` is the cheap production shape). A failed check
+        becomes the ``corrupt`` failure class.
+    negative_ttl_s:
+        TTL of negative-cache tombstones for timed-out roots (0 = off):
+        within the TTL, requests for a recently timed-out root fail fast
+        with :class:`~repro.runtime.watchdog.SolveTimeout`.
     trace:
-        Optional :class:`~repro.obs.tracer.TraceConfig`; per-request and
-        per-batch spans are recorded and artifacts written at shutdown.
+        Optional :class:`~repro.obs.tracer.TraceConfig`; per-request,
+        per-batch and resilience spans are recorded and artifacts
+        written at shutdown.
     registry:
         Optional external :class:`~repro.obs.registry.MetricsRegistry`;
         defaults to the tracer's (when tracing) or a fresh one.
@@ -105,6 +158,11 @@ class QueryBroker:
         num_workers: int = 1,
         cache_bytes: int = 64 << 20,
         default_deadline=None,
+        retry: RetryPolicy | None = None,
+        breaker=None,
+        chaos: ChaosPlan | None = None,
+        verify: bool | str = False,
+        negative_ttl_s: float = 0.0,
         trace=None,
         registry=None,
     ) -> None:
@@ -137,7 +195,28 @@ class QueryBroker:
         self._clock = (
             self._tracer.wall_now if self._tracer is not None else time.perf_counter
         )
-        self.cache = DistanceCache(cache_bytes, registry=self.registry)
+        self._retry = retry
+        self._verify = verify
+        if breaker is None:
+            self._breaker = None
+        elif isinstance(breaker, BreakerConfig):
+            self._breaker = CircuitBreaker(
+                breaker, clock=self._clock, registry=self.registry
+            )
+        else:
+            self._breaker = breaker
+        self.chaos = (
+            ChaosSolver(self._solver, chaos, registry=self.registry)
+            if chaos is not None
+            else None
+        )
+        self.cache = DistanceCache(
+            cache_bytes,
+            registry=self.registry,
+            checksum=self._breaker is not None,
+            negative_ttl_s=negative_ttl_s,
+            clock=self._clock,
+        )
         self._batcher = MicroBatcher(
             capacity=capacity,
             max_batch_size=max_batch_size,
@@ -149,13 +228,18 @@ class QueryBroker:
         self._idle = threading.Condition(self._lock)
         self._trace_lock = threading.Lock()
         self._closed = False
+        self._aborted = False
         self._inflight = 0
+        self._uncompleted = 0  # admitted, not yet terminally resolved
         self._next_batch_id = 0
         self._offered = 0
         self._shed = 0
         self._batches = 0
         self._batched_requests = 0
         self._solves = 0
+        self._retries = 0
+        self._hedges = 0
+        self._retried_ok = 0
         self._outcomes: dict[str, int] = {}
         self._t_start = self._clock()
         self._workers = [
@@ -192,11 +276,30 @@ class QueryBroker:
         """The service tracer (None unless constructed with ``trace=``)."""
         return self._tracer
 
+    @property
+    def breaker(self) -> CircuitBreaker | None:
+        """The circuit breaker (None unless constructed with ``breaker=``)."""
+        return self._breaker
+
+    def _degraded_now(self) -> bool:
+        """Breaker-degraded state; also arms cache read verification
+        while degraded (checksummed entries re-verify on every read)."""
+        if self._breaker is None:
+            return False
+        degraded = self._breaker.degraded
+        self.cache.verify_get = degraded
+        return degraded
+
     # ------------------------------------------------------------------
     # Submission (the client-facing edge)
     # ------------------------------------------------------------------
     def submit(
-        self, root: int, *, targets=(), deadline=_UNSET
+        self,
+        root: int,
+        *,
+        targets=(),
+        deadline=_UNSET,
+        latency_budget_s: float | None = None,
     ) -> QueryFuture:
         """Admit one query; returns its :class:`QueryFuture`.
 
@@ -205,6 +308,8 @@ class QueryBroker:
         :class:`ServiceShutdown`, and a full queue sheds with
         :class:`ServiceOverload` — the queue never grows past its bound.
         A cache hit completes the future before ``submit`` returns.
+        ``latency_budget_s`` declares the request's latency SLO; the
+        batcher schedules tight budgets earliest-deadline-first.
         """
         if self._closed:
             raise ServiceShutdown("broker is shut down")
@@ -219,19 +324,29 @@ class QueryBroker:
         if deadline is _UNSET:
             deadline = self.default_deadline
         req = QueryRequest(
-            root, targets, deadline, submitted_at=self._clock()
+            root,
+            targets,
+            deadline,
+            submitted_at=self._clock(),
+            latency_budget_s=latency_budget_s,
         )
         with self._lock:
             self._offered += 1
+            self._uncompleted += 1
+        stale = self._degraded_now()
         cached = self.cache.get(root)
         if cached is not None:
-            self._complete(req, cached, source="cache", batch_id=None)
+            self._complete(
+                req, cached, source="cache", batch_id=None, stale_ok=stale
+            )
             return req.future
         try:
             depth = self._batcher.put(req)
         except ServiceOverload:
             with self._lock:
                 self._shed += 1
+                self._uncompleted -= 1
+                self._idle.notify_all()
             self.registry.inc(
                 "serve_shed_total", help="requests shed by admission control"
             )
@@ -247,11 +362,15 @@ class QueryBroker:
 
     def query(
         self, root: int, *, targets=(), deadline=_UNSET,
+        latency_budget_s: float | None = None,
         timeout: float | None = None,
     ) -> QueryResult:
         """Synchronous convenience: submit and wait for the answer."""
-        future = self.submit(root, targets=targets, deadline=deadline)
-        # Manual mode: nobody else will run the batch.
+        future = self.submit(
+            root, targets=targets, deadline=deadline,
+            latency_budget_s=latency_budget_s,
+        )
+        # Manual mode: nobody else will run the batch (or its retries).
         while not self._workers and not future.done():
             if self.process_once(block=True) == 0:
                 break
@@ -273,7 +392,16 @@ class QueryBroker:
         while True:
             batch = self._batcher.take(block=True)
             if batch is None:
-                return
+                # Closed and empty — but a group failing *right now* in
+                # another worker may still requeue a retry past the
+                # closed batcher. Only exit once nothing can come back.
+                if self._retry is None or self._aborted:
+                    return
+                with self._idle:
+                    if self._uncompleted == 0:
+                        return
+                    self._idle.wait(timeout=0.002)
+                continue
             self._execute_batch(batch)
 
     def process_once(self, *, block: bool = False) -> int:
@@ -295,8 +423,9 @@ class QueryBroker:
             batch_id = self._next_batch_id
             self._next_batch_id += 1
         t0 = self._clock()
-        hits = solves = timeouts = 0
+        stats = {"hits": 0, "solves": 0, "timeouts": 0, "retries": 0}
         try:
+            stale = self._degraded_now()
             # Coalesce: requests sharing (root, deadline) share one solve.
             groups: dict[tuple, list[QueryRequest]] = {}
             for req in batch:
@@ -307,41 +436,18 @@ class QueryBroker:
                 # populated this root after these requests were queued.
                 cached = self.cache.peek(key[0])
                 if cached is not None:
-                    hits += len(reqs)
+                    stats["hits"] += len(reqs)
                     for req in reqs:
                         self._complete(
-                            req, cached, source="cache", batch_id=batch_id
+                            req, cached, source="cache", batch_id=batch_id,
+                            stale_ok=stale,
                         )
                 else:
                     to_solve.append((key, reqs))
-            # The hot path: every no-deadline root of the batch in one
-            # solve_many call over the shared preprocessed context.
-            plain = [key for key, _ in to_solve if key[1] is None]
-            results = {}
-            if plain:
-                for res in self._solver.solve_many([r for r, _ in plain]):
-                    results[(res.root, None)] = res
             for key, reqs in to_solve:
-                root, deadline = key
-                res = results.get(key)
-                if res is None:
-                    try:
-                        res = self._solver.solve(root, deadline=deadline)
-                    except SolveTimeout as exc:
-                        timeouts += len(reqs)
-                        for req in reqs:
-                            self._fail(req, exc, outcome="timeout")
-                        continue
-                solves += 1
-                self.cache.put(root, res.distances)
-                for i, req in enumerate(reqs):
-                    self._complete(
-                        req,
-                        res.distances,
-                        source="solve" if i == 0 else "coalesced",
-                        batch_id=batch_id,
-                        sssp=res,
-                    )
+                # Per-group isolation: one root's failure reaches only
+                # its own requests; the rest of the batch proceeds.
+                self._solve_group(key, reqs, batch_id, stats)
         except Exception as exc:  # defensive: never strand a future
             for req in batch:
                 if not req.future.done():
@@ -352,11 +458,12 @@ class QueryBroker:
                 self._inflight -= len(batch)
                 self._batches += 1
                 self._batched_requests += len(batch)
-                self._solves += solves
+                self._solves += stats["solves"]
                 self._idle.notify_all()
             self.registry.inc("serve_batches_total", help="executed batches")
             self.registry.inc(
-                "serve_solves_total", solves, help="fresh engine solves"
+                "serve_solves_total", stats["solves"],
+                help="fresh engine solves",
             )
             self.registry.observe(
                 "serve_batch_size",
@@ -375,10 +482,199 @@ class QueryBroker:
                 t0,
                 wall,
                 requests=len(batch),
-                solves=solves,
-                cache_hits=hits,
-                timeouts=timeouts,
+                solves=stats["solves"],
+                cache_hits=stats["hits"],
+                timeouts=stats["timeouts"],
+                retries=stats["retries"],
             )
+
+    # ------------------------------------------------------------------
+    # Resilient solve path
+    # ------------------------------------------------------------------
+    def _raw_solve(self, root: int, deadline, attempt: int):
+        """One solve attempt through the chaos layer (when configured)."""
+        if self.chaos is not None:
+            return self.chaos.solve(root, deadline=deadline, attempt=attempt)
+        return self._solver.solve(root, deadline=deadline)
+
+    def _attempt_solve(self, root: int, deadline, attempt: int):
+        """One (possibly hedged) solve attempt, verified when configured.
+
+        Hedging: with ``retry.hedge_after_s`` set, the primary attempt
+        runs in a side thread; if it straggles past the threshold and
+        hedge budget remains, a re-attempt (at ``attempt + 1``, so a
+        chaos ``slow``/fault draw does not repeat) runs inline and its
+        result is preferred. Raises the attempt's failure otherwise.
+        """
+        policy = self._retry
+        if policy is None or not policy.hedging:
+            return self._finish_attempt(
+                self._raw_solve(root, deadline, attempt), root, attempt
+            )
+        box: dict = {}
+        done = threading.Event()
+
+        def run_primary() -> None:
+            try:
+                box["res"] = self._raw_solve(root, deadline, attempt)
+            except BaseException as exc:  # noqa: BLE001 — relayed below
+                box["exc"] = exc
+            finally:
+                done.set()
+
+        thread = threading.Thread(
+            target=run_primary, name=f"sssp-hedge-primary-{root}", daemon=True
+        )
+        thread.start()
+        if not done.wait(policy.hedge_after_s):
+            with self._lock:
+                hedge = self._hedges < policy.hedge_budget
+                if hedge:
+                    self._hedges += 1
+            if hedge:
+                self.registry.inc(
+                    "serve_hedges_total",
+                    help="hedged re-attempts launched for stragglers",
+                )
+                self._trace_span(
+                    "hedge", "resilience", self._clock(), 0.0,
+                    root=root, attempt=attempt,
+                )
+                try:
+                    res = self._raw_solve(root, deadline, attempt + 1)
+                    return self._finish_attempt(res, root, attempt + 1)
+                except BaseException:  # noqa: BLE001 — fall back to primary
+                    done.wait()
+                    if "res" in box:
+                        return self._finish_attempt(box["res"], root, attempt)
+                    raise
+        done.wait()
+        if "exc" in box:
+            raise box["exc"]
+        return self._finish_attempt(box["res"], root, attempt)
+
+    def _finish_attempt(self, res, root: int, attempt: int):
+        """Post-attempt verification; a failed check is ``corrupt``."""
+        if self._verify:
+            try:
+                run_validation(res.distances, self.graph, root, self._verify)
+            except Exception as exc:
+                raise SolveCorrupted(root, attempt, str(exc)) from exc
+        return res
+
+    def _solve_group(
+        self, key: tuple, reqs: list, batch_id: int, stats: dict
+    ) -> None:
+        """Solve one coalesce group with isolation, breaker and retries."""
+        root, deadline = key
+        attempt = max(req.attempts for req in reqs)
+        if self.cache.negative(root):
+            stats["timeouts"] += len(reqs)
+            exc = SolveTimeout(
+                "negative-cached: root recently timed out", root=root
+            )
+            for req in reqs:
+                self._fail(req, exc, outcome="timeout")
+            return
+        decision = (
+            self._breaker.acquire() if self._breaker is not None else "primary"
+        )
+        if decision == "degraded":
+            self._serve_degraded(root, reqs, batch_id, stats)
+            return
+        try:
+            res = self._attempt_solve(root, deadline, attempt)
+        except Exception as exc:
+            if isinstance(exc, SolveTimeout) and exc.root is None:
+                exc.root = root
+            failure_class = _classify(exc)
+            if self._breaker is not None:
+                self._breaker.on_result(decision, failure_class)
+            self.registry.inc(
+                "serve_solve_failures_total",
+                help="failed solve attempts by failure class",
+                **{"class": failure_class},
+            )
+            consumed = attempt + 1
+            if (
+                self._retry is not None
+                and not self._aborted
+                and self._retry.allows(failure_class, consumed)
+            ):
+                self._requeue_group(reqs, consumed, failure_class, stats)
+                return
+            if failure_class == "timeout":
+                self.cache.note_timeout(root)
+                stats["timeouts"] += len(reqs)
+            for req in reqs:
+                self._fail(req, exc, outcome=failure_class)
+            return
+        if self._breaker is not None:
+            self._breaker.on_result(decision, None)
+        stats["solves"] += 1
+        self.cache.put(root, res.distances, cost_s=res.wall_time_s)
+        for i, req in enumerate(reqs):
+            self._complete(
+                req,
+                res.distances,
+                source="solve" if i == 0 else "coalesced",
+                batch_id=batch_id,
+                sssp=res,
+                attempts=req.attempts + 1,
+            )
+
+    def _requeue_group(
+        self, reqs: list, consumed: int, failure_class: str, stats: dict
+    ) -> None:
+        """Send a failed group back through the batcher with backoff."""
+        delay = self._retry.backoff(consumed)
+        ready_at = self._clock() + delay
+        stats["retries"] += len(reqs)
+        with self._lock:
+            self._retries += len(reqs)
+        self.registry.inc(
+            "serve_retries_total", len(reqs),
+            help="requests re-queued for another solve attempt",
+        )
+        self._trace_span(
+            "retry", "resilience", self._clock(), 0.0,
+            root=reqs[0].root, attempt=consumed,
+            failure_class=failure_class, backoff_s=delay,
+        )
+        for req in reqs:
+            req.attempts = consumed
+            self._batcher.requeue(req, ready_at=ready_at)
+        with self._idle:
+            self._idle.notify_all()
+
+    def _serve_degraded(
+        self, root: int, reqs: list, batch_id: int, stats: dict
+    ) -> None:
+        """The open-breaker ladder for a group with no cache entry:
+        bounded-exact fallback on small graphs, typed refusal otherwise.
+        Ladder outcomes never feed the breaker's state machine — they do
+        not exercise the primary path it is protecting."""
+        cfg = self._breaker.config
+        if self.graph.num_vertices <= cfg.degrade_max_vertices:
+            res = self._solver.solve_degraded(
+                root, max_supersteps=cfg.degrade_supersteps
+            )
+            stats["solves"] += 1
+            self.cache.put(root, res.distances, cost_s=res.wall_time_s)
+            for req in reqs:
+                self._complete(
+                    req,
+                    res.distances,
+                    source="degraded",
+                    batch_id=batch_id,
+                    sssp=res,
+                    attempts=req.attempts + 1,
+                    degraded=True,
+                )
+            return
+        exc = ServiceUnavailable(root, self._breaker.open_classes())
+        for req in reqs:
+            self._fail(req, exc, outcome="unavailable")
 
     # ------------------------------------------------------------------
     # Completion
@@ -403,6 +699,9 @@ class QueryBroker:
         source: str,
         batch_id: int | None,
         sssp=None,
+        attempts: int = 1,
+        stale_ok: bool = False,
+        degraded: bool = False,
     ) -> None:
         latency = self._clock() - req.submitted_at
         result = QueryResult(
@@ -413,7 +712,17 @@ class QueryBroker:
             batch_id=batch_id,
             paths=self._paths(req.root, distances, req.targets),
             sssp=sssp,
+            attempts=attempts,
+            stale_ok=stale_ok,
+            degraded=degraded,
         )
+        if attempts > 1:
+            with self._lock:
+                self._retried_ok += 1
+            self.registry.inc(
+                "serve_retried_ok_total",
+                help="requests that succeeded after at least one retry",
+            )
         self._account(req, source, latency)
         req.future.set_result(result)
 
@@ -425,6 +734,8 @@ class QueryBroker:
     def _account(self, req: QueryRequest, outcome: str, latency: float) -> None:
         with self._lock:
             self._outcomes[outcome] = self._outcomes.get(outcome, 0) + 1
+            self._uncompleted -= 1
+            self._idle.notify_all()
         self.latency.record(outcome, latency)
         self.registry.inc(
             "serve_requests_total", outcome=outcome,
@@ -462,20 +773,32 @@ class QueryBroker:
     # ------------------------------------------------------------------
     # Drain and shutdown
     # ------------------------------------------------------------------
-    def drain(self, timeout: float | None = None) -> bool:
-        """Block until every admitted request has completed.
+    def _drain_manual(self, deadline: float | None) -> bool:
+        """Manual-mode drain: execute the backlog inline, riding out
+        retry backoffs, until nothing admitted remains unresolved."""
+        while True:
+            served = self.process_once(block=False)
+            with self._idle:
+                if self._uncompleted == 0:
+                    return True
+            if served:
+                continue
+            if deadline is not None and time.monotonic() >= deadline:
+                return False
+            # A retry's ready_at lies in the future; yield briefly.
+            time.sleep(0.0005)
 
-        In manual mode (``num_workers=0``) this *executes* the backlog
-        inline. Returns False if ``timeout`` expired first.
+    def drain(self, timeout: float | None = None) -> bool:
+        """Block until every admitted request has terminally completed —
+        including requests currently being retried or hedged; a future is
+        never leaked. In manual mode (``num_workers=0``) this *executes*
+        the backlog inline. Returns False if ``timeout`` expired first.
         """
-        if not self._workers:
-            while self.process_once(block=False):
-                pass
-        if not self._batcher.wait_empty(timeout):
-            return False
         deadline = None if timeout is None else time.monotonic() + timeout
+        if not self._workers:
+            return self._drain_manual(deadline)
         with self._idle:
-            while self._inflight:
+            while self._uncompleted:
                 remaining = None
                 if deadline is not None:
                     remaining = deadline - time.monotonic()
@@ -488,15 +811,19 @@ class QueryBroker:
         """Stop the service. Idempotent.
 
         With ``drain=True`` (graceful): new submits are refused, every
-        already-admitted request completes, workers exit, trace/metrics
-        artifacts are written. With ``drain=False``: queued requests fail
-        with :class:`ServiceShutdown`; requests already inside a batch
-        still complete (a batch is never abandoned mid-flight).
+        already-admitted request completes — retries included — workers
+        exit, trace/metrics artifacts are written. With ``drain=False``:
+        queued requests (and pending retries) fail with
+        :class:`ServiceShutdown`; requests already inside a batch still
+        complete (a batch is never abandoned mid-flight) but no new
+        retry attempts are launched.
         """
         with self._lock:
             if self._closed:
                 return
             self._closed = True
+            if not drain:
+                self._aborted = True
         if not drain:
             for req in self._batcher.cancel_pending():
                 self._fail(
@@ -507,11 +834,22 @@ class QueryBroker:
         self._batcher.close()
         if not self._workers:
             if drain:
-                while self.process_once(block=False):
-                    pass
+                self._drain_manual(
+                    None if timeout is None else time.monotonic() + timeout
+                )
         else:
             for worker in self._workers:
                 worker.join(timeout)
+        if not drain:
+            # A group that was mid-failure during the abort may have
+            # requeued a retry after cancel_pending ran; sweep again so
+            # no future is ever leaked.
+            for req in self._batcher.cancel_pending():
+                self._fail(
+                    req,
+                    ServiceShutdown("broker shut down before execution"),
+                    outcome="cancelled",
+                )
         if self._tracer is not None:
             from repro.obs.export import finalize_trace
 
@@ -538,6 +876,9 @@ class QueryBroker:
                 "shed": self._shed,
                 "batches": self._batches,
                 "solves": self._solves,
+                "retries": self._retries,
+                "hedges": self._hedges,
+                "retried_ok": self._retried_ok,
                 "mean_batch_size": (
                     self._batched_requests / self._batches
                     if self._batches
@@ -552,6 +893,8 @@ class QueryBroker:
         row["cache_hit_rate"] = self.cache.stats.hit_rate
         row["cache_bytes"] = self.cache.stats.bytes_in_use
         row["cache_evictions"] = self.cache.stats.evictions
+        row["cache_quarantined"] = self.cache.stats.quarantined
+        row["negative_hits"] = self.cache.stats.negative_hits
         row.update(self.latency.summary())
         wall = self._clock() - self._t_start
         row["wall_s"] = wall

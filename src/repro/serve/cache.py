@@ -1,4 +1,4 @@
-"""Byte-budgeted LRU distance cache (DESIGN.md §11).
+"""Byte-budgeted distance cache with cost-aware eviction (DESIGN.md §11/§12).
 
 One :class:`DistanceCache` serves one (graph, config, machine) triple —
 the broker owns exactly one, so the key is simply the root. Values are
@@ -8,16 +8,31 @@ because the cached array *was* a fresh solve's output, and solves are
 deterministic. A miss degrades to an exact solve — the cache can only
 ever make a query faster, never different.
 
-Eviction is LRU under a byte budget (``distances.nbytes`` per entry). An
-entry larger than the whole budget is rejected outright (counted in
-``stats.rejected``) instead of evicting everything for a value that
-cannot fit. All operations are thread-safe; stats mirror into an optional
+Eviction runs under a byte budget (``distances.nbytes`` per entry) and is
+**cost-aware**: among the ``evict_scan`` least-recently-used entries, the
+one whose solve was cheapest (recorded wall-time ``cost_s``) goes first —
+cheap-to-recompute answers are the ones worth dropping. With no recorded
+costs this degrades to plain LRU. An entry larger than the whole budget
+is rejected outright (counted in ``stats.rejected``) instead of evicting
+everything for a value that cannot fit.
+
+Resilience hardening (DESIGN.md §12): with ``checksum=True`` every entry
+carries a CRC-32 of its bytes; when ``verify_get`` is on (the broker
+raises it while the circuit breaker is degraded) reads re-verify and
+**quarantine** corrupted entries — drop them and count a miss rather than
+serve bad bytes. ``negative_ttl_s > 0`` enables TTL'd *negative caching*
+of timed-out roots, so a root known to blow its deadline fails fast
+instead of burning another solve.
+
+All operations are thread-safe; stats mirror into an optional
 :class:`~repro.obs.registry.MetricsRegistry`.
 """
 
 from __future__ import annotations
 
 import threading
+import time
+import zlib
 from collections import OrderedDict
 from dataclasses import dataclass, field
 
@@ -35,6 +50,8 @@ class CacheStats:
     insertions: int = 0
     evictions: int = 0
     rejected: int = 0
+    quarantined: int = 0
+    negative_hits: int = 0
     bytes_in_use: int = 0
     byte_budget: int = 0
 
@@ -51,6 +68,8 @@ class CacheStats:
             "insertions": self.insertions,
             "evictions": self.evictions,
             "rejected": self.rejected,
+            "quarantined": self.quarantined,
+            "negative_hits": self.negative_hits,
             "bytes_in_use": self.bytes_in_use,
             "byte_budget": self.byte_budget,
         }
@@ -60,23 +79,50 @@ class CacheStats:
 class _Entry:
     distances: np.ndarray
     nbytes: int = field(default=0)
+    cost_s: float = 0.0
+    crc: int | None = None
+
+
+def _crc(distances: np.ndarray) -> int:
+    return zlib.crc32(distances.tobytes())
 
 
 class DistanceCache:
-    """LRU root → distance-array cache under a byte budget.
+    """Root → distance-array cache under a byte budget.
 
     ``byte_budget=0`` disables storage entirely (every ``put`` is
     rejected, every ``get`` misses) — the broker uses that to run a
     cache-less baseline through the identical code path.
     """
 
-    def __init__(self, byte_budget: int, *, registry=None) -> None:
+    def __init__(
+        self,
+        byte_budget: int,
+        *,
+        registry=None,
+        checksum: bool = False,
+        negative_ttl_s: float = 0.0,
+        clock=time.monotonic,
+        evict_scan: int = 8,
+    ) -> None:
         if byte_budget < 0:
             raise ValueError("byte_budget must be >= 0")
+        if negative_ttl_s < 0:
+            raise ValueError("negative_ttl_s must be >= 0")
+        if evict_scan < 1:
+            raise ValueError("evict_scan must be >= 1")
         self.byte_budget = int(byte_budget)
+        self.checksum = bool(checksum)
+        self.negative_ttl_s = float(negative_ttl_s)
+        self.evict_scan = int(evict_scan)
+        self.clock = clock
+        #: when True (and ``checksum`` is on), every read re-verifies the
+        #: entry's CRC; the broker toggles this from the breaker state.
+        self.verify_get = False
         self.stats = CacheStats(byte_budget=self.byte_budget)
         self.registry = registry
         self._entries: "OrderedDict[int, _Entry]" = OrderedDict()
+        self._negative: dict[int, float] = {}  # root -> expiry time
         self._lock = threading.Lock()
 
     def __len__(self) -> int:
@@ -93,16 +139,32 @@ class DistanceCache:
             return list(self._entries)
 
     # ------------------------------------------------------------------
+    def _verify_locked(self, root: int, entry: _Entry) -> bool:
+        """True when the entry's bytes still match its CRC (or checking
+        is off); quarantines and drops the entry otherwise."""
+        if not (self.checksum and self.verify_get) or entry.crc is None:
+            return True
+        if _crc(entry.distances) == entry.crc:
+            return True
+        del self._entries[root]
+        self.stats.bytes_in_use -= entry.nbytes
+        self.stats.quarantined += 1
+        self._mirror("serve_cache_quarantined_total", 1)
+        self._gauge()
+        return False
+
     def get(self, root: int) -> np.ndarray | None:
         """The cached distance array for ``root`` (read-only), or None.
 
         A hit refreshes the entry's LRU position. Misses and hits are
-        both counted — the hit rate is the headline cache metric.
+        both counted — the hit rate is the headline cache metric. A
+        checksum mismatch under ``verify_get`` quarantines the entry and
+        counts a miss.
         """
         root = int(root)
         with self._lock:
             entry = self._entries.get(root)
-            if entry is None:
+            if entry is None or not self._verify_locked(root, entry):
                 self.stats.misses += 1
                 self._mirror("serve_cache_misses_total", 1)
                 return None
@@ -112,23 +174,41 @@ class DistanceCache:
             return entry.distances
 
     def peek(self, root: int) -> np.ndarray | None:
-        """Like :meth:`get` but touches neither stats nor LRU order."""
+        """Like :meth:`get` but touches neither stats nor LRU order
+        (quarantine still applies under ``verify_get``)."""
+        root = int(root)
         with self._lock:
-            entry = self._entries.get(int(root))
-            return entry.distances if entry is not None else None
+            entry = self._entries.get(root)
+            if entry is None or not self._verify_locked(root, entry):
+                return None
+            return entry.distances
 
-    def put(self, root: int, distances: np.ndarray) -> bool:
+    def _pick_victim(self) -> int:
+        """Root to evict: the cheapest-to-recompute entry among the
+        ``evict_scan`` least-recently-used ones (lock held, non-empty).
+        ``min`` is stable, so equal costs fall back to pure LRU."""
+        window = []
+        for root, entry in self._entries.items():
+            window.append((root, entry.cost_s))
+            if len(window) >= self.evict_scan:
+                break
+        return min(window, key=lambda item: item[1])[0]
+
+    def put(self, root: int, distances: np.ndarray, cost_s: float = 0.0) -> bool:
         """Insert ``root``'s distances; returns False when rejected.
 
         The array is stored as a read-only view (no copy) so the caller
         must not mutate it afterwards — the broker hands out the same
         array to result futures, which makes hits bit-identical by
-        construction. Evicts LRU entries until the budget holds.
+        construction. ``cost_s`` records the solve wall-time that
+        produced the entry and drives cost-aware eviction. Evicts until
+        the budget holds.
         """
         root = int(root)
         distances = np.asarray(distances)
         distances.setflags(write=False)
         nbytes = int(distances.nbytes)
+        crc = _crc(distances) if self.checksum else None
         with self._lock:
             if nbytes > self.byte_budget:
                 self.stats.rejected += 1
@@ -141,19 +221,69 @@ class DistanceCache:
                 self._entries
                 and self.stats.bytes_in_use + nbytes > self.byte_budget
             ):
-                _, victim = self._entries.popitem(last=False)
+                victim = self._entries.pop(self._pick_victim())
                 self.stats.bytes_in_use -= victim.nbytes
                 self.stats.evictions += 1
                 self._mirror("serve_cache_evictions_total", 1)
-            self._entries[root] = _Entry(distances, nbytes)
+            self._entries[root] = _Entry(distances, nbytes, float(cost_s), crc)
             self.stats.bytes_in_use += nbytes
             self.stats.insertions += 1
+            self._negative.pop(root, None)  # a fresh answer clears the tombstone
             self._gauge()
+            return True
+
+    def audit(self) -> list[int]:
+        """Verify every entry's CRC (regardless of ``verify_get``);
+        quarantine and return the roots that failed. No-op without
+        ``checksum``."""
+        if not self.checksum:
+            return []
+        bad: list[int] = []
+        with self._lock:
+            for root in list(self._entries):
+                entry = self._entries[root]
+                if entry.crc is not None and _crc(entry.distances) != entry.crc:
+                    del self._entries[root]
+                    self.stats.bytes_in_use -= entry.nbytes
+                    self.stats.quarantined += 1
+                    self._mirror("serve_cache_quarantined_total", 1)
+                    bad.append(root)
+            if bad:
+                self._gauge()
+        return bad
+
+    # ------------------------------------------------------------------
+    def note_timeout(self, root: int) -> None:
+        """Record ``root`` as recently timed out (negative cache).
+
+        For ``negative_ttl_s`` seconds, :meth:`negative` reports True and
+        the broker fails matching requests fast instead of re-burning a
+        solve. No-op when negative caching is disabled."""
+        if self.negative_ttl_s <= 0:
+            return
+        with self._lock:
+            self._negative[int(root)] = self.clock() + self.negative_ttl_s
+
+    def negative(self, root: int) -> bool:
+        """Whether ``root`` is under a live negative-cache tombstone."""
+        if self.negative_ttl_s <= 0:
+            return False
+        root = int(root)
+        with self._lock:
+            expiry = self._negative.get(root)
+            if expiry is None:
+                return False
+            if self.clock() >= expiry:
+                del self._negative[root]
+                return False
+            self.stats.negative_hits += 1
+            self._mirror("serve_cache_negative_hits_total", 1)
             return True
 
     def clear(self) -> None:
         with self._lock:
             self._entries.clear()
+            self._negative.clear()
             self.stats.bytes_in_use = 0
             self._gauge()
 

@@ -5,9 +5,14 @@ path targets, optional per-request deadline), travels through the
 micro-batcher as-is, and resolves into a :class:`QueryResult` via a
 :class:`QueryFuture` the submitter holds. Rejections are *typed*: a full
 queue sheds with :class:`ServiceOverload` (the caller can back off and
-retry), a closed broker refuses with :class:`ServiceShutdown`, and a
+retry), a closed broker refuses with :class:`ServiceShutdown`, a
 deadline trip surfaces the engine's own
-:class:`~repro.runtime.watchdog.SolveTimeout` through the future.
+:class:`~repro.runtime.watchdog.SolveTimeout` through the future, an
+open circuit breaker with no viable fallback refuses with
+:class:`ServiceUnavailable`, and a solve whose output fails verification
+surfaces :class:`SolveCorrupted` (DESIGN.md §12). Every admitted request
+ends in exactly one of these outcomes or a result — the journey harness
+(`tests/serve/test_journeys.py`) holds the service to that.
 """
 
 from __future__ import annotations
@@ -21,6 +26,8 @@ import numpy as np
 __all__ = [
     "ServiceOverload",
     "ServiceShutdown",
+    "ServiceUnavailable",
+    "SolveCorrupted",
     "QueryRequest",
     "QueryResult",
     "QueryFuture",
@@ -48,6 +55,37 @@ class ServiceShutdown(RuntimeError):
     """The broker is shut down (or shutting down) and takes no new work."""
 
 
+class ServiceUnavailable(RuntimeError):
+    """The circuit breaker is open and no degradation path could serve the
+    request (no cache entry, graph too large for the bounded-exact
+    fallback). Carries the root and the open failure classes so callers
+    can distinguish "the service is broken" from "you asked too much"."""
+
+    def __init__(self, root: int, open_classes: tuple[str, ...] = ()) -> None:
+        detail = f"service degraded; root {root} not servable"
+        if open_classes:
+            detail += f" (open breaker classes: {', '.join(open_classes)})"
+        super().__init__(detail)
+        self.root = root
+        self.open_classes = tuple(open_classes)
+
+
+class SolveCorrupted(RuntimeError):
+    """A solve's output failed result verification (structural or
+    reference validation) and was discarded before reaching the caller or
+    the cache. Terminal form of the ``corrupt`` failure class once the
+    retry budget is spent."""
+
+    def __init__(self, root: int, attempt: int, detail: str) -> None:
+        super().__init__(
+            f"solve output for root {root} failed verification "
+            f"(attempt {attempt}): {detail}"
+        )
+        self.root = root
+        self.attempt = attempt
+        self.detail = detail
+
+
 @dataclass
 class QueryRequest:
     """One admitted query: a root, optional path targets, a deadline.
@@ -64,11 +102,26 @@ class QueryRequest:
     deadline: Any = None
     submitted_at: float = 0.0
     future: "QueryFuture" = field(default_factory=lambda: QueryFuture())
+    #: wall-clock latency SLO of this request (seconds from submission);
+    #: the micro-batcher schedules earliest-deadline-first on
+    #: ``submitted_at + latency_budget_s``, so a tight budget jumps FIFO.
+    #: None = no budget (FIFO among themselves).
+    latency_budget_s: float | None = None
+    #: solve attempts already consumed (bumped by the retry machinery
+    #: before a request is re-queued).
+    attempts: int = 0
 
     @property
     def coalesce_key(self) -> tuple:
         """Requests sharing this key are served by one solve."""
         return (self.root, self.deadline)
+
+    @property
+    def deadline_at(self) -> float:
+        """Absolute wall-clock deadline used for EDF batch ordering."""
+        if self.latency_budget_s is None:
+            return float("inf")
+        return self.submitted_at + self.latency_budget_s
 
 
 @dataclass
@@ -94,10 +147,24 @@ class QueryResult:
     batch_id: int | None = None
     paths: dict[int, list[int] | None] = field(default_factory=dict)
     sssp: Any = None
+    #: solve attempts this answer consumed (1 = first try; >1 = retried-ok).
+    attempts: int = 1
+    #: True when the answer was served from cache while the circuit
+    #: breaker was degraded — still bit-identical here (the graph is
+    #: immutable), but flagged so callers can apply their own staleness
+    #: policy once live graphs land.
+    stale_ok: bool = False
+    #: True when the answer came from the bounded-exact Bellman-Ford
+    #: fallback path (breaker open). Distances are still exact.
+    degraded: bool = False
 
     @property
     def cached(self) -> bool:
         return self.source == "cache"
+
+    @property
+    def retried(self) -> bool:
+        return self.attempts > 1
 
     def distance_to(self, vertex: int) -> int:
         """Distance to one vertex (``INF`` when unreachable)."""

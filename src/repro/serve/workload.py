@@ -28,7 +28,24 @@ from dataclasses import dataclass, replace
 import numpy as np
 
 from repro.graph.roots import choose_roots
-from repro.serve.request import ServiceOverload
+from repro.runtime.watchdog import SolveTimeout
+from repro.serve.chaos import InjectedFault
+from repro.serve.request import (
+    ServiceOverload,
+    ServiceUnavailable,
+    SolveCorrupted,
+)
+
+#: Typed terminal outcomes a resilient/chaos run produces by design; the
+#: workload counts them (via the broker's outcome accounting) instead of
+#: treating them as harness failures.
+_EXPECTED_ERRORS = (
+    ServiceOverload,
+    ServiceUnavailable,
+    SolveTimeout,
+    SolveCorrupted,
+    InjectedFault,
+)
 
 __all__ = [
     "WorkloadSpec",
@@ -140,7 +157,10 @@ def run_workload(broker, spec: WorkloadSpec) -> dict:
                 broker.process_once(block=False)
         broker.drain()
         for future in futures:
-            future.result()
+            try:
+                future.result()
+            except _EXPECTED_ERRORS:
+                pass  # typed terminal outcome; counted by the broker
     else:
         # Closed loop: `concurrency` clients, each synchronous.
         chunks = np.array_split(roots, spec.concurrency)
@@ -150,8 +170,8 @@ def run_workload(broker, spec: WorkloadSpec) -> dict:
             for root in chunk:
                 try:
                     broker.query(int(root))
-                except ServiceOverload:
-                    pass  # counted by the broker; clients do not retry
+                except _EXPECTED_ERRORS:
+                    pass  # typed terminal outcome; counted by the broker
                 except BaseException as exc:  # surfaced after the join
                     errors.append(exc)
 

@@ -86,6 +86,96 @@ class TestAdmission:
             MicroBatcher(capacity=1, max_batch_size=1, flush_interval_s=-1)
 
 
+class Req:
+    """Minimal request exposing the EDF contract of QueryRequest."""
+
+    def __init__(self, name, deadline_at=float("inf")):
+        self.name = name
+        self.deadline_at = deadline_at
+
+    def __repr__(self):  # pragma: no cover - assertion messages only
+        return f"Req({self.name})"
+
+
+class TestEdfOrder:
+    def test_tight_deadline_jumps_fifo(self):
+        # A late-arriving tight-deadline request is scheduled before
+        # older slack ones (the ROADMAP follow-up).
+        batcher, _ = make(max_batch_size=8, flush_interval_s=0.0)
+        slack1 = Req("slack1", deadline_at=10.0)
+        slack2 = Req("slack2", deadline_at=12.0)
+        tight = Req("tight", deadline_at=0.5)  # arrives last
+        for r in (slack1, slack2, tight):
+            batcher.put(r)
+        assert batcher.take(block=False) == [tight, slack1, slack2]
+
+    def test_edf_spills_slackest_past_batch_bound(self):
+        batcher, _ = make(max_batch_size=2, flush_interval_s=0.0)
+        slack = Req("slack", deadline_at=99.0)
+        mid = Req("mid", deadline_at=5.0)
+        tight = Req("tight", deadline_at=1.0)
+        for r in (slack, mid, tight):
+            batcher.put(r)
+        assert batcher.take(block=False) == [tight, mid]
+        assert batcher.take(block=False) == [slack]
+
+    def test_no_budgets_preserves_fifo(self):
+        batcher, _ = make(max_batch_size=8, flush_interval_s=0.0)
+        reqs = [Req(i) for i in range(4)]
+        for r in reqs:
+            batcher.put(r)
+        assert batcher.take(block=False) == reqs
+
+    def test_plain_payloads_still_work(self):
+        # Non-request payloads (no deadline_at attribute) sort as FIFO.
+        batcher, _ = make(max_batch_size=8, flush_interval_s=0.0)
+        batcher.put("a")
+        batcher.put("b")
+        assert batcher.take(block=False) == ["a", "b"]
+
+
+class TestRequeue:
+    def test_requeue_bypasses_capacity(self):
+        batcher, _ = make(capacity=1, flush_interval_s=0.0)
+        batcher.put("a")
+        batcher.requeue("retry")  # over capacity, still admitted
+        assert batcher.depth == 2
+
+    def test_requeue_bypasses_closed(self):
+        batcher, _ = make(flush_interval_s=0.0)
+        batcher.close()
+        with pytest.raises(ServiceShutdown):
+            batcher.put("a")
+        batcher.requeue("retry")
+        assert batcher.take(block=False) == ["retry"]
+
+    def test_ready_at_holds_entry_until_backoff_expires(self):
+        batcher, clock = make(flush_interval_s=0.0)
+        batcher.requeue("retry", ready_at=2.0)
+        assert batcher.take(block=False) is None  # backoff not expired
+        assert batcher.depth == 1
+        clock.t = 2.0
+        assert batcher.take(block=False) == ["retry"]
+
+    def test_held_back_entry_does_not_block_ready_ones(self):
+        batcher, clock = make(flush_interval_s=0.0)
+        batcher.requeue("later", ready_at=5.0)
+        batcher.put("now")
+        assert batcher.take(block=False) == ["now"]
+        clock.t = 5.0
+        assert batcher.take(block=False) == ["later"]
+
+    def test_latency_trigger_runs_off_oldest_ready_entry(self):
+        batcher, clock = make(max_batch_size=8, flush_interval_s=1.0)
+        batcher.requeue("held", ready_at=10.0)
+        clock.t = 0.5
+        batcher.put("fresh")
+        clock.t = 1.2  # "fresh" has waited only 0.7s; "held" not ready
+        assert batcher.take(block=False) is None
+        clock.t = 1.5  # now "fresh" hits the interval
+        assert batcher.take(block=False) == ["fresh"]
+
+
 class TestShutdown:
     def test_close_refuses_new_but_drains_queued(self):
         batcher, _ = make(max_batch_size=8, flush_interval_s=60.0)

@@ -11,8 +11,16 @@ import pytest
 from repro.core.solver import solve_sssp
 from repro.graph.roots import choose_root, choose_roots
 from repro.runtime.watchdog import DeadlineConfig, SolveTimeout
+from repro.serve.breaker import BreakerConfig, CircuitBreaker
 from repro.serve.broker import QueryBroker
-from repro.serve.request import ServiceOverload, ServiceShutdown
+from repro.serve.chaos import ChaosEvent, ChaosPlan, InjectedFault
+from repro.serve.request import (
+    ServiceOverload,
+    ServiceShutdown,
+    ServiceUnavailable,
+    SolveCorrupted,
+)
+from repro.serve.retry import RetryPolicy
 
 
 def manual_broker(graph, **kwargs):
@@ -268,3 +276,286 @@ class TestWorkersAndTelemetry:
         fmt, problems = validate_trace_file(str(path))
         assert fmt == "jsonl"
         assert problems == []
+
+
+class FakeClock:
+    def __init__(self) -> None:
+        self.t = 0.0
+
+    def __call__(self) -> float:
+        return self.t
+
+
+class TestFailureIsolation:
+    def test_failing_root_fails_only_its_request(self, rmat1_small):
+        bad, good = (int(r) for r in choose_roots(rmat1_small, 2, seed=3))
+        broker = manual_broker(
+            rmat1_small,
+            max_batch_size=8,
+            chaos=ChaosPlan(error_rate=1.0, roots=(bad,)),
+        )
+        f_bad = broker.submit(bad)
+        f_good = broker.submit(good)
+        broker.process_once(block=True)  # one batch, two groups
+        with pytest.raises(InjectedFault):
+            f_bad.result()
+        res = f_good.result()
+        offline = solve_sssp(rmat1_small, good, algorithm="opt", delta=25,
+                             num_ranks=2, threads_per_rank=2)
+        assert np.array_equal(res.distances, offline.distances)
+        assert broker.report()["outcome_error"] == 1
+        broker.shutdown()
+
+    def test_coalesced_requests_share_the_failure(self, rmat1_small):
+        bad = int(choose_root(rmat1_small, seed=3))
+        broker = manual_broker(
+            rmat1_small,
+            max_batch_size=8,
+            chaos=ChaosPlan(error_rate=1.0, roots=(bad,)),
+        )
+        futures = broker.submit_many([bad, bad])
+        broker.process_once(block=True)
+        for future in futures:
+            with pytest.raises(InjectedFault):
+                future.result()
+        broker.shutdown()
+
+
+class TestRetries:
+    def test_retry_succeeds_after_transient_fault(self, rmat1_small):
+        root = int(choose_root(rmat1_small, seed=3))
+        broker = manual_broker(
+            rmat1_small,
+            chaos=ChaosPlan(error_rate=1.0, roots=(root,),
+                            max_faulty_attempts=1),
+            retry=RetryPolicy(max_attempts=3, backoff_base_s=0.0),
+        )
+        res = broker.query(root)
+        assert res.attempts == 2
+        assert res.retried
+        assert res.source == "solve"
+        offline = solve_sssp(rmat1_small, root, algorithm="opt", delta=25,
+                             num_ranks=2, threads_per_rank=2)
+        assert np.array_equal(res.distances, offline.distances)
+        report = broker.report()
+        assert report["retries"] == 1
+        assert report["retried_ok"] == 1
+        assert report["outcome_solve"] == 1
+        broker.shutdown()
+
+    def test_retry_budget_exhausted_is_typed(self, rmat1_small):
+        root = int(choose_root(rmat1_small, seed=3))
+        broker = manual_broker(
+            rmat1_small,
+            chaos=ChaosPlan(error_rate=1.0, roots=(root,)),  # never clean
+            retry=RetryPolicy(max_attempts=2, backoff_base_s=0.0),
+        )
+        with pytest.raises(InjectedFault):
+            broker.query(root)
+        report = broker.report()
+        assert report["retries"] == 1  # one retry, then terminal
+        assert report["outcome_error"] == 1
+        broker.shutdown()
+
+    def test_non_retryable_class_fails_terminally(self, rmat1_small):
+        root = int(choose_root(rmat1_small, seed=3))
+        broker = manual_broker(
+            rmat1_small,
+            chaos=ChaosPlan(error_rate=1.0, roots=(root,),
+                            max_faulty_attempts=1),
+            retry=RetryPolicy(max_attempts=3, backoff_base_s=0.0,
+                              retry_on=("timeout",)),
+        )
+        with pytest.raises(InjectedFault):
+            broker.query(root)
+        assert broker.report()["retries"] == 0
+        broker.shutdown()
+
+    def test_drain_waits_for_inflight_retries(self, rmat1_small):
+        # Satellite: drain must account for requests being retried —
+        # a future is never leaked even when its retry is mid-backoff.
+        root = int(choose_root(rmat1_small, seed=3))
+        broker = QueryBroker(
+            rmat1_small, num_ranks=2, threads_per_rank=2,
+            num_workers=1, flush_interval_s=0.001,
+            chaos=ChaosPlan(error_rate=1.0, roots=(root,),
+                            max_faulty_attempts=1),
+            retry=RetryPolicy(max_attempts=3, backoff_base_s=0.05),
+        )
+        future = broker.submit(root)
+        assert broker.drain(timeout=30.0)
+        assert future.done()
+        assert future.result().attempts == 2
+        broker.shutdown()
+
+    def test_abort_cancels_pending_retries(self, rmat1_small):
+        root = int(choose_root(rmat1_small, seed=3))
+        broker = manual_broker(
+            rmat1_small,
+            chaos=ChaosPlan(error_rate=1.0, roots=(root,)),
+            retry=RetryPolicy(max_attempts=5, backoff_base_s=10.0),
+        )
+        future = broker.submit(root)
+        broker.process_once(block=True)  # attempt 0 fails; retry backoff 10s
+        assert not future.done()
+        broker.shutdown(drain=False)
+        with pytest.raises((ServiceShutdown, InjectedFault)):
+            future.result(timeout=1.0)
+        broker.shutdown()
+
+
+class TestVerification:
+    def test_corrupt_solve_is_caught_and_retried(self, rmat1_small):
+        root = int(choose_root(rmat1_small, seed=3))
+        broker = manual_broker(
+            rmat1_small,
+            verify="structural",
+            chaos=ChaosPlan(events=(ChaosEvent(root, 0, "corrupt"),)),
+            retry=RetryPolicy(max_attempts=2, backoff_base_s=0.0),
+        )
+        res = broker.query(root)
+        assert res.attempts == 2
+        offline = solve_sssp(rmat1_small, root, algorithm="opt", delta=25,
+                             num_ranks=2, threads_per_rank=2)
+        assert np.array_equal(res.distances, offline.distances)
+        broker.shutdown()
+
+    def test_corrupt_without_retry_is_typed_terminal(self, rmat1_small):
+        root = int(choose_root(rmat1_small, seed=3))
+        broker = manual_broker(
+            rmat1_small,
+            verify="structural",
+            chaos=ChaosPlan(error_rate=0.0,
+                            events=(ChaosEvent(root, 0, "corrupt"),)),
+        )
+        with pytest.raises(SolveCorrupted) as info:
+            broker.query(root)
+        assert info.value.root == root
+        assert broker.report()["outcome_corrupt"] == 1
+        # the corrupted answer never reached the cache
+        assert root not in broker.cache
+        broker.shutdown()
+
+
+class TestBreakerLadder:
+    def open_breaker(self, graph, bad, **broker_kwargs):
+        clock = FakeClock()
+        breaker = CircuitBreaker(
+            BreakerConfig(failure_threshold=1, recovery_time_s=1.0,
+                          **broker_kwargs.pop("breaker_kwargs", {})),
+            clock=clock,
+        )
+        broker = manual_broker(
+            graph,
+            breaker=breaker,
+            chaos=ChaosPlan(error_rate=1.0, roots=(bad,)),
+            **broker_kwargs,
+        )
+        return broker, breaker, clock
+
+    def test_breaker_opens_and_flags_stale_cache_hits(self, rmat1_small):
+        bad, good = (int(r) for r in choose_roots(rmat1_small, 2, seed=3))
+        broker, breaker, _ = self.open_breaker(rmat1_small, bad)
+        fresh = broker.query(good)  # cache fill while healthy
+        assert not fresh.stale_ok
+        with pytest.raises(InjectedFault):
+            broker.query(bad)  # threshold 1: opens the "error" class
+        assert breaker.state_of("error") == "open"
+        stale = broker.query(good)
+        assert stale.cached
+        assert stale.stale_ok  # flagged: served while degraded
+        broker.shutdown()
+
+    def test_breaker_open_degrades_to_bounded_exact(self, rmat1_small):
+        bad, cold = (int(r) for r in choose_roots(rmat1_small, 2, seed=4))
+        broker, breaker, _ = self.open_breaker(rmat1_small, bad)
+        with pytest.raises(InjectedFault):
+            broker.query(bad)
+        res = broker.query(cold)  # no cache entry: bounded-exact fallback
+        assert res.degraded
+        assert res.source == "degraded"
+        offline = solve_sssp(rmat1_small, cold, algorithm="opt", delta=25,
+                             num_ranks=2, threads_per_rank=2)
+        # degrade-to-Bellman-Ford is exact: distances still bit-identical
+        assert np.array_equal(res.distances, offline.distances)
+        assert broker.report()["outcome_degraded"] == 1
+        broker.shutdown()
+
+    def test_breaker_open_sheds_large_graph_typed(self, rmat1_small):
+        bad, cold = (int(r) for r in choose_roots(rmat1_small, 2, seed=4))
+        broker, breaker, _ = self.open_breaker(
+            rmat1_small, bad,
+            breaker_kwargs={"degrade_max_vertices": 0},  # fallback never fits
+        )
+        with pytest.raises(InjectedFault):
+            broker.query(bad)
+        with pytest.raises(ServiceUnavailable) as info:
+            broker.query(cold)
+        assert info.value.open_classes == ("error",)
+        assert broker.report()["outcome_unavailable"] == 1
+        broker.shutdown()
+
+    def test_half_open_probe_success_recloses(self, rmat1_small):
+        bad, cold = (int(r) for r in choose_roots(rmat1_small, 2, seed=4))
+        broker, breaker, clock = self.open_breaker(rmat1_small, bad)
+        with pytest.raises(InjectedFault):
+            broker.query(bad)
+        clock.t = 2.0  # past recovery_time_s: half-open
+        res = broker.query(cold)  # the probe solve, clean root
+        assert not res.degraded  # probes run the primary path
+        assert breaker.state_of("error") == "closed"
+        assert not breaker.degraded
+        broker.shutdown()
+
+
+class TestNegativeCaching:
+    def test_timed_out_root_fast_fails_within_ttl(self, rmat1_small):
+        broker = manual_broker(
+            rmat1_small, algorithm="delta", delta=1, negative_ttl_s=60.0
+        )
+        root = int(choose_root(rmat1_small, seed=3))
+        with pytest.raises(SolveTimeout):
+            broker.query(root, deadline=DeadlineConfig(max_supersteps=2))
+        solves_before = broker.report()["solves"]
+        with pytest.raises(SolveTimeout, match="negative-cached"):
+            broker.query(root)  # fast-fail: no engine work burned
+        report = broker.report()
+        assert report["solves"] == solves_before
+        assert report["negative_hits"] == 1
+        assert report["outcome_timeout"] == 2
+        broker.shutdown()
+
+
+class TestHedging:
+    def test_hedge_rescues_straggling_attempt(self, rmat1_small):
+        root = int(choose_root(rmat1_small, seed=3))
+        broker = manual_broker(
+            rmat1_small,
+            chaos=ChaosPlan(events=(ChaosEvent(root, 0, "slow"),),
+                            slow_s=0.5),
+            retry=RetryPolicy(max_attempts=2, backoff_base_s=0.0,
+                              hedge_after_s=0.01, hedge_budget=4),
+        )
+        t0 = __import__("time").perf_counter()
+        res = broker.query(root)
+        elapsed = __import__("time").perf_counter() - t0
+        offline = solve_sssp(rmat1_small, root, algorithm="opt", delta=25,
+                             num_ranks=2, threads_per_rank=2)
+        assert np.array_equal(res.distances, offline.distances)
+        assert broker.report()["hedges"] == 1
+        assert elapsed < 0.5  # the hedge returned before the straggler
+        broker.shutdown()
+
+    def test_hedge_budget_exhausted_waits_for_primary(self, rmat1_small):
+        root = int(choose_root(rmat1_small, seed=3))
+        broker = manual_broker(
+            rmat1_small,
+            chaos=ChaosPlan(events=(ChaosEvent(root, 0, "slow"),),
+                            slow_s=0.05),
+            retry=RetryPolicy(max_attempts=2, backoff_base_s=0.0,
+                              hedge_after_s=0.01, hedge_budget=0),
+        )
+        res = broker.query(root)  # no budget: primary finishes on its own
+        assert broker.report()["hedges"] == 0
+        assert res.attempts == 1
+        broker.shutdown()

@@ -77,6 +77,127 @@ class TestLru:
         assert cache.stats.bytes_in_use == 0
 
 
+class FakeClock:
+    def __init__(self) -> None:
+        self.t = 0.0
+
+    def __call__(self) -> float:
+        return self.t
+
+
+class TestCostAwareEviction:
+    def test_cheapest_to_recompute_goes_first(self):
+        entry = arr(8)
+        cache = DistanceCache(3 * entry.nbytes)
+        cache.put(1, arr(8), cost_s=5.0)   # expensive solve
+        cache.put(2, arr(8), cost_s=0.1)   # cheap solve
+        cache.put(3, arr(8), cost_s=3.0)
+        cache.put(4, arr(8), cost_s=1.0)   # forces one eviction
+        # the cheap entry is evicted even though 1 is least-recently used
+        assert 2 not in cache
+        assert cache.roots() == [1, 3, 4]
+
+    def test_equal_costs_degrade_to_lru(self):
+        entry = arr(8)
+        cache = DistanceCache(2 * entry.nbytes)
+        cache.put(1, arr(8))
+        cache.put(2, arr(8))
+        cache.put(3, arr(8))
+        assert cache.roots() == [2, 3]  # plain LRU when costs tie
+
+    def test_scan_window_bounds_the_search(self):
+        entry = arr(8)
+        cache = DistanceCache(3 * entry.nbytes, evict_scan=2)
+        cache.put(1, arr(8), cost_s=5.0)
+        cache.put(2, arr(8), cost_s=4.0)
+        cache.put(3, arr(8), cost_s=0.01)  # cheapest, but outside the window
+        cache.put(4, arr(8), cost_s=9.0)
+        # only {1, 2} were scanned; 2 is the cheaper of those
+        assert cache.roots() == [1, 3, 4]
+
+
+class TestChecksums:
+    def corrupt_in_place(self, cache, root):
+        entry = cache._entries[root]
+        entry.distances.setflags(write=True)
+        entry.distances[0] += 1
+        entry.distances.setflags(write=False)
+
+    def test_verified_get_quarantines_corruption(self):
+        cache = DistanceCache(1 << 20, checksum=True)
+        cache.put(0, arr(8))
+        self.corrupt_in_place(cache, 0)
+        assert cache.get(0) is not None  # verification off: served as-is
+        cache.verify_get = True
+        assert cache.get(0) is None  # quarantined, counted as a miss
+        assert cache.stats.quarantined == 1
+        assert 0 not in cache
+        assert cache.stats.bytes_in_use == 0
+
+    def test_clean_entries_survive_verification(self):
+        cache = DistanceCache(1 << 20, checksum=True)
+        cache.verify_get = True
+        original = arr(8, 3)
+        cache.put(0, original)
+        assert cache.get(0) is original  # still no copy
+        assert cache.stats.quarantined == 0
+
+    def test_audit_sweeps_all_entries(self):
+        cache = DistanceCache(1 << 20, checksum=True)
+        for root in range(3):
+            cache.put(root, arr(8, root))
+        self.corrupt_in_place(cache, 1)
+        assert cache.audit() == [1]
+        assert cache.roots() == [0, 2]
+        assert cache.stats.quarantined == 1
+
+    def test_audit_without_checksum_is_noop(self):
+        cache = DistanceCache(1 << 20)
+        cache.put(0, arr(8))
+        assert cache.audit() == []
+
+    def test_registry_counts_quarantine(self):
+        registry = MetricsRegistry()
+        cache = DistanceCache(1 << 20, checksum=True, registry=registry)
+        cache.verify_get = True
+        cache.put(0, arr(8))
+        self.corrupt_in_place(cache, 0)
+        cache.get(0)
+        assert "serve_cache_quarantined_total 1" in registry.prometheus_text()
+
+
+class TestNegativeCache:
+    def test_ttl_tombstone(self):
+        clock = FakeClock()
+        cache = DistanceCache(1 << 20, negative_ttl_s=2.0, clock=clock)
+        assert not cache.negative(5)
+        cache.note_timeout(5)
+        assert cache.negative(5)
+        assert cache.stats.negative_hits == 1
+        clock.t = 2.5  # past the TTL: tombstone expires lazily
+        assert not cache.negative(5)
+        assert cache.stats.negative_hits == 1
+
+    def test_disabled_by_default(self):
+        cache = DistanceCache(1 << 20)
+        cache.note_timeout(5)
+        assert not cache.negative(5)
+
+    def test_successful_put_clears_tombstone(self):
+        clock = FakeClock()
+        cache = DistanceCache(1 << 20, negative_ttl_s=60.0, clock=clock)
+        cache.note_timeout(5)
+        cache.put(5, arr(8))
+        assert not cache.negative(5)
+
+    def test_clear_drops_tombstones(self):
+        clock = FakeClock()
+        cache = DistanceCache(1 << 20, negative_ttl_s=60.0, clock=clock)
+        cache.note_timeout(5)
+        cache.clear()
+        assert not cache.negative(5)
+
+
 class TestContract:
     def test_stored_array_is_read_only_and_uncopied(self):
         cache = DistanceCache(1 << 20)
