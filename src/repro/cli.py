@@ -76,8 +76,16 @@ def build_parser() -> argparse.ArgumentParser:
     p_solve = sub.add_parser("solve", help="run one SSSP solve")
     _add_graph_args(p_solve)
     _add_machine_args(p_solve)
-    p_solve.add_argument("--algorithm", choices=sorted(PRESETS), default="opt")
-    p_solve.add_argument("--delta", type=int, default=25)
+    p_solve.add_argument("--algorithm", choices=sorted(PRESETS), default="opt",
+                         help="algorithm preset: the paper's Δ-stepping "
+                              "family (dijkstra/bellman-ford/delta/prune/"
+                              "opt/lb-opt*), or a windowed stepping strategy "
+                              "— 'radius' (per-vertex window widths, arXiv "
+                              "1602.03881) / 'rho' (settle the ρ closest "
+                              "unsettled vertices per step, arXiv "
+                              "2105.06145); --delta is ignored for those")
+    p_solve.add_argument("--delta", type=int, default=25,
+                         help="bucket width Δ for the Δ-stepping presets")
     p_solve.add_argument("--root", type=int, default=None,
                          help="source vertex (default: sampled non-isolated)")
     p_solve.add_argument("--validate", action="store_true",

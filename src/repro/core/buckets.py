@@ -12,7 +12,13 @@ import numpy as np
 
 from repro.core.distances import INF
 
-__all__ = ["bucket_index", "bucket_members", "next_bucket", "NO_BUCKET"]
+__all__ = [
+    "bucket_index",
+    "bucket_members",
+    "window_members",
+    "next_bucket",
+    "NO_BUCKET",
+]
 
 NO_BUCKET = -1
 """Returned by :func:`next_bucket` when only B-infinity remains."""
@@ -27,14 +33,24 @@ def bucket_index(d: np.ndarray, delta: int) -> np.ndarray:
     return out
 
 
+def window_members(
+    d: np.ndarray, settled: np.ndarray, lo: int, hi: int
+) -> np.ndarray:
+    """Unsettled vertices with ``d in [lo, hi)`` (sorted ids).
+
+    The generalised membership scan: a Δ-bucket is the window
+    ``[kΔ, (k+1)Δ)``; the radius/ρ strategies pick non-uniform windows.
+    """
+    mask = (d >= lo) & (d < hi) & ~settled
+    return np.nonzero(mask)[0].astype(np.int64)
+
+
 def bucket_members(
     d: np.ndarray, settled: np.ndarray, k: int, delta: int
 ) -> np.ndarray:
     """Unsettled vertices currently in bucket ``k`` (sorted ids)."""
     lo = k * delta
-    hi = lo + delta
-    mask = (d >= lo) & (d < hi) & ~settled
-    return np.nonzero(mask)[0].astype(np.int64)
+    return window_members(d, settled, lo, lo + delta)
 
 
 def next_bucket(d: np.ndarray, settled: np.ndarray, delta: int) -> int:

@@ -24,7 +24,13 @@ from typing import TYPE_CHECKING
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard, typing only
     from repro.obs.tracer import TraceConfig
 
-__all__ = ["SolverConfig", "preset", "PRESETS", "DELTA_INFINITY"]
+__all__ = [
+    "SolverConfig",
+    "preset",
+    "PRESETS",
+    "DELTA_FREE_PRESETS",
+    "DELTA_INFINITY",
+]
 
 DELTA_INFINITY: int = 2**60
 """A Δ larger than any achievable distance: one bucket = Bellman-Ford."""
@@ -36,9 +42,23 @@ class SolverConfig:
 
     Attributes
     ----------
+    strategy:
+        Stepping strategy (see :mod:`repro.core.stepping`): ``"delta"``
+        — the paper's fixed-width buckets (default); ``"radius"`` —
+        radius stepping with per-vertex window widths (arXiv
+        1602.03881); ``"rho"`` — ρ-stepping's lazy-batched priority
+        queue (arXiv 2105.06145). The Δ-specific optimisations
+        (``use_ios``, ``use_pruning``, ``collect_census``) require
+        ``"delta"``; hybridization composes with every strategy.
     delta:
-        Bucket width Δ. ``1`` is Dijkstra/Dial; :data:`DELTA_INFINITY`
-        degenerates to Bellman-Ford.
+        Bucket width Δ (``strategy="delta"``). ``1`` is Dijkstra/Dial;
+        :data:`DELTA_INFINITY` degenerates to Bellman-Ford.
+    rho:
+        Extraction batch bound for ``strategy="rho"``: each step settles
+        at least the ρ closest unsettled vertices.
+    radius_k:
+        Radius order for ``strategy="radius"``: a vertex's radius is its
+        ``radius_k``-th smallest incident edge weight.
     use_ios:
         Enable the inner/outer-short heuristic (Section III-A): during
         short phases relax only edges whose proposed distance lands inside
@@ -87,7 +107,10 @@ class SolverConfig:
         ``max(64, 16 * mean_degree)`` at solve time.
     """
 
+    strategy: str = "delta"
     delta: int = 25
+    rho: int = 1024
+    radius_k: int = 2
     use_ios: bool = False
     use_pruning: bool = False
     pushpull_mode: str = "auto"
@@ -126,8 +149,35 @@ class SolverConfig:
     the same pay-for-use discipline as :attr:`paranoid`."""
 
     def __post_init__(self) -> None:
+        if self.strategy not in ("delta", "radius", "rho"):
+            raise ValueError(
+                f"unknown stepping strategy {self.strategy!r} "
+                "(expected 'delta', 'radius' or 'rho')"
+            )
         if self.delta < 1:
             raise ValueError("delta must be >= 1")
+        if self.rho < 1:
+            raise ValueError("rho must be >= 1")
+        if self.radius_k < 1:
+            raise ValueError("radius_k must be >= 1")
+        if self.strategy != "delta":
+            # The IOS/pruning/census maths is Δ-bucket-specific: it
+            # partitions edges against the fixed bucket width, which the
+            # windowed strategies do not have.
+            forbidden = [
+                name
+                for name, on in (
+                    ("use_ios", self.use_ios),
+                    ("use_pruning", self.use_pruning),
+                    ("collect_census", self.collect_census),
+                )
+                if on
+            ]
+            if forbidden:
+                raise ValueError(
+                    f"{', '.join(forbidden)} require strategy='delta' "
+                    f"(got strategy={self.strategy!r})"
+                )
         if not 0.0 <= self.tau <= 1.0:
             raise ValueError("tau must be in [0, 1]")
         if self.pushpull_mode not in ("auto", "push", "pull", "sequence"):
@@ -147,8 +197,20 @@ class SolverConfig:
 
     @property
     def is_bellman_ford(self) -> bool:
-        """True when Δ is effectively infinite."""
-        return self.delta >= DELTA_INFINITY
+        """True when Δ is effectively infinite (delta strategy only)."""
+        return self.strategy == "delta" and self.delta >= DELTA_INFINITY
+
+    @property
+    def classification_width(self) -> int:
+        """Short-edge weight threshold for the preprocessing tables.
+
+        Δ for the delta strategy; effectively infinite for the windowed
+        strategies (every edge is short — they relax all edges eagerly
+        in short phases and run no long phase).
+        """
+        if self.strategy == "delta":
+            return self.delta
+        return DELTA_INFINITY
 
     def derived_heavy_degree(self, mean_degree: float) -> int:
         """Resolve π, defaulting to four times the mean degree."""
@@ -203,6 +265,16 @@ def _lb_opt_split(delta: int) -> SolverConfig:
     return _lb_opt(delta).evolve(inter_split=True)
 
 
+def _radius(delta: int) -> SolverConfig:
+    # Δ is irrelevant to the windowed strategies; the argument is
+    # accepted (and ignored) so every preset factory has one shape.
+    return SolverConfig(strategy="radius")
+
+
+def _rho(delta: int) -> SolverConfig:
+    return SolverConfig(strategy="rho")
+
+
 PRESETS = {
     "dijkstra": _dijkstra,
     "bellman-ford": _bellman_ford,
@@ -211,8 +283,13 @@ PRESETS = {
     "opt": _opt,
     "lb-opt": _lb_opt,
     "lb-opt-split": _lb_opt_split,
+    "radius": _radius,
+    "rho": _rho,
 }
 """Factory per algorithm name; each takes Δ and returns a config."""
+
+#: presets whose result name carries no ``-Δ`` suffix (Δ plays no role)
+DELTA_FREE_PRESETS = frozenset({"bellman-ford", "radius", "rho"})
 
 
 def preset(name: str, delta: int = 25) -> SolverConfig:

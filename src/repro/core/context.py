@@ -186,7 +186,10 @@ def make_context(
         num_ranks=machine.num_ranks, threads_per_rank=machine.threads_per_rank
     )
     comm = Communicator(machine, partition, metrics)
-    delta = min(config.delta, 2**60)
+    # Edge classification follows the stepping strategy: Δ for the
+    # paper's buckets, effectively infinite for the windowed strategies
+    # (radius/ρ), whose short phases relax every edge.
+    delta = min(config.classification_width, 2**60)
     short_offsets = sorted_graph.short_edge_offsets(delta)
     long_degrees = sorted_graph.degrees - short_offsets
     mean_degree = (

@@ -10,6 +10,13 @@ One engine executes the whole algorithm family; the
 - hybridization into Bellman-Ford (``use_hybrid``);
 - Δ = 1 reproduces Dial/Dijkstra, Δ = ∞ reproduces Bellman-Ford.
 
+Step selection — which window of tentative distances to drain and settle
+next — is delegated to the :class:`~repro.core.stepping.SteppingStrategy`
+chosen by ``config.strategy``: the paper's Δ-buckets (``"delta"``),
+radius stepping (``"radius"``) or ρ-stepping (``"rho"``). The engine owns
+the drain/settle loop, accounting, checkpoints and hybridization; the
+strategy owns the window and the relaxation phase policy.
+
 Execution is bulk-synchronous. Every epoch (bucket) runs a first stage of
 iterative *short phases* (relaxing short — under IOS only inner short —
 arcs of active vertices) until the bucket drains, settles the bucket
@@ -24,13 +31,14 @@ import numpy as np
 
 from repro.core.bellman_ford import bellman_ford_stage
 from repro.core.bucket_index import BucketIndex
-from repro.core.buckets import NO_BUCKET, bucket_members, next_bucket
+from repro.core.buckets import window_members
 from repro.core.context import ExecutionContext
 from repro.core.distances import INF, init_distances
 from repro.core.hybrid import should_switch
 from repro.core.pruning import bucket_census, long_phase_pull, long_phase_push
 from repro.core.pushpull import decide_mode
 from repro.core.relax import apply_relaxations
+from repro.core.stepping import Step, make_strategy
 from repro.runtime.comm import RELAX_RECORD_BYTES
 from repro.runtime.metrics import ComputeKind
 from repro.runtime.watchdog import (
@@ -187,31 +195,33 @@ class DeltaSteppingEngine:
                 bellman_ford_stage(ctx, d, start_active, epoch_hook=hook)
                 settled |= d < INF
             else:
+                strategy = make_strategy(cfg)
+                strategy.prepare(ctx)
                 # The incremental index replaces the per-epoch full scans;
                 # built after a potential resume so it covers the restored
                 # state. settled_count mirrors settled.sum() so the scan
                 # charges stay numerically identical without the O(n) sum.
+                # Only the delta strategy can use it — the index is keyed
+                # on the fixed bucket width.
                 index = (
                     BucketIndex(cfg.delta, d, settled)
-                    if cfg.incremental_buckets
+                    if cfg.incremental_buckets and strategy.uses_bucket_index
                     else None
                 )
                 settled_count = int(settled.sum())
                 while True:
-                    # Next non-empty bucket: every rank scans its unsettled
-                    # vertices for the minimum tentative distance, then one
-                    # allreduce.
+                    # Next step: every rank scans its unsettled vertices
+                    # for its window candidate, then the strategy's
+                    # selection collective combines them.
                     ctx.scan_all_ranks(n - settled_count)
-                    ctx.comm.allreduce(1, phase_kind="bucket")
-                    k = (
-                        index.min_bucket()
-                        if index is not None
-                        else next_bucket(d, settled, cfg.delta)
+                    step = strategy.next_step(
+                        ctx, d, settled, index, bucket_ordinal
                     )
-                    if k == NO_BUCKET:
+                    if step is None:
                         break
                     settled_count = self._process_epoch(
-                        d, settled, k, bucket_ordinal, index, settled_count
+                        d, settled, step, bucket_ordinal, index,
+                        settled_count, strategy,
                     )
                     bucket_ordinal += 1
                     epoch += 1
@@ -221,7 +231,7 @@ class DeltaSteppingEngine:
                         if should_switch(
                             settled, cfg.tau, count=settled_count, tracer=tr
                         ):
-                            ctx.metrics.hybrid_switch_bucket = k
+                            ctx.metrics.hybrid_switch_bucket = step.key
                             remaining = np.nonzero(~settled & (d < INF))[
                                 0
                             ].astype(np.int64)
@@ -277,16 +287,19 @@ class DeltaSteppingEngine:
         ) from exc
 
     # ------------------------------------------------------------------
-    def _short_phase(self, d: np.ndarray, active: np.ndarray, k: int) -> np.ndarray:
+    def _short_phase(
+        self, d: np.ndarray, active: np.ndarray, step: Step
+    ) -> np.ndarray:
         """One short-edge phase over ``active``; returns changed vertices."""
         ctx = self.ctx
         tr = ctx.tracer
         span = (
-            tr.begin("short", cat="phase", bucket=int(k)) if tr is not None else None
+            tr.begin("short", cat="phase", bucket=int(step.key))
+            if tr is not None
+            else None
         )
         graph = ctx.graph
-        delta = ctx.config.delta
-        hi = (k + 1) * delta
+        hi = step.hi
         indptr, adj, weights = graph.indptr, graph.adj, graph.weights
         starts = indptr[active]
         ends = starts + ctx.short_offsets[active]
@@ -322,12 +335,14 @@ class DeltaSteppingEngine:
         self,
         d: np.ndarray,
         settled: np.ndarray,
-        k: int,
+        step: Step,
         bucket_ordinal: int,
         index: BucketIndex | None,
         settled_count: int,
+        strategy,
     ) -> int:
-        """Process bucket ``k`` to completion: short stage, settle, long phase.
+        """Process one step's window to completion: short stage, settle,
+        and (for the delta strategy) the long phase.
 
         Returns the updated settled count. ``index``, when given, replaces
         the membership scans and is kept current from the changed-vertex
@@ -335,9 +350,9 @@ class DeltaSteppingEngine:
         """
         ctx = self.ctx
         cfg = ctx.config
-        delta = cfg.delta
-        lo = k * delta
-        hi = lo + delta
+        k = step.key
+        lo = step.lo
+        hi = step.hi
         tr = ctx.tracer
         epoch_span = (
             tr.begin(
@@ -358,10 +373,10 @@ class DeltaSteppingEngine:
         active = (
             index.members(k)
             if index is not None
-            else bucket_members(d, settled, k, delta)
+            else window_members(d, settled, lo, hi)
         )
 
-        # --- Stage 1: iterative short phases until the bucket drains.
+        # --- Stage 1: iterative short phases until the window drains.
         while True:
             ctx.comm.allreduce(1, phase_kind="bucket")
             if active.size == 0:
@@ -371,7 +386,7 @@ class DeltaSteppingEngine:
                 minlength=ctx.machine.num_ranks,
             )
             ctx.charge_scan(per_rank)
-            changed = self._short_phase(d, active, k)
+            changed = self._short_phase(d, active, step)
             if index is not None:
                 index.on_relaxed(changed, d)
             if changed.size:
@@ -380,11 +395,11 @@ class DeltaSteppingEngine:
             else:
                 active = changed
 
-        # --- Settle the bucket.
+        # --- Settle the window.
         members = (
             index.members(k)
             if index is not None
-            else bucket_members(d, settled, k, delta)
+            else window_members(d, settled, lo, hi)
         )
         settled[members] = True
         settled_count += int(members.size)
@@ -397,24 +412,39 @@ class DeltaSteppingEngine:
         if cfg.collect_census:
             stats.update(bucket_census(ctx, d, settled, members, k))
 
-        # --- Stage 2: one long phase, push or pull.
-        long_span = (
-            tr.begin("long", cat="phase", bucket=int(k)) if tr is not None else None
-        )
-        mode, estimate = decide_mode(ctx, d, settled, members, k, bucket_ordinal)
-        if mode == "push":
-            changed, phase_stats = long_phase_push(ctx, d, members, k)
-        else:
-            changed, phase_stats = long_phase_pull(ctx, d, settled, members, k)
-        if tr is not None:
-            tr.end(long_span, mode=mode, relaxed=int(changed.size))
-        if index is not None:
-            index.on_relaxed(changed, d)
-        if ctx.guards is not None:
-            ctx.guards.after_relaxations(d)
-            if index is not None:
+        # --- Stage 2: one long phase, push or pull. The windowed
+        # strategies classify every edge short, so their long phase is
+        # structurally empty and skipped outright.
+        if strategy.short_phase_only:
+            mode = "none"
+            estimate = None
+            stats.update({"mode": "none", "relaxations": 0})
+            if ctx.guards is not None and index is not None:
                 ctx.guards.check_bucket_index(index, d, settled)
-        stats.update(phase_stats)
+        else:
+            long_span = (
+                tr.begin("long", cat="phase", bucket=int(k))
+                if tr is not None
+                else None
+            )
+            mode, estimate = decide_mode(
+                ctx, d, settled, members, k, bucket_ordinal
+            )
+            if mode == "push":
+                changed, phase_stats = long_phase_push(ctx, d, members, k)
+            else:
+                changed, phase_stats = long_phase_pull(
+                    ctx, d, settled, members, k
+                )
+            if tr is not None:
+                tr.end(long_span, mode=mode, relaxed=int(changed.size))
+            if index is not None:
+                index.on_relaxed(changed, d)
+            if ctx.guards is not None:
+                ctx.guards.after_relaxations(d)
+                if index is not None:
+                    ctx.guards.check_bucket_index(index, d, settled)
+            stats.update(phase_stats)
         stats["bucket"] = k
         stats["members"] = int(members.size)
         if estimate is not None:

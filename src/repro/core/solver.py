@@ -13,7 +13,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
-from repro.core.config import SolverConfig, preset
+from repro.core.config import DELTA_FREE_PRESETS, SolverConfig, preset
 from repro.core.context import make_context
 from repro.core.delta_stepping import DeltaSteppingEngine
 from repro.core.load_balance import split_heavy_vertices
@@ -147,8 +147,10 @@ def solve_sssp(
         Source vertex (original id).
     algorithm:
         Preset name — ``dijkstra``, ``bellman-ford``, ``delta``, ``prune``,
-        ``opt``, ``lb-opt``, ``lb-opt-split`` — ignored when ``config`` is
-        given explicitly.
+        ``opt``, ``lb-opt``, ``lb-opt-split``, ``radius``, ``rho`` —
+        ignored when ``config`` is given explicitly. ``radius`` and
+        ``rho`` select the windowed stepping strategies of
+        :mod:`repro.core.stepping`; Δ plays no role there.
     delta:
         Bucket width Δ for presets that take one.
     config:
@@ -190,7 +192,11 @@ def solve_sssp(
     root = _validate_root(root, graph.num_vertices)
     if config is None:
         config = preset(algorithm, delta)
-        name = f"{algorithm}-{delta}" if algorithm not in ("bellman-ford",) else algorithm
+        name = (
+            algorithm
+            if algorithm in DELTA_FREE_PRESETS
+            else f"{algorithm}-{delta}"
+        )
     else:
         name = algorithm
     if paranoid and not config.paranoid:
@@ -293,7 +299,11 @@ class BatchSolver:
     ) -> None:
         if config is None:
             config = preset(algorithm, delta)
-            self.algorithm = f"{algorithm}-{delta}"
+            self.algorithm = (
+                algorithm
+                if algorithm in DELTA_FREE_PRESETS
+                else f"{algorithm}-{delta}"
+            )
         else:
             self.algorithm = algorithm
         if machine is None:

@@ -1,0 +1,325 @@
+"""Pluggable stepping strategies: who decides what settles next.
+
+The Δ-stepping skeleton the paper builds on (buckets of width Δ, drain
+the lowest bucket with short phases, settle it, relax the rest in one
+long phase) generalises cleanly: with everything below ``lo`` settled,
+repeatedly relaxing the frontier until no changed vertex lands below
+``hi`` and then settling every unsettled vertex with ``d < hi`` is exact
+for *any* ``hi > lo`` — the standard Dijkstra safety argument, since no
+path through a vertex at distance ``>= hi`` can improve a tentative
+distance below ``hi``. A :class:`SteppingStrategy` owns exactly that
+choice of window plus the policies that hang off it:
+
+- **step selection** — which ``[lo, hi)`` window to drain next
+  (:meth:`~SteppingStrategy.next_step` for the orchestrated engine,
+  :meth:`~SteppingStrategy.next_step_spmd` for the rank-local one,
+  including the next-step collective's accounting charge);
+- **edge classification** — the weight threshold below which an edge is
+  relaxed eagerly in the short phases
+  (:meth:`~SteppingStrategy.classification_width`);
+- **relaxation phase policy** — whether a separate long phase exists at
+  all (:attr:`~SteppingStrategy.short_phase_only`);
+- **termination** — ``next_step`` returning ``None``.
+
+Three families are registered:
+
+``delta``
+    The paper's Δ-stepping: fixed-width buckets ``[kΔ, (k+1)Δ)``, short
+    edges are ``weight < Δ``, long edges wait for the push/pull long
+    phase. This strategy reproduces the historical engines *bit for bit*
+    — same scans, same allreduces, same bucket keys — and is the only
+    one the IOS/pruning/census machinery (whose maths is Δ-specific)
+    composes with. It is also the only user of the incremental
+    :class:`~repro.core.bucket_index.BucketIndex` (keyed on fixed Δ).
+
+``radius``
+    Radius stepping (Blelloch et al., arXiv 1602.03881): per-vertex
+    radius ``r(v)`` = the ``radius_k``-th smallest incident edge weight
+    (an O(1) lookup per vertex on the weight-sorted CSR), and each step
+    settles everything below ``min over the unsettled frontier of
+    (d(v) + r(v)) + 1``. Vertices whose ``radius_k`` nearest edges all
+    stay inside the window settle together, so low-diameter regions
+    collapse into few steps without a global Δ to mistune.
+
+``rho``
+    ρ-stepping (Dong et al., arXiv 2105.06145): a lazy-batched priority
+    queue — each step extracts (at least) the ``rho`` closest unsettled
+    vertices by setting ``hi`` just past the ρ-th smallest unsettled
+    tentative distance (one ``np.partition``, the lazy batching: no
+    per-vertex heap discipline). ρ interpolates between Dijkstra
+    (ρ = 1) and Bellman-Ford (ρ = n).
+
+Both new families relax *every* edge of an active vertex in the short
+phases (classification width ∞ ⇒ zero long edges), so their step is one
+drain-and-settle loop with no long phase; exactness then needs no edge
+classification argument at all, only the window safety above. Zero-weight
+edges and disconnected vertices are handled by the same drain loop —
+a changed vertex landing inside the window is simply re-activated.
+
+Strategies are selected by :attr:`SolverConfig.strategy
+<repro.core.config.SolverConfig.strategy>` (presets ``radius``/``rho``
+wire it through :func:`~repro.core.config.preset`, ``solve_sssp``,
+``BatchSolver`` and the CLI) and gated by the conformance suite:
+every registered strategy must be bit-identical to
+:func:`repro.core.reference.dijkstra_reference` on every fixture.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.buckets import NO_BUCKET, next_bucket
+from repro.core.distances import INF
+
+__all__ = [
+    "Step",
+    "SteppingStrategy",
+    "DeltaStepping",
+    "RadiusStepping",
+    "RhoStepping",
+    "STRATEGIES",
+    "make_strategy",
+]
+
+
+@dataclass(frozen=True)
+class Step:
+    """One settle window ``[lo, hi)`` chosen by a strategy.
+
+    ``key`` labels the step for tracing, guards and the hybrid-switch
+    marker: the bucket id ``k`` for Δ-stepping (where it doubles as the
+    bucket-index key), the running step ordinal for the windowed
+    families. It is strictly increasing over a solve either way.
+    """
+
+    key: int
+    lo: int
+    hi: int
+
+
+class SteppingStrategy:
+    """Base class: the step-selection seam both engines consume.
+
+    Subclasses override the hooks below; the engines own everything else
+    (phases, settling, accounting, checkpoints, hybridization). The
+    ``next_step*`` hooks charge their own selection collective — the
+    engines charge the preceding unsettled scan — so a strategy with a
+    wider collective (ρ-stepping's candidate merge) prices it honestly.
+    """
+
+    #: registry name, also the value of ``SolverConfig.strategy``
+    name: str = ""
+    #: True when the Δ-keyed incremental BucketIndex applies
+    uses_bucket_index: bool = False
+    #: True when every edge relaxes in short phases (no long phase runs)
+    short_phase_only: bool = False
+
+    def __init__(self, config) -> None:
+        self.config = config
+
+    # ------------------------------------------------------------------
+    def classification_width(self) -> int:
+        """Short-edge weight threshold for the context's split tables."""
+        raise NotImplementedError
+
+    def prepare(self, ctx) -> None:
+        """Orchestrated precompute hook (runs once, before the loop)."""
+
+    def prepare_spmd(self, ctx, states) -> None:
+        """SPMD precompute hook (runs once, before the loop)."""
+
+    def next_step(self, ctx, d, settled, index, ordinal: int) -> Step | None:
+        """Select the next window from the global arrays (orchestrated).
+
+        Charges the selection allreduce; returns ``None`` at termination.
+        """
+        raise NotImplementedError
+
+    def next_step_spmd(self, ctx, states, mailbox, ordinal: int) -> Step | None:
+        """Select the next window from rank-local state (SPMD).
+
+        Each rank contributes only its own candidate; the mailbox
+        collective combines them (and charges the allreduce).
+        """
+        raise NotImplementedError
+
+
+class DeltaStepping(SteppingStrategy):
+    """Fixed-width buckets ``[kΔ, (k+1)Δ)`` — the paper's algorithm.
+
+    ``next_step`` reproduces the historical next-bucket search exactly
+    (same allreduce charge, same ``BucketIndex``/scan split), which is
+    what keeps the orchestrated and SPMD engines bit-identical in
+    metrics and simulated cost across this refactor.
+    """
+
+    name = "delta"
+    uses_bucket_index = True
+
+    def classification_width(self) -> int:
+        return self.config.delta
+
+    def next_step(self, ctx, d, settled, index, ordinal: int) -> Step | None:
+        delta = self.config.delta
+        ctx.comm.allreduce(1, phase_kind="bucket")
+        k = index.min_bucket() if index is not None else next_bucket(d, settled, delta)
+        if k == NO_BUCKET:
+            return None
+        return Step(key=int(k), lo=int(k) * delta, hi=(int(k) + 1) * delta)
+
+    def next_step_spmd(self, ctx, states, mailbox, ordinal: int) -> Step | None:
+        delta = self.config.delta
+        k = mailbox.allreduce_min(
+            [st.min_unsettled_bucket(delta) for st in states]
+        )
+        if k >= INF:
+            return None
+        return Step(key=int(k), lo=int(k) * delta, hi=(int(k) + 1) * delta)
+
+
+def vertex_radii(graph, k: int) -> np.ndarray:
+    """Per-vertex radius: the ``k``-th smallest incident edge weight.
+
+    On a weight-sorted CSR this is the ``min(k, deg(v))``-th entry of
+    each adjacency row — one gather, no per-vertex sort. Degree-0
+    vertices get radius 0 (they have no frontier to hold back).
+    """
+    degrees = graph.degrees
+    n = graph.num_vertices
+    r = np.zeros(n, dtype=np.int64)
+    has_edges = degrees > 0
+    take = np.minimum(np.int64(k), degrees[has_edges]) - 1
+    r[has_edges] = graph.weights[graph.indptr[:-1][has_edges] + take]
+    return r
+
+
+class RadiusStepping(SteppingStrategy):
+    """Per-vertex radii feed the window width (arXiv 1602.03881).
+
+    Window: ``hi = min over unsettled finite v of (d(v) + r(v)) + 1``.
+    Every vertex ``v`` with ``d(v) < hi - r(v)`` would settle in the
+    classic formulation; the ``+ 1`` guarantees progress even when a
+    zero-weight incident edge makes ``r(v) = 0`` (the window then still
+    clears at least the current minimum). ``lo = 0`` is valid because
+    everything below the previous ``hi`` is already settled.
+    """
+
+    name = "radius"
+    short_phase_only = True
+
+    def __init__(self, config) -> None:
+        super().__init__(config)
+        self._r: np.ndarray | None = None
+
+    def classification_width(self) -> int:
+        from repro.core.config import DELTA_INFINITY
+
+        return DELTA_INFINITY
+
+    def prepare(self, ctx) -> None:
+        self._r = vertex_radii(ctx.graph, self.config.radius_k)
+
+    def prepare_spmd(self, ctx, states) -> None:
+        # The radius of an owned vertex derives from its own adjacency
+        # row, so the full-table compute is rank-local work; each rank
+        # only ever reads its own slice.
+        self._r = vertex_radii(ctx.graph, self.config.radius_k)
+
+    def _local_candidate(self, d, settled, r) -> int:
+        mask = ~settled & (d < INF)
+        if not mask.any():
+            return int(INF)
+        return int((d[mask] + r[mask]).min())
+
+    def next_step(self, ctx, d, settled, index, ordinal: int) -> Step | None:
+        ctx.comm.allreduce(1, phase_kind="bucket")
+        cand = self._local_candidate(d, settled, self._r)
+        if cand >= INF:
+            return None
+        return Step(key=ordinal, lo=0, hi=cand + 1)
+
+    def next_step_spmd(self, ctx, states, mailbox, ordinal: int) -> Step | None:
+        cand = mailbox.allreduce_min(
+            [
+                self._local_candidate(
+                    st.d, st.settled, self._r[st.lo : st.hi]
+                )
+                for st in states
+            ]
+        )
+        if cand >= INF:
+            return None
+        return Step(key=ordinal, lo=0, hi=int(cand) + 1)
+
+
+class RhoStepping(SteppingStrategy):
+    """Lazy-batched priority queue with ρ-bounded extraction (arXiv
+    2105.06145).
+
+    Each step sets ``hi`` just past the ρ-th smallest unsettled
+    tentative distance — one ``np.partition`` over the frontier instead
+    of ρ heap pops, the "lazy batching". The selection collective is a
+    ρ-length vector allreduce (each rank contributes its ρ smallest
+    candidates), charged as such.
+    """
+
+    name = "rho"
+    short_phase_only = True
+
+    def classification_width(self) -> int:
+        from repro.core.config import DELTA_INFINITY
+
+        return DELTA_INFINITY
+
+    def _local_candidates(self, d, settled) -> np.ndarray:
+        rho = self.config.rho
+        u = d[~settled & (d < INF)]
+        if u.size > rho:
+            u = np.partition(u, rho - 1)[:rho]
+        return u
+
+    def _window_hi(self, merged: np.ndarray) -> int:
+        rho = self.config.rho
+        if merged.size <= rho:
+            return int(merged.max()) + 1
+        return int(np.partition(merged, rho - 1)[rho - 1]) + 1
+
+    def next_step(self, ctx, d, settled, index, ordinal: int) -> Step | None:
+        ctx.comm.allreduce(self.config.rho, phase_kind="bucket")
+        cands = self._local_candidates(d, settled)
+        if cands.size == 0:
+            return None
+        return Step(key=ordinal, lo=0, hi=self._window_hi(cands))
+
+    def next_step_spmd(self, ctx, states, mailbox, ordinal: int) -> Step | None:
+        # Rank-local ρ-smallest candidate arrays, merged by a modeled
+        # ρ-vector min-allreduce (charged below, same as next_step).
+        ctx.comm.allreduce(self.config.rho, phase_kind="bucket")
+        merged = np.concatenate(
+            [self._local_candidates(st.d, st.settled) for st in states]
+        )
+        if merged.size == 0:
+            return None
+        return Step(key=ordinal, lo=0, hi=self._window_hi(merged))
+
+
+STRATEGIES: dict[str, type[SteppingStrategy]] = {
+    "delta": DeltaStepping,
+    "radius": RadiusStepping,
+    "rho": RhoStepping,
+}
+"""Registry: ``SolverConfig.strategy`` value → strategy class."""
+
+
+def make_strategy(config) -> SteppingStrategy:
+    """Instantiate the strategy selected by ``config.strategy``."""
+    try:
+        cls = STRATEGIES[config.strategy]
+    except KeyError:
+        raise ValueError(
+            f"unknown stepping strategy {config.strategy!r}; "
+            f"choose from {sorted(STRATEGIES)}"
+        ) from None
+    return cls(config)

@@ -98,11 +98,17 @@ class MicroBatcher:
             return self._closed
 
     # ------------------------------------------------------------------
-    def _entry(self, request, now: float, ready_at: float | None) -> _Entry:
+    def _entry(
+        self,
+        request,
+        now: float,
+        ready_at: float | None,
+        enqueued_at: float | None = None,
+    ) -> _Entry:
         return _Entry(
             request=request,
             seq=next(self._seq),
-            enqueued_at=now,
+            enqueued_at=now if enqueued_at is None else float(enqueued_at),
             ready_at=now if ready_at is None else float(ready_at),
             deadline_at=float(getattr(request, "deadline_at", float("inf"))),
         )
@@ -123,14 +129,26 @@ class MicroBatcher:
             self._cond.notify_all()
             return len(self._queue)
 
-    def requeue(self, request, *, ready_at: float | None = None) -> int:
+    def requeue(
+        self,
+        request,
+        *,
+        ready_at: float | None = None,
+        enqueued_at: float | None = None,
+    ) -> int:
         """Re-admit a retried request, bypassing capacity *and* closed
         state: it was admitted once already (shedding it again would
         double-count the overload) and a draining broker must still
         finish its retries. ``ready_at`` (batcher-clock time) holds the
-        entry back until its backoff expires."""
+        entry back until its backoff expires. ``enqueued_at`` preserves
+        the request's *original* enqueue time across the retry — without
+        it the latency trigger would restart its full
+        ``flush_interval_s`` wait from the retry instant, letting each
+        retry push an already-late request further past its budget."""
         with self._cond:
-            self._queue.append(self._entry(request, self.clock(), ready_at))
+            self._queue.append(
+                self._entry(request, self.clock(), ready_at, enqueued_at)
+            )
             self._cond.notify_all()
             return len(self._queue)
 
@@ -152,11 +170,12 @@ class MicroBatcher:
                 if ready:
                     wait = 0.0
                     if not self._closed and len(ready) < self.max_batch_size:
-                        # latency trigger runs off the oldest ready entry
-                        # (queue is append-ordered, so ready[0] is oldest)
-                        wait = self.flush_interval_s - (
-                            now - ready[0].enqueued_at
-                        )
+                        # Latency trigger runs off the oldest ready entry.
+                        # Append order does NOT imply enqueue order: a
+                        # requeued retry re-enters at the tail carrying
+                        # its original enqueued_at, so take the min.
+                        oldest = min(e.enqueued_at for e in ready)
+                        wait = self.flush_interval_s - (now - oldest)
                     if wait <= 0:
                         ready.sort(key=lambda e: (e.deadline_at, e.seq))
                         batch = ready[: self.max_batch_size]

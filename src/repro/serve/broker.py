@@ -568,7 +568,7 @@ class QueryBroker:
         """Solve one coalesce group with isolation, breaker and retries."""
         root, deadline = key
         attempt = max(req.attempts for req in reqs)
-        if self.cache.negative(root):
+        if self.cache.negative(root, count=len(reqs)):
             stats["timeouts"] += len(reqs)
             exc = SolveTimeout(
                 "negative-cached: root recently timed out", root=root
@@ -643,7 +643,12 @@ class QueryBroker:
         )
         for req in reqs:
             req.attempts = consumed
-            self._batcher.requeue(req, ready_at=ready_at)
+            # submitted_at shares the batcher's clock, so passing it as
+            # enqueued_at keeps the latency flush anchored to when the
+            # request first entered the system, not the retry instant.
+            self._batcher.requeue(
+                req, ready_at=ready_at, enqueued_at=req.submitted_at
+            )
         with self._idle:
             self._idle.notify_all()
 

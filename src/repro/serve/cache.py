@@ -102,6 +102,7 @@ class DistanceCache:
         registry=None,
         checksum: bool = False,
         negative_ttl_s: float = 0.0,
+        max_negative: int = 4096,
         clock=time.monotonic,
         evict_scan: int = 8,
     ) -> None:
@@ -109,11 +110,14 @@ class DistanceCache:
             raise ValueError("byte_budget must be >= 0")
         if negative_ttl_s < 0:
             raise ValueError("negative_ttl_s must be >= 0")
+        if max_negative < 1:
+            raise ValueError("max_negative must be >= 1")
         if evict_scan < 1:
             raise ValueError("evict_scan must be >= 1")
         self.byte_budget = int(byte_budget)
         self.checksum = bool(checksum)
         self.negative_ttl_s = float(negative_ttl_s)
+        self.max_negative = int(max_negative)
         self.evict_scan = int(evict_scan)
         self.clock = clock
         #: when True (and ``checksum`` is on), every read re-verifies the
@@ -229,6 +233,12 @@ class DistanceCache:
             self.stats.bytes_in_use += nbytes
             self.stats.insertions += 1
             self._negative.pop(root, None)  # a fresh answer clears the tombstone
+            if self._negative:
+                # Reap *other* roots' expired tombstones too — without
+                # this, entries for roots never probed again would
+                # accumulate forever (each root's tombstone used to be
+                # dropped only when that exact root was re-probed).
+                self._sweep_negative_locked(self.clock())
             self._gauge()
             return True
 
@@ -253,19 +263,42 @@ class DistanceCache:
         return bad
 
     # ------------------------------------------------------------------
+    def _sweep_negative_locked(self, now: float) -> None:
+        """Drop expired tombstones (lock held). Cost is bounded by
+        ``max_negative``, which caps the map size."""
+        expired = [r for r, expiry in self._negative.items() if now >= expiry]
+        for r in expired:
+            del self._negative[r]
+
     def note_timeout(self, root: int) -> None:
         """Record ``root`` as recently timed out (negative cache).
 
         For ``negative_ttl_s`` seconds, :meth:`negative` reports True and
         the broker fails matching requests fast instead of re-burning a
-        solve. No-op when negative caching is disabled."""
+        solve. Expired tombstones of *other* roots are reaped here, and
+        the map is capped at ``max_negative`` entries (soonest-to-expire
+        evicted first), so a workload touching many distinct timed-out
+        roots once cannot grow the map without bound. No-op when
+        negative caching is disabled."""
         if self.negative_ttl_s <= 0:
             return
         with self._lock:
-            self._negative[int(root)] = self.clock() + self.negative_ttl_s
+            now = self.clock()
+            self._sweep_negative_locked(now)
+            self._negative[int(root)] = now + self.negative_ttl_s
+            while len(self._negative) > self.max_negative:
+                soonest = min(self._negative, key=self._negative.__getitem__)
+                del self._negative[soonest]
 
-    def negative(self, root: int) -> bool:
-        """Whether ``root`` is under a live negative-cache tombstone."""
+    def negative(self, root: int, *, count: int = 0) -> bool:
+        """Whether ``root`` is under a live negative-cache tombstone.
+
+        A bare probe is a *peek*: it touches no stats, so drain paths and
+        repeated checks cannot inflate the negative-hit counters. When
+        the caller actually sheds work on a live tombstone it passes
+        ``count`` — the number of requests failed fast — and the stats
+        (and the mirrored ``serve_cache_negative_hits_total``) advance by
+        exactly that, i.e. once per shed request."""
         if self.negative_ttl_s <= 0:
             return False
         root = int(root)
@@ -276,9 +309,16 @@ class DistanceCache:
             if self.clock() >= expiry:
                 del self._negative[root]
                 return False
-            self.stats.negative_hits += 1
-            self._mirror("serve_cache_negative_hits_total", 1)
+            if count > 0:
+                self.stats.negative_hits += count
+                self._mirror("serve_cache_negative_hits_total", count)
             return True
+
+    def negative_size(self) -> int:
+        """Live tombstone-map entry count (expired entries included
+        until the next sweep)."""
+        with self._lock:
+            return len(self._negative)
 
     def clear(self) -> None:
         with self._lock:

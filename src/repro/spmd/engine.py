@@ -35,6 +35,7 @@ from repro.core.config import SolverConfig
 from repro.core.context import ExecutionContext, make_context
 from repro.core.distances import INF
 from repro.core.pushpull import combine_expectation_costs, expectation_partials
+from repro.core.stepping import Step, make_strategy
 from repro.graph.csr import CSRGraph
 from repro.runtime.comm import RECOVERY_PHASE, RELAX_RECORD_BYTES, REQUEST_RECORD_BYTES
 from repro.runtime.machine import MachineConfig
@@ -668,6 +669,7 @@ def spmd_delta_stepping(
     if config.collect_census:
         raise ValueError("census collection is not implemented in SPMD mode")
     delta = config.delta
+    strategy = make_strategy(config)
     ctx = make_context(graph, machine, config)
     tr = ctx.tracer
     solve_span = (
@@ -678,7 +680,11 @@ def spmd_delta_stepping(
         if tr is not None
         else None
     )
-    states = build_rank_states(ctx.graph, ctx.partition, delta, root)
+    # Rank states carry the short/long split of the strategy's
+    # classification width (Δ for delta, effectively ∞ for radius/ρ).
+    states = build_rank_states(
+        ctx.graph, ctx.partition, min(config.classification_width, 2**60), root
+    )
     mailbox, manager = _fault_setup(ctx, machine, states, faults)
     defense = _Defense(
         ctx,
@@ -697,11 +703,13 @@ def spmd_delta_stepping(
         # Re-snapshot: the in-memory crash checkpoint must cover the
         # *restored* state, not the pre-resume initial one.
         manager.checkpoint()
-    if config.incremental_buckets:
+    if config.incremental_buckets and strategy.uses_bucket_index:
         # Attach after the defense layer so a resumed solve indexes the
-        # restored state, not the initial one.
+        # restored state, not the initial one. Only the delta strategy
+        # can use the index — it is keyed on the fixed bucket width.
         for st in states:
             st.attach_index(delta)
+    strategy.prepare_spmd(ctx, states)
     bf_hook = _chain(
         manager.on_epoch if manager is not None else None,
         defense.bf_hook if defense.enabled else None,
@@ -716,19 +724,22 @@ def spmd_delta_stepping(
                 st.settled |= st.d < INF
         else:
             while True:
-                # Next-bucket search: full unsettled scan + min allreduce.
+                # Next-step search: full unsettled scan, then the
+                # strategy's selection collective over rank candidates.
                 total_unsettled = sum(st.unsettled_count() for st in states)
                 ctx.scan_all_ranks(total_unsettled)
-                k = mailbox.allreduce_min(
-                    [st.min_unsettled_bucket(delta) for st in states]
+                step = strategy.next_step_spmd(
+                    ctx, states, mailbox, bucket_ordinal
                 )
-                if k >= INF:
+                if step is None:
                     break
                 if ctx.guards is not None:
-                    ctx.guards.on_bucket_start(int(k))
+                    ctx.guards.on_bucket_start(step.key)
                 if manager is not None:
                     manager.on_epoch()
-                _process_epoch_spmd(ctx, states, mailbox, int(k), bucket_ordinal)
+                _process_epoch_spmd(
+                    ctx, states, mailbox, step, bucket_ordinal, strategy
+                )
                 bucket_ordinal += 1
                 defense.bucket_ordinal = bucket_ordinal
                 if config.use_hybrid:
@@ -742,7 +753,7 @@ def spmd_delta_stepping(
                     )
                     n = ctx.graph.num_vertices
                     if n == 0 or settled_total / n > config.tau:
-                        ctx.metrics.hybrid_switch_bucket = int(k)
+                        ctx.metrics.hybrid_switch_bucket = step.key
                         for st in states:
                             st.active = np.nonzero(
                                 ~st.settled & (st.d < INF)
@@ -781,11 +792,10 @@ def spmd_delta_stepping(
 # ----------------------------------------------------------------------
 # Epoch processing
 # ----------------------------------------------------------------------
-def _bucket_members_local(st: RankState, k: int, delta: int) -> np.ndarray:
+def _window_members_local(st: RankState, step: Step) -> np.ndarray:
     if st.index is not None:
-        return st.index.members(k)
-    lo_d, hi_d = k * delta, (k + 1) * delta
-    mask = (st.d >= lo_d) & (st.d < hi_d) & ~st.settled
+        return st.index.members(step.key)
+    mask = (st.d >= step.lo) & (st.d < step.hi) & ~st.settled
     return np.nonzero(mask)[0].astype(np.int64)
 
 
@@ -1005,12 +1015,14 @@ def _process_epoch_spmd(
     ctx: ExecutionContext,
     states: list[RankState],
     mailbox: Mailbox,
-    k: int,
+    step: Step,
     bucket_ordinal: int,
+    strategy,
 ) -> None:
     cfg = ctx.config
-    delta = cfg.delta
-    hi_d = (k + 1) * delta
+    k = step.key
+    lo_d = step.lo
+    hi_d = step.hi
     tr = ctx.tracer
     epoch_span = (
         tr.begin(
@@ -1025,7 +1037,7 @@ def _process_epoch_spmd(
     total_unsettled = sum(st.unsettled_count() for st in states)
     ctx.scan_all_ranks(total_unsettled)
     for st in states:
-        st.active = _bucket_members_local(st, k, delta)
+        st.active = _window_members_local(st, step)
 
     # --- Stage 1: short phases.
     while True:
@@ -1070,7 +1082,7 @@ def _process_epoch_spmd(
         for st, (dst, nd) in zip(states, inboxes):
             changed = _apply_inbox(st, dst, nd)
             if changed.size:
-                in_bucket = (st.d[changed] >= k * delta) & (st.d[changed] < hi_d)
+                in_bucket = (st.d[changed] >= lo_d) & (st.d[changed] < hi_d)
                 st.active = changed[in_bucket]
             else:
                 st.active = changed
@@ -1085,7 +1097,7 @@ def _process_epoch_spmd(
     members_per_rank: list[np.ndarray] = []
     members_count = 0
     for st in states:
-        members = _bucket_members_local(st, k, delta)
+        members = _window_members_local(st, step)
         st.settled[members] = True
         if st.index is not None:
             st.index.on_settled(members)
@@ -1098,27 +1110,38 @@ def _process_epoch_spmd(
             _gather_distances(states, n), _gather_settled(states, n)
         )
 
-    long_span = (
-        tr.begin("long", cat="phase", bucket=int(k)) if tr is not None else None
-    )
-    mode = _decide_mode_spmd(ctx, states, mailbox, members_per_rank, k, bucket_ordinal)
-    if mode == "push":
-        if members_count == 0:
-            ctx.metrics.note_phase("long", 0)
-            stats: dict[str, int | str] = {"mode": "push", "relaxations": 0}
+    if strategy.short_phase_only:
+        # The windowed strategies classify every edge short: no long
+        # phase exists (mirrors the orchestrated engine's skip).
+        mode = "none"
+        stats: dict[str, int | str] = {"mode": "none", "relaxations": 0}
+    else:
+        long_span = (
+            tr.begin("long", cat="phase", bucket=int(k)) if tr is not None else None
+        )
+        mode = _decide_mode_spmd(
+            ctx, states, mailbox, members_per_rank, k, bucket_ordinal
+        )
+        if mode == "push":
+            if members_count == 0:
+                ctx.metrics.note_phase("long", 0)
+                stats = {"mode": "push", "relaxations": 0}
+            else:
+                relax = _long_phase_push_spmd(
+                    ctx, states, mailbox, members_per_rank, k
+                )
+                stats = {"mode": "push", "relaxations": relax}
         else:
-            relax = _long_phase_push_spmd(
+            stats = _long_phase_pull_spmd(
                 ctx, states, mailbox, members_per_rank, k
             )
-            stats = {"mode": "push", "relaxations": relax}
-    else:
-        stats = _long_phase_pull_spmd(ctx, states, mailbox, members_per_rank, k)
-    if tr is not None:
-        tr.end(long_span, mode=mode, relaxed=int(stats.get("relaxations", 0)))
+        if tr is not None:
+            tr.end(long_span, mode=mode, relaxed=int(stats.get("relaxations", 0)))
+        if ctx.guards is not None:
+            ctx.guards.after_relaxations(
+                _gather_distances(states, ctx.graph.num_vertices)
+            )
     if ctx.guards is not None:
-        ctx.guards.after_relaxations(
-            _gather_distances(states, ctx.graph.num_vertices)
-        )
         for st in states:
             if st.index is not None:
                 ctx.guards.check_bucket_index(st.index, st.d, st.settled)

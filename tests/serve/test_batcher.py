@@ -175,6 +175,30 @@ class TestRequeue:
         clock.t = 1.5  # now "fresh" hits the interval
         assert batcher.take(block=False) == ["fresh"]
 
+    def test_requeue_preserves_original_enqueue_time(self):
+        # Regression: requeue used to stamp a fresh enqueued_at, so each
+        # retry restarted the full flush_interval_s wait and a lone
+        # retried request slipped further past its budget every attempt.
+        batcher, clock = make(max_batch_size=8, flush_interval_s=1.0)
+        clock.t = 0.5  # request originally entered at 0.5
+        batcher.requeue("retry", ready_at=1.0, enqueued_at=0.5)
+        clock.t = 1.0
+        # Without preservation the trigger would not fire until 2.0;
+        # anchored to the original 0.5 it fires at 1.5.
+        assert batcher.take(block=False) is None
+        clock.t = 1.5
+        assert batcher.take(block=False) == ["retry"]
+
+    def test_latency_trigger_uses_min_enqueue_time_not_queue_head(self):
+        # A requeued entry sits at the queue *tail* but can carry the
+        # oldest enqueued_at; the trigger must scan all ready entries.
+        batcher, clock = make(max_batch_size=8, flush_interval_s=1.0)
+        clock.t = 0.5
+        batcher.put("young")  # head of queue, enqueued at 0.5
+        batcher.requeue("old-retry", enqueued_at=0.0)  # tail, but oldest
+        clock.t = 1.0  # "old-retry" has waited the full interval
+        assert batcher.take(block=False) == ["young", "old-retry"]
+
 
 class TestShutdown:
     def test_close_refuses_new_but_drains_queued(self):

@@ -173,10 +173,72 @@ class TestNegativeCache:
         assert not cache.negative(5)
         cache.note_timeout(5)
         assert cache.negative(5)
-        assert cache.stats.negative_hits == 1
         clock.t = 2.5  # past the TTL: tombstone expires lazily
         assert not cache.negative(5)
-        assert cache.stats.negative_hits == 1
+
+    def test_bare_probe_is_a_peek(self):
+        # Regression: every live probe used to count a negative_hit, so
+        # drain loops and repeated checks inflated the shed metric.
+        clock = FakeClock()
+        cache = DistanceCache(1 << 20, negative_ttl_s=60.0, clock=clock)
+        cache.note_timeout(5)
+        for _ in range(10):
+            assert cache.negative(5)
+        assert cache.stats.negative_hits == 0
+
+    def test_count_advances_stats_per_shed_request(self):
+        clock = FakeClock()
+        registry = MetricsRegistry()
+        cache = DistanceCache(
+            1 << 20, negative_ttl_s=60.0, clock=clock, registry=registry
+        )
+        cache.note_timeout(5)
+        assert cache.negative(5, count=3)  # a 3-request group shed
+        assert cache.negative(5, count=2)
+        assert cache.stats.negative_hits == 5
+        assert "serve_cache_negative_hits_total 5" in registry.prometheus_text()
+        # count on a dead/absent tombstone touches nothing
+        assert not cache.negative(99, count=4)
+        assert cache.stats.negative_hits == 5
+
+    def test_note_timeout_sweeps_expired_tombstones(self):
+        # Regression: tombstones for roots never probed again used to
+        # accumulate forever.
+        clock = FakeClock()
+        cache = DistanceCache(1 << 20, negative_ttl_s=2.0, clock=clock)
+        for root in range(50):
+            cache.note_timeout(root)
+        assert cache.negative_size() == 50
+        clock.t = 5.0  # everything expired
+        cache.note_timeout(1000)
+        assert cache.negative_size() == 1
+        assert cache.negative(1000)
+
+    def test_put_sweeps_expired_tombstones(self):
+        clock = FakeClock()
+        cache = DistanceCache(1 << 20, negative_ttl_s=2.0, clock=clock)
+        for root in range(50):
+            cache.note_timeout(root)
+        clock.t = 5.0
+        cache.put(1000, arr(8))
+        assert cache.negative_size() == 0
+
+    def test_max_negative_caps_map_size(self):
+        clock = FakeClock()
+        cache = DistanceCache(
+            1 << 20, negative_ttl_s=1000.0, max_negative=16, clock=clock
+        )
+        for root in range(100):
+            clock.t += 0.01  # distinct expiries: later roots expire later
+            cache.note_timeout(root)
+        assert cache.negative_size() == 16
+        # soonest-to-expire (oldest) were evicted; newest survive
+        assert not cache.negative(0)
+        assert cache.negative(99)
+
+    def test_max_negative_validation(self):
+        with pytest.raises(ValueError):
+            DistanceCache(1 << 20, max_negative=0)
 
     def test_disabled_by_default(self):
         cache = DistanceCache(1 << 20)
