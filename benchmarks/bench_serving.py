@@ -39,6 +39,13 @@ best-of-3 against the resilience-off shape, and fails unless
    fails), and
 2. armed throughput is within ``--max-overhead-pct`` (default 2%) of
    the resilience-off throughput.
+
+``--obs-overhead-check`` is the CI ``obs-serve-smoke`` gate (DESIGN.md
+§14): the same paired shape, but arming the request-scoped observability
+layer (wide events + latency exemplars) instead of resilience — the
+observed system must stay bit-identical, emit exactly one wide event per
+offered request, and cost under ``--max-overhead-pct`` of throughput.
+With ``--out`` it publishes the ``BENCH_PR9.json`` payload.
 """
 
 from __future__ import annotations
@@ -301,6 +308,130 @@ def run_overhead_check(
     return failures
 
 
+def run_obs_overhead_check(
+    scale_label: str,
+    *,
+    num_ranks: int,
+    workers: int,
+    requests: int | None,
+    max_overhead_pct: float,
+    trials: int = 5,
+    out: str | None = None,
+) -> list[str]:
+    """Observability-off vs wide-events-armed, paired (DESIGN.md §14).
+
+    The ISSUE 9 gate: arming request contexts + wide events + latency
+    exemplars must stay **bit-identical** (the observed system is the
+    same system) and within ``max_overhead_pct`` of the unobserved
+    throughput, measured as the paired median ratio like the resilience
+    gate above. Also asserts the structural wide-event invariant — one
+    event per offered request — on every armed trial. With ``out``, the
+    payload (ratios and per-trial qps) is written as the ``BENCH_PR9``
+    baseline.
+    """
+    from repro.core.solver import solve_sssp
+    from repro.graph.roots import choose_roots
+    from repro.serve.events import WideEventLog
+
+    import numpy as np
+
+    scale = SCALE_LABELS.get(scale_label)
+    if scale is None:
+        scale = int(scale_label)
+    if requests is None:
+        requests = REQUESTS.get(scale_label, 200)
+    graph = cached_rmat(scale, "rmat1")
+    machine = default_machine(num_ranks, threads_per_rank=8)
+    spec = WorkloadSpec(
+        num_requests=requests,
+        arrival="closed",
+        concurrency=4,
+        zipf_s=1.2,
+        root_universe=32,
+        seed=5,
+    )
+
+    def one_trial(armed: bool) -> float:
+        events = WideEventLog() if armed else None
+        broker = QueryBroker(
+            graph,
+            algorithm="opt",
+            delta=25,
+            machine=machine,
+            capacity=max(spec.num_requests, 256),
+            max_batch_size=8,
+            flush_interval_s=0.002,
+            num_workers=workers,
+            cache_bytes=64 << 20,
+            events=events,
+        )
+        try:
+            report = run_workload(broker, spec)
+            if armed:
+                # structural invariant: one wide event per offered request
+                assert events.emitted == report["offered"], (
+                    f"{events.emitted} wide events for "
+                    f"{report['offered']} offered requests"
+                )
+                # exemplars must have landed on the latency histogram
+                assert any(
+                    broker.registry.exemplars(
+                        "serve_request_latency_seconds", source=source
+                    )
+                    for source in ("cache", "solve", "coalesced")
+                ), "armed run produced no latency exemplars"
+                # and the observed system must be the same system
+                for root in choose_roots(graph, 3, seed=7):
+                    served = broker.query(int(root))
+                    offline = solve_sssp(
+                        graph, int(root), algorithm="opt", delta=25,
+                        machine=machine,
+                    )
+                    assert np.array_equal(
+                        served.distances, offline.distances
+                    ), f"observed broker diverged from offline solve at {root}"
+        finally:
+            broker.shutdown(drain=True)
+        return report["throughput_qps"]
+
+    one_trial(False)  # untimed warmup
+    ratios, off_qps, on_qps = [], [], []
+    for _ in range(trials):
+        off = one_trial(False)
+        on = one_trial(True)
+        off_qps.append(off)
+        on_qps.append(on)
+        ratios.append(on / off)
+    ratio = sorted(ratios)[len(ratios) // 2]
+    print(
+        f"observability overhead ({scale_label}): disabled {max(off_qps):.1f} "
+        f"qps, events+exemplars armed {max(on_qps):.1f} qps; paired median "
+        f"ratio {ratio:.4f} ({(1 - ratio) * 100:+.2f}% overhead over "
+        f"{trials} rounds)"
+    )
+    if out:
+        write_bench_json(out, {
+            "schema": 1,
+            "gate": "obs-overhead",
+            "scale_label": scale_label,
+            "machine": {"num_ranks": num_ranks, "threads_per_rank": 8},
+            "trials": trials,
+            "max_overhead_pct": max_overhead_pct,
+            "disabled_qps": off_qps,
+            "armed_qps": on_qps,
+            "ratios": ratios,
+            "paired_median_ratio": ratio,
+        })
+    failures = []
+    if ratio < 1.0 - max_overhead_pct / 100.0:
+        failures.append(
+            f"events-armed throughput is more than {max_overhead_pct:.1f}% "
+            f"below observability-off (paired median ratio {ratio:.4f}; "
+            f"off {off_qps}, on {on_qps})"
+        )
+    return failures
+
+
 def merge_into_baseline(current: dict, baseline: dict) -> dict:
     """Replace rows matched by (scale_label, variant); keep the rest."""
     fresh = {(r["scale_label"], r["variant"]): r for r in current["runs"]}
@@ -349,10 +480,32 @@ def main(argv: list[str] | None = None) -> int:
              "and within --max-overhead-pct of resilience-off throughput",
     )
     parser.add_argument(
+        "--obs-overhead-check",
+        action="store_true",
+        help="gate only: wide events + exemplars armed must stay "
+             "bit-identical and within --max-overhead-pct of "
+             "observability-off throughput (writes --out as the "
+             "BENCH_PR9 payload when given)",
+    )
+    parser.add_argument(
         "--max-overhead-pct", type=float, default=2.0,
         help="allowed armed-no-chaos throughput regression (default 2%%)",
     )
     args = parser.parse_args(argv)
+
+    if args.obs_overhead_check:
+        failures = run_obs_overhead_check(
+            args.scale, num_ranks=args.ranks, workers=args.workers,
+            requests=args.requests, max_overhead_pct=args.max_overhead_pct,
+            out=args.out,
+        )
+        for failure in failures:
+            print(f"OBS OVERHEAD GATE: {failure}", file=sys.stderr)
+        if failures:
+            return 1
+        print("obs overhead gate: OK (wide events armed, bit-identical, "
+              "within budget)")
+        return 0
 
     if args.overhead_check:
         failures = run_overhead_check(

@@ -64,6 +64,168 @@ def _machine(args: argparse.Namespace) -> MachineConfig:
     return MachineConfig(num_ranks=args.ranks, threads_per_rank=args.threads)
 
 
+def _add_serve_args(p: argparse.ArgumentParser) -> None:
+    """Workload + broker knobs shared by ``serve-bench`` and ``serve-top``."""
+    _add_graph_args(p)
+    _add_machine_args(p)
+    p.add_argument("--algorithm", choices=sorted(PRESETS), default="opt")
+    p.add_argument("--delta", type=int, default=25)
+    p.add_argument("--requests", type=int, default=200,
+                   help="queries in the stream (default 200)")
+    p.add_argument("--arrival", choices=["open", "closed"],
+                   default="closed",
+                   help="open loop (Poisson arrivals at --rate) or "
+                        "closed loop (--concurrency sync clients)")
+    p.add_argument("--rate", type=float, default=500.0,
+                   help="open-loop arrival rate in queries/s")
+    p.add_argument("--concurrency", type=int, default=4,
+                   help="closed-loop client count (default 4)")
+    p.add_argument("--zipf", type=float, default=1.1,
+                   help="root popularity skew s in p(k) ~ 1/k^s "
+                        "(0 = uniform; default 1.1)")
+    p.add_argument("--root-universe", type=int, default=64,
+                   help="distinct candidate roots (default 64)")
+    p.add_argument("--batch-size", type=int, default=16,
+                   help="micro-batcher size trigger (default 16)")
+    p.add_argument("--flush-ms", type=float, default=2.0,
+                   help="micro-batcher latency trigger in ms")
+    p.add_argument("--capacity", type=int, default=256,
+                   help="request queue bound; beyond it requests are "
+                        "shed with ServiceOverload")
+    p.add_argument("--workers", type=int, default=1,
+                   help="batch worker threads (default 1)")
+    p.add_argument("--cache-mb", type=float, default=64.0,
+                   help="distance-cache byte budget in MiB (0 disables)")
+    p.add_argument("--deadline", type=int, metavar="N", default=None,
+                   help="per-request superstep budget (watchdog)")
+    p.add_argument("--chaos", metavar="SPEC", default=None,
+                   help="inject seeded faults, e.g. "
+                        "'error=0.2,corrupt=0.1,clean-after=2,seed=3' "
+                        "(see ChaosPlan.from_spec)")
+    p.add_argument("--retries", type=int, metavar="N", default=None,
+                   help="retry failed solves up to N attempts total")
+    p.add_argument("--retry-backoff-ms", type=float, default=1.0,
+                   help="base retry backoff in ms (doubles per "
+                        "attempt, capped; default 1)")
+    p.add_argument("--hedge-ms", type=float, default=None,
+                   help="launch a hedged attempt when the primary "
+                        "straggles past this many ms")
+    p.add_argument("--breaker-threshold", type=int, metavar="N",
+                   default=None,
+                   help="open the circuit breaker after N consecutive "
+                        "failures of one class")
+    p.add_argument("--breaker-recovery-ms", type=float, default=250.0,
+                   help="open→half-open recovery window in ms "
+                        "(default 250)")
+    p.add_argument("--negative-ttl-ms", type=float, default=0.0,
+                   help="fast-fail repeat queries for a timed-out "
+                        "root for this long (default off)")
+    p.add_argument("--verify-structural", action="store_true",
+                   help="structurally validate every solve before "
+                        "serving it (detects corruption)")
+
+
+def _add_burn_args(p: argparse.ArgumentParser) -> None:
+    p.add_argument("--burn-objective", type=float, default=None,
+                   help="arm the multi-window SLO burn-rate monitor with "
+                        "this availability objective (e.g. 0.99); alerts "
+                        "are printed with the report")
+    p.add_argument("--burn-latency-slo-ms", type=float, default=None,
+                   help="also count good-but-slower-than-this requests "
+                        "as error-budget spend")
+    p.add_argument("--burn-fast-s", type=float, default=60.0,
+                   help="fast (page) burn window in seconds (default 60)")
+    p.add_argument("--burn-slow-s", type=float, default=300.0,
+                   help="slow (ticket) burn window in seconds (default 300)")
+    p.add_argument("--burn-min-samples", type=int, default=10,
+                   help="suppress burn verdicts from windows with fewer "
+                        "samples (default 10)")
+
+
+def _burn_monitor(args: argparse.Namespace, broker, *, default_objective=None):
+    """Build the burn-rate monitor over the broker's latency window, or
+    None when not armed (no --burn-objective and no default)."""
+    objective = args.burn_objective
+    if objective is None:
+        objective = default_objective
+    if objective is None:
+        return None
+    from repro.obs.burnrate import BurnRateConfig, BurnRateMonitor
+
+    config = BurnRateConfig(
+        objective=objective,
+        latency_slo_s=(
+            None if args.burn_latency_slo_ms is None
+            else args.burn_latency_slo_ms / 1e3
+        ),
+        fast_window_s=args.burn_fast_s,
+        slow_window_s=args.burn_slow_s,
+        min_samples=args.burn_min_samples,
+    )
+    return BurnRateMonitor(broker.latency, config)
+
+
+def _build_serve_broker(args: argparse.Namespace, *, events=None):
+    """Construct the (broker, workload spec) pair from serve CLI args."""
+    from repro.runtime.watchdog import DeadlineConfig
+    from repro.serve import QueryBroker, WorkloadSpec
+
+    graph = _make_graph(args)
+    deadline = None
+    if args.deadline is not None:
+        deadline = DeadlineConfig(max_supersteps=args.deadline)
+    resilience: dict = {}
+    if args.chaos is not None:
+        from repro.serve.chaos import ChaosPlan
+
+        resilience["chaos"] = ChaosPlan.from_spec(args.chaos)
+    if args.retries is not None or args.hedge_ms is not None:
+        from repro.serve.retry import RetryPolicy
+
+        resilience["retry"] = RetryPolicy(
+            max_attempts=args.retries if args.retries is not None else 3,
+            backoff_base_s=args.retry_backoff_ms / 1e3,
+            hedge_after_s=(
+                None if args.hedge_ms is None else args.hedge_ms / 1e3
+            ),
+        )
+    if args.breaker_threshold is not None:
+        from repro.serve.breaker import BreakerConfig
+
+        resilience["breaker"] = BreakerConfig(
+            failure_threshold=args.breaker_threshold,
+            recovery_time_s=args.breaker_recovery_ms / 1e3,
+        )
+    if args.verify_structural:
+        resilience["verify"] = "structural"
+    if args.negative_ttl_ms:
+        resilience["negative_ttl_s"] = args.negative_ttl_ms / 1e3
+    spec = WorkloadSpec(
+        num_requests=args.requests,
+        arrival=args.arrival,
+        rate_qps=args.rate,
+        concurrency=args.concurrency,
+        zipf_s=args.zipf,
+        root_universe=args.root_universe,
+        seed=args.seed,
+    )
+    broker = QueryBroker(
+        graph,
+        algorithm=args.algorithm,
+        delta=args.delta,
+        machine=_machine(args),
+        capacity=args.capacity,
+        max_batch_size=args.batch_size,
+        flush_interval_s=args.flush_ms / 1e3,
+        num_workers=args.workers,
+        cache_bytes=int(args.cache_mb * (1 << 20)),
+        default_deadline=deadline,
+        events=events,
+        **resilience,
+    )
+    return graph, broker, spec
+
+
 def build_parser() -> argparse.ArgumentParser:
     """Construct the argument parser with all four subcommands."""
     parser = argparse.ArgumentParser(
@@ -172,38 +334,7 @@ def build_parser() -> argparse.ArgumentParser:
         "serve-bench",
         help="run a synthetic query workload against the serving layer",
     )
-    _add_graph_args(p_serve)
-    _add_machine_args(p_serve)
-    p_serve.add_argument("--algorithm", choices=sorted(PRESETS), default="opt")
-    p_serve.add_argument("--delta", type=int, default=25)
-    p_serve.add_argument("--requests", type=int, default=200,
-                         help="queries in the stream (default 200)")
-    p_serve.add_argument("--arrival", choices=["open", "closed"],
-                         default="closed",
-                         help="open loop (Poisson arrivals at --rate) or "
-                              "closed loop (--concurrency sync clients)")
-    p_serve.add_argument("--rate", type=float, default=500.0,
-                         help="open-loop arrival rate in queries/s")
-    p_serve.add_argument("--concurrency", type=int, default=4,
-                         help="closed-loop client count (default 4)")
-    p_serve.add_argument("--zipf", type=float, default=1.1,
-                         help="root popularity skew s in p(k) ~ 1/k^s "
-                              "(0 = uniform; default 1.1)")
-    p_serve.add_argument("--root-universe", type=int, default=64,
-                         help="distinct candidate roots (default 64)")
-    p_serve.add_argument("--batch-size", type=int, default=16,
-                         help="micro-batcher size trigger (default 16)")
-    p_serve.add_argument("--flush-ms", type=float, default=2.0,
-                         help="micro-batcher latency trigger in ms")
-    p_serve.add_argument("--capacity", type=int, default=256,
-                         help="request queue bound; beyond it requests are "
-                              "shed with ServiceOverload")
-    p_serve.add_argument("--workers", type=int, default=1,
-                         help="batch worker threads (default 1)")
-    p_serve.add_argument("--cache-mb", type=float, default=64.0,
-                         help="distance-cache byte budget in MiB (0 disables)")
-    p_serve.add_argument("--deadline", type=int, metavar="N", default=None,
-                         help="per-request superstep budget (watchdog)")
+    _add_serve_args(p_serve)
     p_serve.add_argument("--slo-p99-ms", type=float, default=None,
                          help="fail (exit 1) when p99 latency exceeds this")
     p_serve.add_argument("--slo-min-hit-rate", type=float, default=None,
@@ -214,31 +345,30 @@ def build_parser() -> argparse.ArgumentParser:
     p_serve.add_argument("--json", metavar="PATH", default=None,
                          help="also write the report as JSON to PATH "
                               "('-' = stdout)")
-    p_serve.add_argument("--chaos", metavar="SPEC", default=None,
-                         help="inject seeded faults, e.g. "
-                              "'error=0.2,corrupt=0.1,clean-after=2,seed=3' "
-                              "(see ChaosPlan.from_spec)")
-    p_serve.add_argument("--retries", type=int, metavar="N", default=None,
-                         help="retry failed solves up to N attempts total")
-    p_serve.add_argument("--retry-backoff-ms", type=float, default=1.0,
-                         help="base retry backoff in ms (doubles per "
-                              "attempt, capped; default 1)")
-    p_serve.add_argument("--hedge-ms", type=float, default=None,
-                         help="launch a hedged attempt when the primary "
-                              "straggles past this many ms")
-    p_serve.add_argument("--breaker-threshold", type=int, metavar="N",
-                         default=None,
-                         help="open the circuit breaker after N consecutive "
-                              "failures of one class")
-    p_serve.add_argument("--breaker-recovery-ms", type=float, default=250.0,
-                         help="open→half-open recovery window in ms "
-                              "(default 250)")
-    p_serve.add_argument("--negative-ttl-ms", type=float, default=0.0,
-                         help="fast-fail repeat queries for a timed-out "
-                              "root for this long (default off)")
-    p_serve.add_argument("--verify-structural", action="store_true",
-                         help="structurally validate every solve before "
-                              "serving it (detects corruption)")
+    p_serve.add_argument("--events", metavar="PATH", default=None,
+                         help="arm request-scoped observability and write "
+                              "one wide event per request as JSONL to PATH "
+                              "(canonical replay form via "
+                              "'python -m repro.serve.events PATH "
+                              "--canonical')")
+    _add_burn_args(p_serve)
+
+    p_top = sub.add_parser(
+        "serve-top",
+        help="live terminal dashboard over a serving workload (top-style)",
+    )
+    _add_serve_args(p_top)
+    _add_burn_args(p_top)
+    p_top.add_argument("--refresh-ms", type=float, default=500.0,
+                       help="dashboard refresh interval in ms (default 500)")
+    p_top.add_argument("--frames", type=int, default=None,
+                       help="stop after N frames (default: until the "
+                            "workload completes)")
+    p_top.add_argument("--no-clear", action="store_true",
+                       help="append frames instead of clearing the screen "
+                            "(logs, CI, non-TTY output)")
+    p_top.add_argument("--events", metavar="PATH", default=None,
+                       help="also write the wide-event stream to PATH")
 
     p_trace = sub.add_parser(
         "trace-report",
@@ -333,61 +463,10 @@ def _cmd_solve(args: argparse.Namespace) -> int:
 
 
 def _cmd_serve_bench(args: argparse.Namespace) -> int:
-    from repro.runtime.watchdog import DeadlineConfig
-    from repro.serve import QueryBroker, SloPolicy, WorkloadSpec, run_workload
+    from repro.serve import SloPolicy, run_workload
 
-    graph = _make_graph(args)
-    deadline = None
-    if args.deadline is not None:
-        deadline = DeadlineConfig(max_supersteps=args.deadline)
-    resilience: dict = {}
-    if args.chaos is not None:
-        from repro.serve.chaos import ChaosPlan
-
-        resilience["chaos"] = ChaosPlan.from_spec(args.chaos)
-    if args.retries is not None or args.hedge_ms is not None:
-        from repro.serve.retry import RetryPolicy
-
-        resilience["retry"] = RetryPolicy(
-            max_attempts=args.retries if args.retries is not None else 3,
-            backoff_base_s=args.retry_backoff_ms / 1e3,
-            hedge_after_s=(
-                None if args.hedge_ms is None else args.hedge_ms / 1e3
-            ),
-        )
-    if args.breaker_threshold is not None:
-        from repro.serve.breaker import BreakerConfig
-
-        resilience["breaker"] = BreakerConfig(
-            failure_threshold=args.breaker_threshold,
-            recovery_time_s=args.breaker_recovery_ms / 1e3,
-        )
-    if args.verify_structural:
-        resilience["verify"] = "structural"
-    if args.negative_ttl_ms:
-        resilience["negative_ttl_s"] = args.negative_ttl_ms / 1e3
-    spec = WorkloadSpec(
-        num_requests=args.requests,
-        arrival=args.arrival,
-        rate_qps=args.rate,
-        concurrency=args.concurrency,
-        zipf_s=args.zipf,
-        root_universe=args.root_universe,
-        seed=args.seed,
-    )
-    broker = QueryBroker(
-        graph,
-        algorithm=args.algorithm,
-        delta=args.delta,
-        machine=_machine(args),
-        capacity=args.capacity,
-        max_batch_size=args.batch_size,
-        flush_interval_s=args.flush_ms / 1e3,
-        num_workers=args.workers,
-        cache_bytes=int(args.cache_mb * (1 << 20)),
-        default_deadline=deadline,
-        **resilience,
-    )
+    graph, broker, spec = _build_serve_broker(args, events=args.events)
+    monitor = _burn_monitor(args, broker)
     try:
         report = run_workload(broker, spec)
     finally:
@@ -406,7 +485,11 @@ def _cmd_serve_bench(args: argparse.Namespace) -> int:
     print(format_table([{k: f"{v * 1e3:.3f}" for k, v in latency.items()}],
                        "latency (ms)"))
     print(format_table([broker.cache.stats.as_row()], "distance cache"))
-    if resilience:
+    resilient = any(
+        (args.chaos, args.retries, args.hedge_ms, args.breaker_threshold,
+         args.verify_structural, args.negative_ttl_ms)
+    )
+    if resilient:
         row = {
             k: report[k]
             for k in ("retries", "hedges", "retried_ok",
@@ -417,6 +500,19 @@ def _cmd_serve_bench(args: argparse.Namespace) -> int:
             if k.startswith("outcome_")
         })
         print(format_table([row], "resilience"))
+    if monitor is not None:
+        burn = monitor.summary()
+        row = {
+            k: (f"{v:.2f}" if isinstance(v, float) else v)
+            for k, v in burn.items()
+            if k not in ("alerts", "paging")
+        }
+        print(format_table([row], "SLO burn rate"))
+        for alert in burn["alerts"]:
+            print(f"BURN ALERT: {alert}", file=sys.stderr)
+    if args.events is not None:
+        print(f"{report.get('wide_events', 0)} wide events written "
+              f"to {args.events}")
     if args.metrics_out is not None:
         with open(args.metrics_out, "w") as fh:
             fh.write(broker.registry.prometheus_text())
@@ -435,6 +531,52 @@ def _cmd_serve_bench(args: argparse.Namespace) -> int:
     for violation in violations:
         print(f"SLO VIOLATION: {violation}", file=sys.stderr)
     return 1 if violations else 0
+
+
+def _cmd_serve_top(args: argparse.Namespace) -> int:
+    import threading
+
+    from repro.serve import dashboard, run_workload
+
+    if args.workers < 1:
+        print("serve-top needs at least one worker thread", file=sys.stderr)
+        return 2
+    # Events are always armed: the dashboard's recent-requests pane
+    # reads the wide-event stream (kept bounded in memory).
+    from repro.serve.events import WideEventLog
+
+    log = WideEventLog(args.events, capacity=4096)
+    graph, broker, spec = _build_serve_broker(args, events=log)
+    # The dashboard always shows burn rate; default the objective.
+    monitor = _burn_monitor(args, broker, default_objective=0.99)
+    workload_done = threading.Event()
+
+    def drive() -> None:
+        try:
+            run_workload(broker, spec)
+        finally:
+            workload_done.set()
+
+    driver = threading.Thread(target=drive, name="serve-top-load", daemon=True)
+    print(f"graph: {graph}")
+    driver.start()
+    try:
+        dashboard.run(
+            broker,
+            monitor=monitor,
+            refresh_s=args.refresh_ms / 1e3,
+            frames=args.frames,
+            clear=not args.no_clear,
+            should_stop=workload_done.is_set,
+        )
+        driver.join()
+    finally:
+        broker.shutdown(drain=True)
+    # One final frame with the drained end-state.
+    sys.stdout.write(dashboard.render(dashboard.snapshot(broker, monitor=monitor)))
+    if args.events is not None:
+        print(f"wide events written to {args.events}")
+    return 0
 
 
 def _cmd_trace_report(args: argparse.Namespace) -> int:
@@ -523,6 +665,7 @@ _COMMANDS = {
     "sweep": _cmd_sweep,
     "bfs": _cmd_bfs,
     "serve-bench": _cmd_serve_bench,
+    "serve-top": _cmd_serve_top,
     "trace-report": _cmd_trace_report,
 }
 

@@ -13,14 +13,31 @@ invariant guards and the checkpoint layer.
 Modules
 -------
 - :mod:`repro.obs.tracer` — :class:`TraceConfig`, :class:`Tracer`, spans.
-- :mod:`repro.obs.registry` — :class:`MetricsRegistry` (Prometheus text).
+- :mod:`repro.obs.registry` — :class:`MetricsRegistry` (Prometheus text,
+  histogram exemplars).
+- :mod:`repro.obs.request` — :class:`RequestContext` (request-scoped
+  serving-plane context behind wide events, DESIGN.md §14).
+- :mod:`repro.obs.burnrate` — :class:`BurnRateMonitor` (multi-window SLO
+  burn-rate alerts over the serving latency window).
+- :mod:`repro.obs.promcheck` — Prometheus text-exposition validator.
 - :mod:`repro.obs.drift` — :class:`DriftMonitor` (wall vs. simulated).
 - :mod:`repro.obs.export` — JSONL / Chrome-Perfetto / Prometheus writers.
 - :mod:`repro.obs.report` — trace loading and the text report renderer.
 """
 
+from repro.obs.burnrate import BurnAlert, BurnRateConfig, BurnRateMonitor
 from repro.obs.drift import DriftMonitor
 from repro.obs.registry import MetricsRegistry
+from repro.obs.request import RequestContext
 from repro.obs.tracer import TraceConfig, Tracer
 
-__all__ = ["TraceConfig", "Tracer", "MetricsRegistry", "DriftMonitor"]
+__all__ = [
+    "BurnAlert",
+    "BurnRateConfig",
+    "BurnRateMonitor",
+    "DriftMonitor",
+    "MetricsRegistry",
+    "RequestContext",
+    "TraceConfig",
+    "Tracer",
+]

@@ -1,0 +1,209 @@
+"""Prometheus text-exposition validator (a promtool-style lint, in-tree).
+
+CI's ``obs-serve-smoke`` job needs to assert that ``--metrics-out`` files
+are well-formed without depending on promtool being installed. This
+module parses the classic text exposition format strictly enough to
+catch the bugs that matter:
+
+- malformed metric/label names, unescaped label values (backslash,
+  double quote, newline must appear as ``\\\\``, ``\\"``, ``\\n``);
+- samples whose metric was never declared with ``# TYPE``, or that
+  appear under a second conflicting ``# TYPE``;
+- histogram inconsistencies: missing ``+Inf`` bucket, non-cumulative
+  bucket counts, ``_count`` disagreeing with the ``+Inf`` bucket, or a
+  series with buckets but no ``_sum``/``_count``;
+- counter samples that are negative or non-numeric values anywhere.
+
+Usage: :func:`check_text` returns a list of problem strings (empty =
+valid); ``python -m repro.obs.promcheck FILE`` exits non-zero and prints
+them.
+"""
+
+from __future__ import annotations
+
+import re
+
+__all__ = ["check_text", "check_file", "parse_sample"]
+
+_METRIC_RE = re.compile(r"^[a-zA-Z_:][a-zA-Z0-9_:]*$")
+_LABEL_RE = re.compile(r"^[a-zA-Z_][a-zA-Z0-9_]*$")
+#: One label pair inside {...}: name="value" with spec escapes only.
+_PAIR_RE = re.compile(
+    r'\s*([a-zA-Z_][a-zA-Z0-9_]*)\s*=\s*"((?:[^"\\\n]|\\\\|\\"|\\n)*)"\s*(,|$)'
+)
+_TYPES = {"counter", "gauge", "histogram", "summary", "untyped"}
+
+
+def parse_sample(line: str) -> tuple[str, dict[str, str], float] | None:
+    """Parse one sample line into ``(name, labels, value)``; None on error."""
+    if "{" in line:
+        name, _, rest = line.partition("{")
+        body, closed, tail = rest.partition("}")
+        if not closed:
+            return None
+        labels: dict[str, str] = {}
+        pos = 0
+        while pos < len(body):
+            m = _PAIR_RE.match(body, pos)
+            if m is None:
+                return None
+            labels[m.group(1)] = m.group(2)
+            pos = m.end()
+        value_text = tail.strip()
+    else:
+        parts = line.split()
+        if len(parts) < 2:
+            return None
+        name, value_text = parts[0], parts[1]
+        labels = {}
+    name = name.strip()
+    if not _METRIC_RE.match(name):
+        return None
+    value_text = value_text.split()[0] if value_text.split() else ""
+    try:
+        value = float(value_text.replace("+Inf", "inf").replace("-Inf", "-inf"))
+    except ValueError:
+        return None
+    return name, labels, value
+
+
+def _base_name(name: str) -> str:
+    """Histogram sample name -> family name (strips _bucket/_sum/_count)."""
+    for suffix in ("_bucket", "_sum", "_count"):
+        if name.endswith(suffix):
+            return name[: -len(suffix)]
+    return name
+
+
+def check_text(text: str) -> list[str]:
+    """Validate a text-exposition payload; returns problems (empty = ok)."""
+    problems: list[str] = []
+    types: dict[str, str] = {}
+    # histogram family -> label-subset-key -> {le: count}, plus seen sums.
+    hist_buckets: dict[str, dict[tuple, dict[str, float]]] = {}
+    hist_sums: dict[str, set] = {}
+    hist_counts: dict[str, dict[tuple, float]] = {}
+
+    for lineno, raw in enumerate(text.splitlines(), start=1):
+        line = raw.rstrip()
+        if not line:
+            continue
+        if line.startswith("#"):
+            parts = line.split(None, 3)
+            if len(parts) >= 2 and parts[1] in ("TYPE", "HELP"):
+                if len(parts) < 3 or not _METRIC_RE.match(parts[2]):
+                    problems.append(
+                        f"line {lineno}: malformed {parts[1]} comment: {line!r}"
+                    )
+                    continue
+                if parts[1] == "TYPE":
+                    name, family = parts[2], parts[3] if len(parts) > 3 else ""
+                    if family not in _TYPES:
+                        problems.append(
+                            f"line {lineno}: unknown TYPE {family!r} for {name}"
+                        )
+                    elif name in types and types[name] != family:
+                        problems.append(
+                            f"line {lineno}: conflicting TYPE for {name}: "
+                            f"{types[name]} then {family}"
+                        )
+                    else:
+                        types[name] = family
+            continue
+        parsed = parse_sample(line)
+        if parsed is None:
+            problems.append(f"line {lineno}: unparseable sample: {line!r}")
+            continue
+        name, labels, value = parsed
+        for label in labels:
+            if not _LABEL_RE.match(label):
+                problems.append(
+                    f"line {lineno}: invalid label name {label!r}"
+                )
+        family_name = _base_name(name)
+        family = types.get(name) or types.get(family_name)
+        if family is None:
+            problems.append(
+                f"line {lineno}: sample {name!r} has no TYPE declaration"
+            )
+            continue
+        if family == "counter" and value < 0:
+            problems.append(
+                f"line {lineno}: counter {name} has negative value {value}"
+            )
+        if family == "histogram":
+            key = tuple(
+                sorted((k, v) for k, v in labels.items() if k != "le")
+            )
+            if name.endswith("_bucket"):
+                if "le" not in labels:
+                    problems.append(
+                        f"line {lineno}: histogram bucket without le label"
+                    )
+                    continue
+                hist_buckets.setdefault(family_name, {}).setdefault(key, {})[
+                    labels["le"]
+                ] = value
+            elif name.endswith("_sum"):
+                hist_sums.setdefault(family_name, set()).add(key)
+            elif name.endswith("_count"):
+                hist_counts.setdefault(family_name, {})[key] = value
+
+    for family_name, series in hist_buckets.items():
+        for key, buckets in series.items():
+            where = f"{family_name}{dict(key) or ''}"
+            if "+Inf" not in buckets:
+                problems.append(f"{where}: histogram missing +Inf bucket")
+                continue
+            ordered = sorted(
+                ((float(le.replace("+Inf", "inf")), c)
+                 for le, c in buckets.items()),
+            )
+            counts = [c for _, c in ordered]
+            if any(a > b for a, b in zip(counts, counts[1:])):
+                problems.append(
+                    f"{where}: bucket counts not cumulative: {counts}"
+                )
+            count = hist_counts.get(family_name, {}).get(key)
+            if count is None:
+                problems.append(f"{where}: histogram missing _count sample")
+            elif count != buckets["+Inf"]:
+                problems.append(
+                    f"{where}: _count {count} != +Inf bucket {buckets['+Inf']}"
+                )
+            if key not in hist_sums.get(family_name, set()):
+                problems.append(f"{where}: histogram missing _sum sample")
+    return problems
+
+
+def check_file(path: str) -> list[str]:
+    """Validate one exposition file; returns problems (empty = valid)."""
+    with open(path, encoding="utf-8") as fh:
+        return check_text(fh.read())
+
+
+def main(argv: list[str] | None = None) -> int:
+    """``python -m repro.obs.promcheck FILE...`` — exit 1 on any problem."""
+    import argparse
+
+    parser = argparse.ArgumentParser(
+        prog="repro.obs.promcheck",
+        description="validate Prometheus text exposition files",
+    )
+    parser.add_argument("paths", nargs="+", help="exposition files to check")
+    args = parser.parse_args(argv)
+    failed = False
+    for path in args.paths:
+        problems = check_file(path)
+        if problems:
+            failed = True
+            print(f"{path}: INVALID")
+            for problem in problems:
+                print(f"  {problem}")
+        else:
+            print(f"{path}: OK")
+    return 1 if failed else 0
+
+
+if __name__ == "__main__":  # pragma: no cover — exercised via CLI tests
+    raise SystemExit(main())

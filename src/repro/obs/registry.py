@@ -7,6 +7,22 @@ benches and the CLI consume :meth:`MetricsRegistry.snapshot`, and
 ``--metrics-out`` writes :meth:`MetricsRegistry.prometheus_text` — the
 standard text exposition format, scrapable as a node-exporter-style file.
 
+Thread safety: all mutators and readers share one registry lock, so
+:meth:`~MetricsRegistry.snapshot` / :meth:`~MetricsRegistry.prometheus_text`
+see one *consistent* cut — a histogram's ``_sum``/``_count`` can never
+disagree with its buckets under concurrent :meth:`~MetricsRegistry.observe`
+(the serving plane observes from several worker threads at once). The
+lock is uncontended in the hot path: the tracer batches per-record
+counters and flushes once at :meth:`~repro.obs.tracer.Tracer.finish`.
+
+Histograms optionally carry **exemplars** (DESIGN.md §14): the most
+recent ``exemplar=`` reference observed per bucket — the serving plane
+passes request ids, linking each latency bucket to a concrete request
+whose wide event explains it. Exemplars ride on :meth:`snapshot` and
+:meth:`~MetricsRegistry.exemplars`; :meth:`prometheus_text` stays the
+classic text format (exemplars are an OpenMetrics extension; keeping the
+exposition classic keeps every scraper and our CI checker happy).
+
 No external dependency: the exposition format is a few lines of string
 formatting, which keeps the registry importable everywhere the simulator
 runs.
@@ -14,9 +30,10 @@ runs.
 
 from __future__ import annotations
 
+import threading
 from typing import Any, Iterable, Mapping
 
-__all__ = ["MetricsRegistry", "DEFAULT_BUCKETS"]
+__all__ = ["MetricsRegistry", "DEFAULT_BUCKETS", "escape_label_value"]
 
 DEFAULT_BUCKETS: tuple[float, ...] = (
     1e-6, 1e-5, 1e-4, 1e-3, 1e-2, 0.1, 1.0, 10.0
@@ -31,11 +48,20 @@ def _label_key(labels: Mapping[str, Any]) -> _LabelKey:
     return tuple(sorted((str(k), str(v)) for k, v in labels.items()))
 
 
+def escape_label_value(value: str) -> str:
+    """Escape a label value per the Prometheus text-format spec:
+    backslash, double quote and line feed — in that order, so the
+    backslashes introduced for ``"`` and ``\\n`` are not re-escaped."""
+    return (
+        value.replace("\\", "\\\\").replace('"', '\\"').replace("\n", "\\n")
+    )
+
+
 def _label_text(key: _LabelKey) -> str:
     """Render a label key as Prometheus ``{k="v",...}`` (empty for none)."""
     if not key:
         return ""
-    inner = ",".join(f'{k}="{v}"' for k, v in key)
+    inner = ",".join(f'{k}="{escape_label_value(v)}"' for k, v in key)
     return "{" + inner + "}"
 
 
@@ -55,6 +81,7 @@ class MetricsRegistry:
     """
 
     def __init__(self) -> None:
+        self._lock = threading.Lock()
         self._types: dict[str, str] = {}
         self._help: dict[str, str] = {}
         self._counters: dict[str, dict[_LabelKey, float]] = {}
@@ -80,17 +107,20 @@ class MetricsRegistry:
         """Increment counter ``name`` (monotone; negative deltas rejected)."""
         if value < 0:
             raise ValueError("counters only go up")
-        self._register(name, "counter", help)
-        series = self._counters.setdefault(name, {})
         key = _label_key(labels)
-        series[key] = series.get(key, 0.0) + float(value)
+        with self._lock:
+            self._register(name, "counter", help)
+            series = self._counters.setdefault(name, {})
+            series[key] = series.get(key, 0.0) + float(value)
 
     def set_gauge(
         self, name: str, value: float, *, help: str | None = None, **labels
     ) -> None:
         """Set gauge ``name`` to ``value`` (last write wins)."""
-        self._register(name, "gauge", help)
-        self._gauges.setdefault(name, {})[_label_key(labels)] = float(value)
+        key = _label_key(labels)
+        with self._lock:
+            self._register(name, "gauge", help)
+            self._gauges.setdefault(name, {})[key] = float(value)
 
     def observe(
         self,
@@ -99,90 +129,140 @@ class MetricsRegistry:
         *,
         buckets: Iterable[float] | None = None,
         help: str | None = None,
+        exemplar: str | None = None,
         **labels,
     ) -> None:
         """Record one observation into histogram ``name``.
 
         ``buckets`` (upper bounds, ascending) is fixed at the histogram's
-        first observation; later calls reuse it.
+        first observation; later calls reuse it. ``exemplar`` (e.g. a
+        request id) is remembered per bucket — the most recent reference
+        observed in each — and surfaces via :meth:`exemplars` /
+        :meth:`snapshot`, linking latency buckets back to wide events.
         """
-        self._register(name, "histogram", help)
-        if name not in self._buckets:
-            self._buckets[name] = tuple(
-                buckets if buckets is not None else DEFAULT_BUCKETS
-            )
-        bounds = self._buckets[name]
-        series = self._hists.setdefault(name, {})
         key = _label_key(labels)
-        h = series.setdefault(
-            key, {"counts": [0] * len(bounds), "sum": 0.0, "count": 0}
-        )
-        for i, bound in enumerate(bounds):
-            if value <= bound:
-                h["counts"][i] += 1
-        h["sum"] += float(value)
-        h["count"] += 1
+        with self._lock:
+            self._register(name, "histogram", help)
+            if name not in self._buckets:
+                self._buckets[name] = tuple(
+                    buckets if buckets is not None else DEFAULT_BUCKETS
+                )
+            bounds = self._buckets[name]
+            series = self._hists.setdefault(name, {})
+            h = series.setdefault(
+                key,
+                {"counts": [0] * len(bounds), "sum": 0.0, "count": 0,
+                 "exemplars": {}},
+            )
+            for i, bound in enumerate(bounds):
+                if value <= bound:
+                    h["counts"][i] += 1
+            h["sum"] += float(value)
+            h["count"] += 1
+            if exemplar is not None:
+                # Exemplar slot = the tightest bucket covering the value
+                # (+Inf when it overflows every bound), last write wins.
+                slot = "+Inf"
+                for bound in bounds:
+                    if value <= bound:
+                        slot = _fmt_value(bound)
+                        break
+                h["exemplars"][slot] = {
+                    "ref": str(exemplar), "value": float(value)
+                }
 
     # ------------------------------------------------------------------
+    def exemplars(self, name: str, **labels) -> dict[str, dict[str, Any]]:
+        """Exemplars of one histogram series: ``{le: {ref, value}}``.
+
+        Empty when the histogram (or series) is unknown or no observation
+        carried an ``exemplar=`` reference.
+        """
+        key = _label_key(labels)
+        with self._lock:
+            h = self._hists.get(name, {}).get(key)
+            if h is None:
+                return {}
+            return {
+                slot: dict(ex) for slot, ex in h.get("exemplars", {}).items()
+            }
+
     def snapshot(self) -> dict[str, Any]:
         """Plain-dict view of every series (consumed by benches and tests).
 
         Counter/gauge samples are keyed ``name{k="v"}``; histograms expose
-        ``_sum``/``_count``/``_bucket`` sub-dicts under the bare name.
+        ``sum``/``count``/``buckets`` (and ``exemplars``, when any were
+        observed) sub-dicts under the bare name. Taken under the registry
+        lock as one consistent cut: no concurrently-running ``observe``
+        can make ``sum``/``count`` disagree with the bucket counts.
         """
         out: dict[str, Any] = {}
-        for family in (self._counters, self._gauges):
-            for name, series in family.items():
-                for key, value in series.items():
-                    out[name + _label_text(key)] = value
-        for name, series in self._hists.items():
-            bounds = self._buckets[name]
-            for key, h in series.items():
-                base = name + _label_text(key)
-                out[base] = {
-                    "sum": h["sum"],
-                    "count": h["count"],
-                    "buckets": {
-                        _fmt_value(b): c for b, c in zip(bounds, h["counts"])
-                    },
-                }
+        with self._lock:
+            for family in (self._counters, self._gauges):
+                for name, series in family.items():
+                    for key, value in series.items():
+                        out[name + _label_text(key)] = value
+            for name, series in self._hists.items():
+                bounds = self._buckets[name]
+                for key, h in series.items():
+                    base = name + _label_text(key)
+                    row: dict[str, Any] = {
+                        "sum": h["sum"],
+                        "count": h["count"],
+                        "buckets": {
+                            _fmt_value(b): c for b, c in zip(bounds, h["counts"])
+                        },
+                    }
+                    if h.get("exemplars"):
+                        row["exemplars"] = {
+                            slot: dict(ex)
+                            for slot, ex in h["exemplars"].items()
+                        }
+                    out[base] = row
         return out
 
     def prometheus_text(self) -> str:
-        """Render every metric in the Prometheus text exposition format."""
+        """Render every metric in the Prometheus text exposition format.
+
+        Rendered under the registry lock — one consistent cut, same
+        guarantee as :meth:`snapshot`.
+        """
         lines: list[str] = []
-        for name in sorted(self._types):
-            family = self._types[name]
-            if name in self._help:
-                lines.append(f"# HELP {name} {self._help[name]}")
-            lines.append(f"# TYPE {name} {family}")
-            if family == "counter":
-                series = self._counters.get(name, {})
-                for key in sorted(series):
-                    lines.append(
-                        f"{name}{_label_text(key)} {_fmt_value(series[key])}"
-                    )
-            elif family == "gauge":
-                series = self._gauges.get(name, {})
-                for key in sorted(series):
-                    lines.append(
-                        f"{name}{_label_text(key)} {_fmt_value(series[key])}"
-                    )
-            else:
-                bounds = self._buckets[name]
-                for key, h in sorted(self._hists.get(name, {}).items()):
-                    # ``counts`` is already cumulative (observe() bumps every
-                    # bucket whose bound covers the value), as the text
-                    # format's ``le`` semantics require.
-                    for bound, count in zip(bounds, h["counts"]):
-                        le = _label_key(dict(key) | {"le": _fmt_value(bound)})
+        with self._lock:
+            for name in sorted(self._types):
+                family = self._types[name]
+                if name in self._help:
+                    lines.append(f"# HELP {name} {self._help[name]}")
+                lines.append(f"# TYPE {name} {family}")
+                if family == "counter":
+                    series = self._counters.get(name, {})
+                    for key in sorted(series):
                         lines.append(
-                            f"{name}_bucket{_label_text(le)} {count}"
+                            f"{name}{_label_text(key)} {_fmt_value(series[key])}"
                         )
-                    inf = _label_key(dict(key) | {"le": "+Inf"})
-                    lines.append(f"{name}_bucket{_label_text(inf)} {h['count']}")
-                    lines.append(
-                        f"{name}_sum{_label_text(key)} {_fmt_value(h['sum'])}"
-                    )
-                    lines.append(f"{name}_count{_label_text(key)} {h['count']}")
+                elif family == "gauge":
+                    series = self._gauges.get(name, {})
+                    for key in sorted(series):
+                        lines.append(
+                            f"{name}{_label_text(key)} {_fmt_value(series[key])}"
+                        )
+                else:
+                    bounds = self._buckets[name]
+                    for key, h in sorted(self._hists.get(name, {}).items()):
+                        # ``counts`` is already cumulative (observe() bumps every
+                        # bucket whose bound covers the value), as the text
+                        # format's ``le`` semantics require.
+                        for bound, count in zip(bounds, h["counts"]):
+                            le = _label_key(dict(key) | {"le": _fmt_value(bound)})
+                            lines.append(
+                                f"{name}_bucket{_label_text(le)} {count}"
+                            )
+                        inf = _label_key(dict(key) | {"le": "+Inf"})
+                        lines.append(
+                            f"{name}_bucket{_label_text(inf)} {h['count']}"
+                        )
+                        lines.append(
+                            f"{name}_sum{_label_text(key)} {_fmt_value(h['sum'])}"
+                        )
+                        lines.append(f"{name}_count{_label_text(key)} {h['count']}")
         return "\n".join(lines) + "\n"

@@ -36,6 +36,7 @@ from repro.serve.breaker import BreakerConfig, CircuitBreaker
 from repro.serve.broker import QueryBroker
 from repro.serve.cache import CacheStats, DistanceCache
 from repro.serve.chaos import ChaosEvent, ChaosPlan, ChaosSolver, InjectedFault
+from repro.serve.events import WideEventLog, canonical_text
 from repro.serve.request import (
     QueryFuture,
     QueryRequest,
@@ -76,7 +77,9 @@ __all__ = [
     "ServiceUnavailable",
     "SloPolicy",
     "SolveCorrupted",
+    "WideEventLog",
     "WorkloadSpec",
+    "canonical_text",
     "interarrival_times",
     "percentile",
     "root_sequence",

@@ -184,6 +184,14 @@ class MicroBatcher:
                             e for e in self._queue if id(e) not in taken
                         ]
                         self._cond.notify_all()
+                        for e in batch:
+                            # Queue wait is measured per dispatch from the
+                            # entry's enqueue anchor — the same anchor the
+                            # latency trigger flushes on (original
+                            # admission time for requeued retries).
+                            ctx = getattr(e.request, "ctx", None)
+                            if ctx is not None:
+                                ctx.note_dequeue(now - e.enqueued_at)
                         return [e.request for e in batch]
                 elif not self._queue and (self._closed or not block):
                     return None

@@ -250,6 +250,12 @@ class CircuitBreaker:
             self._refresh()
             return self._classes[failure_class].state
 
+    def states(self) -> dict[str, str]:
+        """Per-class state map (one consistent cut, for dashboards)."""
+        with self._lock:
+            self._refresh()
+            return {cls: s.state for cls, s in self._classes.items()}
+
     def open_classes(self) -> tuple[str, ...]:
         with self._lock:
             self._refresh()

@@ -51,8 +51,10 @@ import numpy as np
 
 from repro.core.paths import build_parent_tree, extract_path
 from repro.core.solver import BatchSolver, run_validation
+from repro.obs.request import RequestContext, request_id
 from repro.runtime.watchdog import SolveTimeout
 from repro.serve.batcher import MicroBatcher
+from repro.serve.events import WideEventLog
 from repro.serve.breaker import BreakerConfig, CircuitBreaker
 from repro.serve.cache import DistanceCache
 from repro.serve.chaos import ChaosPlan, ChaosSolver
@@ -140,6 +142,17 @@ class QueryBroker:
     registry:
         Optional external :class:`~repro.obs.registry.MetricsRegistry`;
         defaults to the tracer's (when tracing) or a fresh one.
+    events:
+        Optional wide-event sink: a
+        :class:`~repro.serve.events.WideEventLog`, a path (a log writing
+        there at shutdown is built), or ``True`` (in-memory log). Arms
+        request-scoped observability (DESIGN.md §14): every request gets
+        a :class:`~repro.obs.request.RequestContext` propagated through
+        batcher/solve/retry/breaker, one wide event per terminal
+        completion, request-id exemplars on the latency histograms, and
+        request ids on batch/solve spans. ``None`` (default) keeps the
+        whole machinery unbuilt — zero cost. A tracer alone also mints
+        contexts so its spans can carry request ids.
     """
 
     def __init__(
@@ -165,6 +178,7 @@ class QueryBroker:
         negative_ttl_s: float = 0.0,
         trace=None,
         registry=None,
+        events=None,
     ) -> None:
         if num_workers < 0:
             raise ValueError("num_workers must be >= 0")
@@ -223,7 +237,19 @@ class QueryBroker:
             flush_interval_s=flush_interval_s,
             clock=self._clock,
         )
-        self.latency = LatencyWindow()
+        if events is None:
+            self.events = None
+        elif isinstance(events, WideEventLog):
+            self.events = events
+        elif events is True:
+            self.events = WideEventLog()
+        else:
+            self.events = WideEventLog(str(events))
+        # Request contexts ride with events *or* spans; with neither
+        # armed, no context is ever minted (the zero-cost path).
+        self._ctx_armed = self.events is not None or self._tracer is not None
+        self._next_request_seq = 0
+        self.latency = LatencyWindow(clock=self._clock)
         self._lock = threading.Lock()
         self._idle = threading.Condition(self._lock)
         self._trace_lock = threading.Lock()
@@ -333,9 +359,22 @@ class QueryBroker:
         with self._lock:
             self._offered += 1
             self._uncompleted += 1
+            if self._ctx_armed:
+                seq = self._next_request_seq
+                self._next_request_seq += 1
+        if self._ctx_armed:
+            req.ctx = RequestContext(
+                request_id(seq), root, submitted_at=req.submitted_at
+            )
         stale = self._degraded_now()
         cached = self.cache.get(root)
         if cached is not None:
+            if req.ctx is not None:
+                req.ctx.note_cache("stale_hit" if stale else "hit")
+                if stale:
+                    req.ctx.note_degraded(
+                        "stale_cache", self._breaker.open_classes()
+                    )
             self._complete(
                 req, cached, source="cache", batch_id=None, stale_ok=stale
             )
@@ -350,6 +389,16 @@ class QueryBroker:
             self.registry.inc(
                 "serve_shed_total", help="requests shed by admission control"
             )
+            if req.ctx is not None and self.events is not None:
+                req.ctx.note_shed()
+                self.events.emit(
+                    req.ctx.wide_event(
+                        outcome="shed",
+                        source=None,
+                        latency_s=self._clock() - req.submitted_at,
+                        attempts_total=0,
+                    )
+                )
             raise
         self.registry.set_gauge(
             "serve_queue_depth", depth, help="queued requests awaiting a batch"
@@ -438,11 +487,24 @@ class QueryBroker:
                 if cached is not None:
                     stats["hits"] += len(reqs)
                     for req in reqs:
+                        if req.ctx is not None:
+                            req.ctx.note_batch(batch_id)
+                            req.ctx.note_cache(
+                                "stale_hit" if stale else "hit"
+                            )
+                            if stale:
+                                req.ctx.note_degraded(
+                                    "stale_cache",
+                                    self._breaker.open_classes(),
+                                )
                         self._complete(
                             req, cached, source="cache", batch_id=batch_id,
                             stale_ok=stale,
                         )
                 else:
+                    for req in reqs:
+                        if req.ctx is not None:
+                            req.ctx.note_batch(batch_id)
                     to_solve.append((key, reqs))
             for key, reqs in to_solve:
                 # Per-group isolation: one root's failure reaches only
@@ -486,6 +548,11 @@ class QueryBroker:
                 cache_hits=stats["hits"],
                 timeouts=stats["timeouts"],
                 retries=stats["retries"],
+                request_ids=[
+                    req.ctx.request_id
+                    for req in batch
+                    if req.ctx is not None
+                ],
             )
 
     # ------------------------------------------------------------------
@@ -499,6 +566,11 @@ class QueryBroker:
 
     def _attempt_solve(self, root: int, deadline, attempt: int):
         """One (possibly hedged) solve attempt, verified when configured.
+
+        Returns ``(result, used_attempt)`` — ``used_attempt`` differs
+        from ``attempt`` exactly when a hedged re-attempt won, so the
+        request context records the attempt whose chaos draw actually
+        produced the answer.
 
         Hedging: with ``retry.hedge_after_s`` set, the primary attempt
         runs in a side thread; if it straggles past the threshold and
@@ -554,13 +626,31 @@ class QueryBroker:
         return self._finish_attempt(box["res"], root, attempt)
 
     def _finish_attempt(self, res, root: int, attempt: int):
-        """Post-attempt verification; a failed check is ``corrupt``."""
+        """Post-attempt verification; a failed check is ``corrupt``.
+        Returns ``(res, attempt)`` so callers know which attempt won."""
         if self._verify:
             try:
                 run_validation(res.distances, self.graph, root, self._verify)
             except Exception as exc:
                 raise SolveCorrupted(root, attempt, str(exc)) from exc
-        return res
+        return res, attempt
+
+    def _chaos_draw(self, root: int, attempt: int) -> str | None:
+        """The chaos plan's draw for (root, attempt), None without chaos.
+        Pure and cheap — safe to re-query for the request context."""
+        if self.chaos is None:
+            return None
+        return self.chaos.plan.draw(root, attempt)
+
+    def _note_attempt(
+        self, reqs: list, attempt: int, decision: str, outcome: str
+    ) -> None:
+        """Record one solve attempt on every coalesced request's context."""
+        if reqs[0].ctx is None:
+            return
+        draw = self._chaos_draw(reqs[0].root, attempt)
+        for req in reqs:
+            req.ctx.note_attempt(attempt, decision, draw, outcome)
 
     def _solve_group(
         self, key: tuple, reqs: list, batch_id: int, stats: dict
@@ -574,6 +664,8 @@ class QueryBroker:
                 "negative-cached: root recently timed out", root=root
             )
             for req in reqs:
+                if req.ctx is not None:
+                    req.ctx.note_negative()
                 self._fail(req, exc, outcome="timeout")
             return
         decision = (
@@ -582,12 +674,14 @@ class QueryBroker:
         if decision == "degraded":
             self._serve_degraded(root, reqs, batch_id, stats)
             return
+        t0 = self._clock()
         try:
-            res = self._attempt_solve(root, deadline, attempt)
+            res, used_attempt = self._attempt_solve(root, deadline, attempt)
         except Exception as exc:
             if isinstance(exc, SolveTimeout) and exc.root is None:
                 exc.root = root
             failure_class = _classify(exc)
+            self._note_attempt(reqs, attempt, decision, failure_class)
             if self._breaker is not None:
                 self._breaker.on_result(decision, failure_class)
             self.registry.inc(
@@ -609,9 +703,17 @@ class QueryBroker:
             for req in reqs:
                 self._fail(req, exc, outcome=failure_class)
             return
+        self._note_attempt(reqs, used_attempt, decision, "ok")
         if self._breaker is not None:
             self._breaker.on_result(decision, None)
         stats["solves"] += 1
+        self._trace_span(
+            "solve", "solve", t0, self._clock() - t0,
+            root=root, attempt=used_attempt, batch_id=batch_id,
+            request_ids=[
+                req.ctx.request_id for req in reqs if req.ctx is not None
+            ],
+        )
         self.cache.put(root, res.distances, cost_s=res.wall_time_s)
         for i, req in enumerate(reqs):
             self._complete(
@@ -660,6 +762,7 @@ class QueryBroker:
         Ladder outcomes never feed the breaker's state machine — they do
         not exercise the primary path it is protecting."""
         cfg = self._breaker.config
+        open_classes = self._breaker.open_classes()
         if self.graph.num_vertices <= cfg.degrade_max_vertices:
             res = self._solver.solve_degraded(
                 root, max_supersteps=cfg.degrade_supersteps
@@ -667,6 +770,8 @@ class QueryBroker:
             stats["solves"] += 1
             self.cache.put(root, res.distances, cost_s=res.wall_time_s)
             for req in reqs:
+                if req.ctx is not None:
+                    req.ctx.note_degraded("bounded_exact", open_classes)
                 self._complete(
                     req,
                     res.distances,
@@ -677,8 +782,10 @@ class QueryBroker:
                     degraded=True,
                 )
             return
-        exc = ServiceUnavailable(root, self._breaker.open_classes())
+        exc = ServiceUnavailable(root, open_classes)
         for req in reqs:
+            if req.ctx is not None:
+                req.ctx.note_degraded("refused", open_classes)
             self._fail(req, exc, outcome="unavailable")
 
     # ------------------------------------------------------------------
@@ -720,6 +827,7 @@ class QueryBroker:
             attempts=attempts,
             stale_ok=stale_ok,
             degraded=degraded,
+            request_id=req.ctx.request_id if req.ctx is not None else None,
         )
         if attempts > 1:
             with self._lock:
@@ -728,15 +836,32 @@ class QueryBroker:
                 "serve_retried_ok_total",
                 help="requests that succeeded after at least one retry",
             )
-        self._account(req, source, latency)
+        self._account(
+            req, source, latency,
+            source=source, attempts=attempts,
+            stale_ok=stale_ok, degraded=degraded,
+        )
         req.future.set_result(result)
 
     def _fail(self, req: QueryRequest, error: BaseException, *, outcome: str) -> None:
         latency = self._clock() - req.submitted_at
-        self._account(req, outcome, latency)
+        self._account(req, outcome, latency, attempts=req.attempts)
         req.future.set_error(error)
 
-    def _account(self, req: QueryRequest, outcome: str, latency: float) -> None:
+    def _account(
+        self,
+        req: QueryRequest,
+        outcome: str,
+        latency: float,
+        *,
+        source: str | None = None,
+        attempts: int = 0,
+        stale_ok: bool = False,
+        degraded: bool = False,
+    ) -> None:
+        """Terminal accounting — the single point every completion and
+        failure passes through exactly once, which is what makes the
+        "one wide event per request" invariant structural."""
         with self._lock:
             self._outcomes[outcome] = self._outcomes.get(outcome, 0) + 1
             self._uncompleted -= 1
@@ -749,11 +874,25 @@ class QueryBroker:
         self.registry.observe(
             "serve_request_latency_seconds", latency, source=outcome,
             help="end-to-end request latency",
+            exemplar=req.ctx.request_id if req.ctx is not None else None,
         )
+        span_args = {"root": req.root, "outcome": outcome}
+        if req.ctx is not None:
+            span_args["request_id"] = req.ctx.request_id
         self._trace_span(
-            "request", "request", req.submitted_at, latency,
-            root=req.root, outcome=outcome,
+            "request", "request", req.submitted_at, latency, **span_args
         )
+        if req.ctx is not None and self.events is not None:
+            self.events.emit(
+                req.ctx.wide_event(
+                    outcome=outcome,
+                    source=source,
+                    latency_s=latency,
+                    attempts_total=attempts,
+                    stale_ok=stale_ok,
+                    degraded=degraded,
+                )
+            )
 
     def _trace_span(
         self, name: str, cat: str, ts: float, dur: float, **args
@@ -855,6 +994,8 @@ class QueryBroker:
                     ServiceShutdown("broker shut down before execution"),
                     outcome="cancelled",
                 )
+        if self.events is not None and self.events.path is not None:
+            self.events.write()
         if self._tracer is not None:
             from repro.obs.export import finalize_trace
 
@@ -901,6 +1042,8 @@ class QueryBroker:
         row["cache_quarantined"] = self.cache.stats.quarantined
         row["negative_hits"] = self.cache.stats.negative_hits
         row.update(self.latency.summary())
+        if self.events is not None:
+            row["wide_events"] = self.events.emitted
         wall = self._clock() - self._t_start
         row["wall_s"] = wall
         row["throughput_qps"] = completed / wall if wall > 0 else 0.0

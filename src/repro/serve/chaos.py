@@ -309,6 +309,13 @@ class ChaosSolver:
             )
         return res
 
+    def summary(self) -> dict[str, int]:
+        """Injected-fault counts by kind (for reports and dashboards)."""
+        counts: dict[str, int] = {}
+        for _root, _attempt, kind in self.log:
+            counts[kind] = counts.get(kind, 0) + 1
+        return counts
+
     def solve_many(self, roots, *, validate=False, deadline=None, trace=None):
         return [
             self.solve(int(r), validate=validate, deadline=deadline)

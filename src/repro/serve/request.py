@@ -110,6 +110,11 @@ class QueryRequest:
     #: solve attempts already consumed (bumped by the retry machinery
     #: before a request is re-queued).
     attempts: int = 0
+    #: request-scoped observability context
+    #: (:class:`~repro.obs.request.RequestContext`); minted by the broker
+    #: only when wide events or tracing are armed, ``None`` otherwise —
+    #: every layer guards its note with one ``is not None`` check.
+    ctx: Any = None
 
     @property
     def coalesce_key(self) -> tuple:
@@ -157,6 +162,9 @@ class QueryResult:
     #: True when the answer came from the bounded-exact Bellman-Ford
     #: fallback path (breaker open). Distances are still exact.
     degraded: bool = False
+    #: request id of the wide event describing this answer's journey
+    #: (``None`` when request-scoped observability is disarmed).
+    request_id: str | None = None
 
     @property
     def cached(self) -> bool:

@@ -12,8 +12,10 @@ p50/p99 and :class:`SloPolicy` renders a pass/fail verdict — the object
 from __future__ import annotations
 
 import threading
+import time
 from collections import deque
 from dataclasses import dataclass
+from typing import Callable
 
 import numpy as np
 
@@ -33,12 +35,25 @@ def percentile(samples, q: float) -> float:
 
 
 class LatencyWindow:
-    """Sliding window of request latencies, split by result source."""
+    """Sliding window of request latencies, split by result source.
 
-    def __init__(self, window: int = 100_000) -> None:
+    Each sample carries its record-time timestamp (from the injectable
+    ``clock`` — the broker passes its own, so fake-clock tests and the
+    burn-rate monitor see one time base). :meth:`samples` keeps returning
+    bare latencies; :meth:`recent` is the time-windowed view the
+    multi-window burn-rate monitor (:mod:`repro.obs.burnrate`) consumes.
+    """
+
+    def __init__(
+        self,
+        window: int = 100_000,
+        *,
+        clock: Callable[[], float] = time.monotonic,
+    ) -> None:
         if window < 1:
             raise ValueError("window must be >= 1")
         self.window = int(window)
+        self.clock = clock
         self._samples: dict[str, deque] = {}
         self._lock = threading.Lock()
         self.count = 0
@@ -48,18 +63,37 @@ class LatencyWindow:
             bucket = self._samples.get(source)
             if bucket is None:
                 bucket = self._samples[source] = deque(maxlen=self.window)
-            bucket.append(float(latency_s))
+            bucket.append((self.clock(), float(latency_s)))
             self.count += 1
 
     def samples(self, source: str | None = None) -> list[float]:
-        """Samples of one source, or all sources merged (``None``)."""
+        """Samples of one source, or all sources merged (``None``).
+
+        Merged order is per-source insertion order: each source's samples
+        appear oldest-first, sources in first-record order.
+        """
         with self._lock:
             if source is not None:
-                return list(self._samples.get(source, ()))
+                return [lat for _, lat in self._samples.get(source, ())]
             merged: list[float] = []
             for bucket in self._samples.values():
-                merged.extend(bucket)
+                merged.extend(lat for _, lat in bucket)
             return merged
+
+    def recent(
+        self, window_s: float, *, now: float | None = None
+    ) -> list[tuple[str, float, float]]:
+        """Samples recorded within the last ``window_s`` seconds, as
+        ``(source, timestamp, latency_s)`` rows (per-source insertion
+        order, sources in first-record order)."""
+        with self._lock:
+            cutoff = (self.clock() if now is None else now) - float(window_s)
+            return [
+                (source, t, lat)
+                for source, bucket in self._samples.items()
+                for t, lat in bucket
+                if t >= cutoff
+            ]
 
     def summary(self) -> dict[str, float | int]:
         """p50/p99/mean over all sources plus per-source p50s."""

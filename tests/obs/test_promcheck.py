@@ -1,0 +1,132 @@
+"""Unit tests for the in-tree Prometheus exposition validator."""
+
+from repro.obs.promcheck import (
+    check_file,
+    check_text,
+    main as promcheck_main,
+    parse_sample,
+)
+from repro.obs.registry import MetricsRegistry
+
+
+VALID = """\
+# HELP requests_total requests by kind
+# TYPE requests_total counter
+requests_total{kind="short"} 3
+# TYPE lat_seconds histogram
+lat_seconds_bucket{le="0.01"} 1
+lat_seconds_bucket{le="+Inf"} 2
+lat_seconds_sum 0.5
+lat_seconds_count 2
+# TYPE temp gauge
+temp -3.5
+"""
+
+
+class TestParseSample:
+    def test_plain_sample(self):
+        assert parse_sample("temp 1.5") == ("temp", {}, 1.5)
+
+    def test_labelled_sample(self):
+        name, labels, value = parse_sample('x_total{kind="a",n="b"} 2')
+        assert name == "x_total"
+        assert labels == {"kind": "a", "n": "b"}
+        assert value == 2.0
+
+    def test_escaped_label_values_accepted(self):
+        parsed = parse_sample('x_total{p="a\\\\b\\"c\\nd"} 1')
+        assert parsed is not None
+        assert parsed[1]["p"] == 'a\\\\b\\"c\\nd'
+
+    def test_unescaped_quote_rejected(self):
+        # a raw quote inside the value means the pair can't be parsed
+        assert parse_sample('x_total{p="a"b"} 1') is None
+
+    def test_inf_value(self):
+        assert parse_sample('b_bucket{le="+Inf"} 3')[2] == 3.0
+
+    def test_malformed(self):
+        assert parse_sample("just-a-name") is None
+        assert parse_sample("x_total{unclosed 1") is None
+        assert parse_sample("x_total notanumber") is None
+        assert parse_sample("0leading_digit 1") is None
+
+
+class TestCheckText:
+    def test_valid_payload(self):
+        assert check_text(VALID) == []
+
+    def test_registry_output_is_valid(self):
+        reg = MetricsRegistry()
+        reg.inc("requests_total", 2, kind="short", help="requests")
+        reg.set_gauge("depth", 3)
+        reg.observe("lat_seconds", 0.02, buckets=(0.01, 0.1))
+        reg.observe("lat_seconds", 0.02, source='we"ird\\lab\nel')
+        assert check_text(reg.prometheus_text()) == []
+
+    def test_undeclared_sample(self):
+        problems = check_text("mystery_total 1\n")
+        assert any("no TYPE" in p for p in problems)
+
+    def test_conflicting_type(self):
+        text = (
+            "# TYPE x_total counter\nx_total 1\n"
+            "# TYPE x_total gauge\nx_total 2\n"
+        )
+        assert any("conflicting TYPE" in p for p in check_text(text))
+
+    def test_unknown_type(self):
+        assert any(
+            "unknown TYPE" in p
+            for p in check_text("# TYPE x_total widget\nx_total 1\n")
+        )
+
+    def test_negative_counter(self):
+        text = "# TYPE x_total counter\nx_total -1\n"
+        assert any("negative" in p for p in check_text(text))
+
+    def test_histogram_missing_inf(self):
+        text = (
+            "# TYPE lat histogram\n"
+            'lat_bucket{le="0.1"} 1\nlat_sum 0.05\nlat_count 1\n'
+        )
+        assert any("+Inf" in p for p in check_text(text))
+
+    def test_histogram_not_cumulative(self):
+        text = (
+            "# TYPE lat histogram\n"
+            'lat_bucket{le="0.1"} 5\nlat_bucket{le="+Inf"} 2\n'
+            "lat_sum 0.1\nlat_count 2\n"
+        )
+        assert any("cumulative" in p for p in check_text(text))
+
+    def test_histogram_count_mismatch(self):
+        text = (
+            "# TYPE lat histogram\n"
+            'lat_bucket{le="+Inf"} 2\nlat_sum 0.1\nlat_count 5\n'
+        )
+        assert any("_count" in p for p in check_text(text))
+
+    def test_histogram_missing_sum_and_count(self):
+        text = "# TYPE lat histogram\n" 'lat_bucket{le="+Inf"} 2\n'
+        problems = check_text(text)
+        assert any("_sum" in p for p in problems)
+        assert any("_count" in p for p in problems)
+
+    def test_unparseable_line_reported_with_lineno(self):
+        problems = check_text("# TYPE x gauge\nx 1\n???\n")
+        assert any(p.startswith("line 3:") for p in problems)
+
+
+class TestCli:
+    def test_ok_and_invalid_files(self, tmp_path, capsys):
+        good = tmp_path / "good.prom"
+        good.write_text(VALID)
+        bad = tmp_path / "bad.prom"
+        bad.write_text("mystery_total 1\n")
+        assert check_file(str(good)) == []
+        assert promcheck_main([str(good)]) == 0
+        assert "OK" in capsys.readouterr().out
+        assert promcheck_main([str(good), str(bad)]) == 1
+        out = capsys.readouterr().out
+        assert "INVALID" in out and "no TYPE" in out

@@ -1,8 +1,14 @@
 """Unit tests for the metrics registry and its Prometheus exposition."""
 
+import threading
+
 import pytest
 
-from repro.obs.registry import DEFAULT_BUCKETS, MetricsRegistry
+from repro.obs.registry import (
+    DEFAULT_BUCKETS,
+    MetricsRegistry,
+    escape_label_value,
+)
 
 
 class TestCounters:
@@ -77,3 +83,148 @@ class TestPrometheusText:
         assert 'epoch_seconds_bucket{le="+Inf"} 1' in text
         assert "epoch_seconds_count 1" in text
         assert text.endswith("\n")
+
+
+class TestLabelEscaping:
+    """Satellite: label values must render per the text-format spec."""
+
+    def test_escape_helper(self):
+        assert escape_label_value("plain") == "plain"
+        assert escape_label_value('a"b') == 'a\\"b'
+        assert escape_label_value("a\\b") == "a\\\\b"
+        assert escape_label_value("a\nb") == "a\\nb"
+        # A backslash already escaping a quote must not be double-mangled
+        # beyond one escape level each.
+        assert escape_label_value('\\"') == '\\\\\\"'
+
+    def test_exposition_escapes_label_values(self):
+        reg = MetricsRegistry()
+        reg.inc("paths_total", 1, path='C:\\dir\n"quoted"')
+        text = reg.prometheus_text()
+        assert 'paths_total{path="C:\\\\dir\\n\\"quoted\\""} 1' in text
+        # the raw (unescaped) forms must not leak into the exposition
+        assert '\n"quoted"' not in text
+
+    def test_escaped_exposition_passes_checker(self):
+        from repro.obs.promcheck import check_text
+
+        reg = MetricsRegistry()
+        reg.inc("paths_total", 1, help="odd labels",
+                path='back\\slash "quote" new\nline')
+        assert check_text(reg.prometheus_text()) == []
+
+    def test_newline_value_stays_on_one_line(self):
+        # an unescaped newline would split the sample across two lines and
+        # corrupt every scrape of the whole payload
+        reg = MetricsRegistry()
+        reg.inc("x_total", 1, k="a\nb")
+        sample_lines = [
+            line for line in reg.prometheus_text().splitlines()
+            if line.startswith("x_total")
+        ]
+        assert sample_lines == ['x_total{k="a\\nb"} 1']
+
+
+class TestExemplars:
+    def test_exemplar_lands_in_tightest_bucket(self):
+        reg = MetricsRegistry()
+        reg.observe("lat", 0.005, buckets=(0.001, 0.01, 0.1),
+                    exemplar="req-000007")
+        ex = reg.exemplars("lat")
+        assert ex == {"0.01": {"ref": "req-000007", "value": 0.005}}
+
+    def test_most_recent_reference_wins(self):
+        reg = MetricsRegistry()
+        reg.observe("lat", 0.005, buckets=(0.01,), exemplar="req-a")
+        reg.observe("lat", 0.006, buckets=(0.01,), exemplar="req-b")
+        assert reg.exemplars("lat")["0.01"]["ref"] == "req-b"
+
+    def test_overflow_goes_to_inf_slot(self):
+        reg = MetricsRegistry()
+        reg.observe("lat", 5.0, buckets=(0.01, 0.1), exemplar="req-slow")
+        assert reg.exemplars("lat")["+Inf"]["ref"] == "req-slow"
+
+    def test_exemplars_per_label_series(self):
+        reg = MetricsRegistry()
+        reg.observe("lat", 0.005, buckets=(0.01,), source="cache",
+                    exemplar="req-hit")
+        reg.observe("lat", 0.005, source="solve", exemplar="req-miss")
+        assert reg.exemplars("lat", source="cache")["0.01"]["ref"] == "req-hit"
+        assert reg.exemplars("lat", source="solve")["0.01"]["ref"] == "req-miss"
+        assert reg.exemplars("lat") == {}  # unlabelled series: none
+
+    def test_exemplars_surface_in_snapshot(self):
+        reg = MetricsRegistry()
+        reg.observe("lat", 0.005, buckets=(0.01,), exemplar="req-1")
+        snap = reg.snapshot()["lat"]
+        assert snap["exemplars"]["0.01"]["ref"] == "req-1"
+
+    def test_no_exemplar_keeps_snapshot_shape(self):
+        reg = MetricsRegistry()
+        reg.observe("lat", 0.005, buckets=(0.01,))
+        assert "exemplars" not in reg.snapshot()["lat"]
+
+    def test_exposition_stays_classic_format(self):
+        # Exemplars are exposed via the API, not the classic text format
+        # (OpenMetrics "# {...}" suffixes would break plain scrapers).
+        reg = MetricsRegistry()
+        reg.observe("lat", 0.005, buckets=(0.01,), exemplar="req-1")
+        assert "req-1" not in reg.prometheus_text()
+
+
+class TestSnapshotConsistency:
+    """Satellite: snapshot/prometheus_text take one consistent cut."""
+
+    def test_histogram_sum_count_buckets_agree_under_concurrency(self):
+        reg = MetricsRegistry()
+        stop = threading.Event()
+
+        def hammer():
+            while not stop.is_set():
+                reg.observe("lat", 0.5, buckets=(1.0,))
+
+        threads = [threading.Thread(target=hammer) for _ in range(4)]
+        for t in threads:
+            t.start()
+        try:
+            for _ in range(200):
+                h = reg.snapshot().get("lat")
+                if h is None:
+                    continue
+                # one consistent cut: every covering bucket equals count,
+                # and the sum is exactly count * 0.5
+                assert h["buckets"]["1"] == h["count"]
+                assert h["sum"] == pytest.approx(h["count"] * 0.5)
+        finally:
+            stop.set()
+            for t in threads:
+                t.join()
+
+    def test_prometheus_text_consistent_under_concurrency(self):
+        reg = MetricsRegistry()
+        stop = threading.Event()
+
+        def hammer():
+            while not stop.is_set():
+                reg.observe("lat_seconds", 0.5, buckets=(1.0,))
+
+        threads = [threading.Thread(target=hammer) for _ in range(4)]
+        for t in threads:
+            t.start()
+        try:
+            for _ in range(50):
+                counts = {}
+                for line in reg.prometheus_text().splitlines():
+                    if line.startswith("lat_seconds"):
+                        name = line.split("{")[0].split(" ")[0]
+                        counts[name] = float(line.rsplit(" ", 1)[1])
+                if not counts:
+                    continue
+                assert counts["lat_seconds_bucket"] == counts["lat_seconds_count"]
+                assert counts["lat_seconds_sum"] == pytest.approx(
+                    counts["lat_seconds_count"] * 0.5
+                )
+        finally:
+            stop.set()
+            for t in threads:
+                t.join()

@@ -28,10 +28,12 @@ from hypothesis import given, settings, strategies as st
 from repro.core.solver import solve_sssp
 from repro.graph.builder import from_undirected_edges
 from repro.graph.roots import choose_roots
+from repro.obs.burnrate import OK_SOURCES
 from repro.obs.tracer import TraceConfig
 from repro.serve.breaker import BreakerConfig, CircuitBreaker
 from repro.serve.broker import QueryBroker
 from repro.serve.chaos import ChaosEvent, ChaosPlan, InjectedFault
+from repro.serve.events import WideEventLog
 from repro.serve.request import (
     ServiceUnavailable,
     SolveCorrupted,
@@ -87,6 +89,7 @@ def run_journey(graph, seed: int) -> dict:
         breaker=breaker,
         verify="structural",
         trace=TraceConfig(path=None),
+        events=WideEventLog(),
     )
     journeys = []
 
@@ -114,6 +117,16 @@ def run_journey(graph, seed: int) -> dict:
         "transitions": [(cls, a, b)
                         for _, cls, a, b in breaker.transitions],
         "trace_events": list(broker.tracer.events),
+        "events": broker.events.events(),
+        "canonical": broker.events.canonical_text(),
+        "latency_count": broker.latency.count,
+        "registry": broker.registry.snapshot(),
+        "exemplars": {
+            source: broker.registry.exemplars(
+                "serve_request_latency_seconds", source=source
+            )
+            for source in OK_SOURCES
+        },
     }
     broker.shutdown()
     return record
@@ -187,6 +200,114 @@ class TestJourneyInvariants:
         retry_spans = [e for e in record["trace_events"]
                        if e["type"] == "span" and e["name"] == "retry"]
         assert len(retry_spans) == record["report"]["retries"]
+
+
+@pytest.mark.parametrize("seed", SEEDS)
+class TestWideEventReconciliation:
+    """ISSUE 9 tentpole: every request's wide event reconciles with the
+    tracer spans, the registry counters, and the SLO window."""
+
+    def test_exactly_one_event_per_request(self, rmat1_small, seed):
+        record = run_journey(rmat1_small, seed)
+        events = record["events"]
+        journeys = record["journeys"]
+        assert len(events) == record["report"]["offered"] == len(journeys)
+        ids = [e["request_id"] for e in events]
+        assert len(set(ids)) == len(ids)
+        # ids are minted in admission order: req-000000 .. req-NNNNNN
+        assert sorted(ids) == [f"req-{i:06d}" for i in range(len(ids))]
+        # submission is sequential here, so the i-th admitted request is
+        # the i-th journey step; events carry the matching root
+        by_id = {e["request_id"]: e for e in events}
+        for i, (root, future) in enumerate(journeys):
+            ev = by_id[f"req-{i:06d}"]
+            assert ev["root"] == root
+            assert ev["admission"] == "admitted"
+            ok = future.exception() is None
+            assert (ev["outcome"] in OK_SOURCES) == ok
+            if ok:
+                res = future.result()
+                assert res.request_id == ev["request_id"]
+                assert ev["outcome"] == res.source
+                assert ev["source"] == res.source
+                assert ev["attempts_total"] == res.attempts
+                assert ev["stale_ok"] == res.stale_ok
+                assert ev["degraded"] == res.degraded
+
+    def test_events_reconcile_with_counters_and_spans(self, rmat1_small, seed):
+        record = run_journey(rmat1_small, seed)
+        events = record["events"]
+        # outcome counts from events == report outcome_* == registry
+        by_outcome: dict[str, int] = {}
+        for ev in events:
+            key = f"outcome_{ev['outcome']}"
+            by_outcome[key] = by_outcome.get(key, 0) + 1
+        assert by_outcome == record["outcomes"]
+        for key, count in by_outcome.items():
+            outcome = key[len("outcome_"):]
+            counter = f'serve_requests_total{{outcome="{outcome}"}}'
+            assert record["registry"][counter] == count
+        # every request span's request_id and outcome match its event
+        by_id = {e["request_id"]: e for e in events}
+        spans = [e for e in record["trace_events"]
+                 if e["type"] == "span" and e["name"] == "request"]
+        assert len(spans) == len(events)
+        for span in spans:
+            ev = by_id[span["args"]["request_id"]]
+            assert span["args"]["outcome"] == ev["outcome"]
+            assert span["args"]["root"] == ev["root"]
+        # batch and solve spans only name admitted request ids
+        for span in record["trace_events"]:
+            if span.get("type") == "span" and "request_ids" in span.get(
+                "args", {}
+            ):
+                for rid in span["args"]["request_ids"]:
+                    assert rid in by_id
+
+    def test_events_reconcile_with_slo_window_and_exemplars(
+        self, rmat1_small, seed
+    ):
+        record = run_journey(rmat1_small, seed)
+        events = record["events"]
+        # one latency sample per terminal completion (no sheds here)
+        assert record["latency_count"] == len(events)
+        # every exemplar points at a request that was actually served
+        # from that source
+        ids_by_source: dict[str, set] = {}
+        for ev in events:
+            ids_by_source.setdefault(ev["outcome"], set()).add(
+                ev["request_id"]
+            )
+        seen = 0
+        for source, slots in record["exemplars"].items():
+            for slot in slots.values():
+                assert slot["ref"] in ids_by_source.get(source, set())
+                seen += 1
+        assert seen > 0  # the run must have produced exemplars at all
+
+    def test_event_internals_are_coherent(self, rmat1_small, seed):
+        record = run_journey(rmat1_small, seed)
+        for ev in record["events"]:
+            # solved requests went through >= 1 batch and queue wait
+            if ev["outcome"] == "solve":
+                assert ev["batches"]
+                assert ev["timing"]["queue_waits_s"]
+                assert ev["attempts"]
+                assert ev["attempts"][-1]["outcome"] == "ok"
+            if ev["outcome"] == "cache":
+                # submit-time hits carry attempts_total 0; dispatch-time
+                # hits 1 (they consumed a dispatch) — never more, and no
+                # solve attempt is ever recorded for either
+                assert ev["attempts_total"] in (0, 1)
+                assert ev["attempts"] == []
+            if ev["degraded"]:
+                assert ev["degraded_tier"] is not None
+
+    def test_canonical_stream_is_replay_identical(self, rmat1_small, seed):
+        first = run_journey(rmat1_small, seed)
+        second = run_journey(rmat1_small, seed)
+        assert first["canonical"]
+        assert first["canonical"] == second["canonical"]
 
 
 class TestJourneyChaosActuallyBites:

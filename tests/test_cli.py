@@ -128,6 +128,67 @@ class TestCommands:
         assert args.arrival == "closed"
         assert args.batch_size == 16
         assert args.cache_mb == 64.0
+        assert args.events is None
+        # burn monitoring is opt-in for serve-bench
+        assert args.burn_objective is None
+        assert args.burn_fast_s == 60.0
+        assert args.burn_slow_s == 300.0
+
+    def test_serve_bench_events_and_burn(self, capsys, tmp_path):
+        events = tmp_path / "events.jsonl"
+        rc = main(["serve-bench", "--scale", "9", "--ranks", "2",
+                   "--threads", "2", "--requests", "20", "--workers", "0",
+                   "--flush-ms", "0", "--root-universe", "4",
+                   "--concurrency", "1", "--events", str(events),
+                   "--burn-objective", "0.99", "--burn-min-samples", "1"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "SLO burn rate" in out
+        assert "wide events written" in out
+        from repro.serve.events import read_events
+
+        stream = read_events(str(events))
+        assert len(stream) == 20
+        assert all(e["schema"] == 1 for e in stream)
+
+    def test_serve_bench_events_replay_identical(self, capsys, tmp_path):
+        from repro.serve.events import canonical_text, read_events
+
+        streams = []
+        for run in ("a", "b"):
+            events = tmp_path / f"events-{run}.jsonl"
+            rc = main(["serve-bench", "--scale", "9", "--ranks", "2",
+                       "--threads", "2", "--requests", "15", "--workers", "0",
+                       "--flush-ms", "0", "--root-universe", "4",
+                       "--concurrency", "1", "--retries", "3",
+                       "--retry-backoff-ms", "0",
+                       "--chaos", "error=0.2,clean-after=2,seed=3",
+                       "--events", str(events)])
+            assert rc == 0
+            capsys.readouterr()
+            streams.append(canonical_text(read_events(str(events))))
+        assert streams[0] and streams[0] == streams[1]
+
+    def test_serve_top_fixed_frames(self, capsys, tmp_path):
+        events = tmp_path / "events.jsonl"
+        rc = main(["serve-top", "--scale", "9", "--ranks", "2",
+                   "--threads", "2", "--requests", "20", "--workers", "1",
+                   "--root-universe", "4", "--concurrency", "1",
+                   "--refresh-ms", "10", "--frames", "2", "--no-clear",
+                   "--events", str(events)])
+        assert rc == 0
+        out = capsys.readouterr().out
+        # two live frames plus the final post-drain frame
+        assert out.count("serve-top — SSSP serving plane") >= 3
+        assert "latency by source" in out
+        assert "burn rate" in out
+        assert events.exists()
+
+    def test_serve_top_requires_workers(self, capsys):
+        rc = main(["serve-top", "--scale", "9", "--workers", "0",
+                   "--frames", "1"])
+        assert rc == 2
+        assert "worker" in capsys.readouterr().err
 
     def test_module_entry_point(self):
         import subprocess
