@@ -67,6 +67,13 @@ from benchmarks.common import (
 from repro.serve import QueryBroker, WorkloadSpec, run_workload
 from repro.serve.slo import percentile
 
+#: CI gate (ISSUE 10): incremental repair must cost at most this fraction
+#: of a fresh solve at <= 1% edge churn.
+REPAIR_COST_CEILING = 0.30
+
+#: Open-loop offered rates for the saturation sweep (qps).
+RATE_SWEEP = (25.0, 50.0, 100.0, 200.0, 400.0, 800.0)
+
 SCALE_LABELS = {"tiny": 10, "default": 14}
 REQUESTS = {"tiny": 120, "default": 400}
 
@@ -432,6 +439,218 @@ def run_obs_overhead_check(
     return failures
 
 
+def run_rate_sweep(
+    scale_label: str,
+    *,
+    num_ranks: int,
+    workers: int,
+    requests: int | None,
+    rates=RATE_SWEEP,
+) -> dict:
+    """Open-loop rate sweep past saturation (ISSUE 10 satellite a).
+
+    Each rate drives the same Poisson stream shape; the broker's bounded
+    admission queue converts overload into sheds, so the row sequence
+    exposes the shed-fraction / latency knee rather than hiding it behind
+    closed-loop self-pacing. Capacity is deliberately modest (64) and the
+    cache is off — every request is a real solve, so the sweep is *meant*
+    to cross the knee.
+    """
+    scale = SCALE_LABELS.get(scale_label)
+    if scale is None:
+        scale = int(scale_label)
+    if requests is None:
+        requests = REQUESTS.get(scale_label, 200)
+    graph = cached_rmat(scale, "rmat1")
+    machine = default_machine(num_ranks, threads_per_rank=8)
+    runs = []
+    for rate in rates:
+        spec = WorkloadSpec(
+            num_requests=requests,
+            arrival="open",
+            rate_qps=float(rate),
+            zipf_s=1.2,
+            root_universe=32,
+            seed=5,
+        )
+        broker = QueryBroker(
+            graph,
+            algorithm="opt",
+            delta=25,
+            machine=machine,
+            capacity=64,
+            max_batch_size=8,
+            flush_interval_s=0.002,
+            num_workers=workers,
+            cache_bytes=0,
+        )
+        try:
+            report = run_workload(broker, spec)
+        finally:
+            broker.shutdown(drain=True)
+        offered = report["offered"]
+        runs.append({
+            "variant": f"rate-{rate:g}",
+            "scale_label": scale_label,
+            "scale": scale,
+            "rate_qps": float(rate),
+            "offered": offered,
+            "completed": report["completed"],
+            "shed": report["shed"],
+            "shed_fraction": report["shed"] / offered if offered else 0.0,
+            "throughput_qps": report["throughput_qps"],
+            "p50_s": report["p50_s"],
+            "p99_s": report["p99_s"],
+            "cache_hit_rate": report["cache_hit_rate"],
+        })
+    return {
+        "schema": 1,
+        "gate": "rate-sweep",
+        "machine": {"num_ranks": num_ranks, "threads_per_rank": 8},
+        "runs": runs,
+    }
+
+
+def run_update_stream(
+    scale_label: str,
+    *,
+    num_ranks: int,
+    requests: int | None = None,
+    churn_fraction: float = 0.01,
+    updates: int = 4,
+    hot_roots: int = 4,
+    seed: int = 0,
+) -> dict:
+    """Repair-vs-fresh cost on a live update stream (ISSUE 10 headline).
+
+    Per churn round: apply a seeded ``churn_fraction`` batch through a
+    :class:`~repro.dynamic.versioner.GraphVersioner`, repair each hot
+    root's previous distances, and fresh-solve the same roots on the new
+    snapshot. Every repaired vector is asserted bit-identical to its
+    fresh solve before any timing is reported, and the published ratio is
+    total repair seconds over total fresh-solve seconds.
+    """
+    import time
+
+    import numpy as np
+
+    from repro.core.config import preset
+    from repro.core.solver import solve_sssp
+    from repro.dynamic.repair import repair_sssp
+    from repro.dynamic.updates import random_update_batch
+    from repro.dynamic.versioner import GraphVersioner
+    from repro.graph.roots import choose_roots
+
+    scale = SCALE_LABELS.get(scale_label)
+    if scale is None:
+        scale = int(scale_label)
+    graph = cached_rmat(scale, "rmat1")
+    machine = default_machine(num_ranks, threads_per_rank=8)
+    config = preset("opt", 25)
+    versioner = GraphVersioner(
+        graph, machine=machine, config=config, retention=updates + 1
+    )
+    roots = [int(r) for r in choose_roots(graph, hot_roots, seed=seed)]
+
+    def fresh(g, root: int) -> tuple:
+        t0 = time.perf_counter()
+        result = solve_sssp(
+            g, root, algorithm="opt", delta=25, machine=machine
+        )
+        return result.distances, time.perf_counter() - t0
+
+    distances = {}
+    for root in roots:
+        distances[root], _ = fresh(graph, root)
+
+    runs = []
+    repair_total = fresh_total = 0.0
+    fallbacks = 0
+    for r in range(updates):
+        batch = random_update_batch(
+            versioner.current.graph,
+            np.random.default_rng((seed, r)),
+            churn_fraction=churn_fraction,
+        )
+        snap, _ = versioner.apply(batch)
+        ctx = versioner.context_for(snap.snapshot_id)
+        round_repair = round_fresh = 0.0
+        round_dirty = 0
+        for root in roots:
+            result = repair_sssp(ctx, root, distances[root], snap.delta)
+            fresh_d, fresh_s = fresh(snap.graph, root)
+            round_fresh += fresh_s
+            if result.fallback:
+                fallbacks += 1
+                distances[root] = fresh_d
+                round_repair += fresh_s  # fallback pays the full solve
+                continue
+            round_repair += result.wall_time_s
+            round_dirty += result.dirty
+            assert np.array_equal(result.distances, fresh_d), (
+                f"repair diverged from fresh solve: root {root}, "
+                f"snapshot {snap.snapshot_id}"
+            )
+            distances[root] = result.distances
+        repair_total += round_repair
+        fresh_total += round_fresh
+        runs.append({
+            "variant": f"churn-round-{r}",
+            "scale_label": scale_label,
+            "scale": scale,
+            "snapshot_id": snap.snapshot_id,
+            "batch_size": batch.size,
+            "churn_fraction": churn_fraction,
+            "roots": len(roots),
+            "dirty": round_dirty,
+            "repair_s": round_repair,
+            "fresh_s": round_fresh,
+            "repair_cost_ratio": (
+                round_repair / round_fresh if round_fresh else 0.0
+            ),
+        })
+    return {
+        "schema": 1,
+        "gate": "update-stream",
+        "machine": {"num_ranks": num_ranks, "threads_per_rank": 8},
+        "churn": {
+            "updates": updates,
+            "churn_fraction": churn_fraction,
+            "hot_roots": hot_roots,
+            "seed": seed,
+        },
+        "repair_s": repair_total,
+        "fresh_s": fresh_total,
+        "repair_cost_ratio": (
+            repair_total / fresh_total if fresh_total else 0.0
+        ),
+        "repair_fallbacks": fallbacks,
+        "runs": runs,
+    }
+
+
+def check_update_stream_gate(payload: dict) -> list[str]:
+    """Repaired-at-a-fraction-of-fresh, bit-identity already asserted."""
+    failures = []
+    ratio = payload["repair_cost_ratio"]
+    if ratio >= REPAIR_COST_CEILING:
+        failures.append(
+            f"repair cost ratio {ratio:.3f} >= {REPAIR_COST_CEILING:.2f} "
+            f"of fresh-solve cost at "
+            f"{payload['churn']['churn_fraction']:.2%} churn"
+        )
+    return failures
+
+
+def merge_section(path: str, section: str, payload: dict) -> None:
+    """Write ``payload`` under its own section of a live-serving baseline
+    JSON (``BENCH_PR10.json``), preserving the other sections."""
+    base = load_bench_json(path) if Path(path).exists() else {}
+    base["schema"] = 1
+    base[section] = payload
+    write_bench_json(path, base)
+
+
 def merge_into_baseline(current: dict, baseline: dict) -> dict:
     """Replace rows matched by (scale_label, variant); keep the rest."""
     fresh = {(r["scale_label"], r["variant"]): r for r in current["runs"]}
@@ -491,7 +710,99 @@ def main(argv: list[str] | None = None) -> int:
         "--max-overhead-pct", type=float, default=2.0,
         help="allowed armed-no-chaos throughput regression (default 2%%)",
     )
+    parser.add_argument(
+        "--rate-sweep",
+        action="store_true",
+        help="open-loop offered-rate sweep past saturation: publishes the "
+             "shed-fraction / latency knee (BENCH_PR10 'rate_sweep' "
+             "section when --update names a baseline)",
+    )
+    parser.add_argument(
+        "--update-stream",
+        action="store_true",
+        help="live-graph repair-vs-fresh cost stream: seeded churn rounds "
+             "through a GraphVersioner, hot roots carried by incremental "
+             "repair, bit-identity asserted (BENCH_PR10 'update_stream' "
+             "section when --update names a baseline); with --check, "
+             "fails unless repair costs < 30%% of fresh solves",
+    )
+    parser.add_argument(
+        "--churn", type=float, default=0.01,
+        help="edge-churn fraction per update round (default 1%%)",
+    )
+    parser.add_argument(
+        "--updates", type=int, default=4,
+        help="number of churn rounds in --update-stream (default 4)",
+    )
     args = parser.parse_args(argv)
+
+    if args.rate_sweep:
+        payload = run_rate_sweep(
+            args.scale, num_ranks=args.ranks, workers=args.workers,
+            requests=args.requests,
+        )
+        print_table(
+            [
+                {
+                    "rate qps": f"{r['rate_qps']:g}",
+                    "done": r["completed"],
+                    "shed": f"{r['shed_fraction']:.2%}",
+                    "qps": f"{r['throughput_qps']:.1f}",
+                    "p50 ms": f"{r['p50_s'] * 1e3:.3f}",
+                    "p99 ms": f"{r['p99_s'] * 1e3:.3f}",
+                }
+                for r in payload["runs"]
+            ],
+            f"Open-loop rate sweep past saturation ({args.scale})",
+        )
+        if args.out:
+            write_bench_json(args.out, payload)
+        if args.update:
+            merge_section(args.update, "rate_sweep", payload)
+        return 0
+
+    if args.update_stream:
+        payload = run_update_stream(
+            args.scale, num_ranks=args.ranks,
+            churn_fraction=args.churn, updates=args.updates,
+        )
+        print_table(
+            [
+                {
+                    "round": r["variant"],
+                    "batch": r["batch_size"],
+                    "dirty": r["dirty"],
+                    "repair ms": f"{r['repair_s'] * 1e3:.1f}",
+                    "fresh ms": f"{r['fresh_s'] * 1e3:.1f}",
+                    "ratio": f"{r['repair_cost_ratio']:.3f}",
+                }
+                for r in payload["runs"]
+            ],
+            f"Incremental repair vs fresh solve ({args.scale}, "
+            f"{args.churn:.2%} churn)",
+        )
+        print(
+            f"total: repair {payload['repair_s'] * 1e3:.1f} ms vs fresh "
+            f"{payload['fresh_s'] * 1e3:.1f} ms — ratio "
+            f"{payload['repair_cost_ratio']:.3f} "
+            f"({payload['repair_fallbacks']} fallbacks); answers "
+            f"bit-identical on every snapshot"
+        )
+        if args.out:
+            write_bench_json(args.out, payload)
+        if args.update:
+            merge_section(args.update, "update_stream", payload)
+        if args.check:
+            failures = check_update_stream_gate(payload)
+            for failure in failures:
+                print(f"REPAIR GATE: {failure}", file=sys.stderr)
+            if failures:
+                return 1
+            print(
+                "repair gate: OK (bit-identical, repair < "
+                f"{REPAIR_COST_CEILING:.0%} of fresh-solve cost)"
+            )
+        return 0
 
     if args.obs_overhead_check:
         failures = run_obs_overhead_check(

@@ -123,6 +123,16 @@ def _add_serve_args(p: argparse.ArgumentParser) -> None:
     p.add_argument("--verify-structural", action="store_true",
                    help="structurally validate every solve before "
                         "serving it (detects corruption)")
+    p.add_argument("--update-stream", type=int, metavar="N", default=0,
+                   help="live-graph mode: interleave N seeded edge-churn "
+                        "update batches with the (open-loop) request "
+                        "stream")
+    p.add_argument("--churn", type=float, default=0.01,
+                   help="edge fraction churned per update batch "
+                        "(default 0.01)")
+    p.add_argument("--repair-hot-roots", type=int, metavar="K", default=4,
+                   help="hot cached roots carried across each snapshot "
+                        "by incremental repair (default 4)")
 
 
 def _add_burn_args(p: argparse.ArgumentParser) -> None:
@@ -467,8 +477,18 @@ def _cmd_serve_bench(args: argparse.Namespace) -> int:
 
     graph, broker, spec = _build_serve_broker(args, events=args.events)
     monitor = _burn_monitor(args, broker)
+    churn = None
+    if args.update_stream:
+        from repro.serve.workload import ChurnSpec
+
+        churn = ChurnSpec(
+            updates=args.update_stream,
+            churn_fraction=args.churn,
+            repair_hot_roots=args.repair_hot_roots,
+            seed=args.seed,
+        )
     try:
-        report = run_workload(broker, spec)
+        report = run_workload(broker, spec, churn=churn)
     finally:
         broker.shutdown(drain=True)
     print(f"graph: {graph}")
@@ -500,6 +520,13 @@ def _cmd_serve_bench(args: argparse.Namespace) -> int:
             if k.startswith("outcome_")
         })
         print(format_table([row], "resilience"))
+    if churn is not None:
+        live = {
+            k: report[k]
+            for k in ("snapshot_id", "churn_updates", "churn_fraction",
+                      "repairs", "repair_fallbacks", "snapshots_resident")
+        }
+        print(format_table([live], "live graph"))
     if monitor is not None:
         burn = monitor.summary()
         row = {

@@ -1,0 +1,337 @@
+"""Incremental SSSP repair: fix distances instead of re-solving.
+
+Given exact distances ``d_old`` for the *parent* snapshot and the
+arc-level :class:`~repro.dynamic.updates.EdgeDelta` to the new one,
+:func:`repair_sssp` produces distances for the new snapshot that are
+**bit-identical** to a fresh solve — shortest distances over ``int64``
+weights are unique, so exactness *is* bit-identity — while touching only
+the region the update actually disturbed. The machinery is the
+delta-propagation family of Ramalingam–Reps / Frigioni et al., driven
+through the repo's own stepping seam: the changed-vertex frontier feeds
+:class:`~repro.core.bucket_index.BucketIndex` (for Δ-stepping) or the
+windowed strategies of :mod:`repro.core.stepping`, and the drain loop
+reuses :func:`~repro.core.relax.apply_relaxations` — precisely the
+"PR 3 bucket machinery already consumes changed-vertex sets" property
+the ROADMAP called out.
+
+Three phases:
+
+1. **Damage closure** (deletes / weight increases). A vertex ``v`` is
+   *dirty* when every certificate of its old distance died: no in-arc
+   ``(u, v, w)`` in the *new* graph with ``u`` clean, ``w > 0`` and
+   ``d_old[u] + w == d_old[v]``. The worklist starts from the heads of
+   worsened arcs that were tight and closes over shortest-path children
+   (``d_old[x] == d_old[v] + w(v, x)``) of every vertex it dirties —
+   the bounded re-anchoring of orphaned subtrees. Requiring strictly
+   positive certificate weights is deliberately conservative: a
+   zero-weight cycle of orphans could otherwise certify itself. Extra
+   dirtying is always safe (those vertices are re-anchored below); a
+   missed dirty vertex never happens because a vertex is skipped only
+   while it holds a live certificate chain that lexicographically
+   descends (distance, old-tree depth) to the root.
+2. **Re-anchor + seed.** Dirty distances reset to ``INF``; one batched
+   relaxation applies every clean→dirty arc (re-attaching orphans to
+   the clean region at their best one-hop bound) and every improved arc
+   (inserts / weight decreases). The changed set is the repair frontier.
+3. **Windowed drain.** Everything except the frontier starts settled;
+   the configured stepping strategy picks ``[lo, hi)`` windows and each
+   window relaxes *all* out-arcs of its active vertices to fixpoint
+   before settling them — the standard window-safety argument makes the
+   result exact for any strategy, including Δ-stepping via the
+   incremental bucket index.
+
+The **cost model** falls back before the drain: when the disturbed
+region (dirty + frontier) exceeds ``max_dirty_fraction`` of the graph, a
+fresh solve is cheaper and the caller is told to run one
+(``RepairResult.fallback``), mirroring the broker's degradation ladder
+style of explicit, observable decisions.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.bucket_index import BucketIndex
+from repro.core.distances import INF
+from repro.core.paths import build_parent_tree
+from repro.core.relax import apply_relaxations
+from repro.core.stepping import make_strategy
+
+__all__ = ["RepairResult", "repair_sssp"]
+
+
+@dataclass(frozen=True)
+class RepairResult:
+    """Outcome of one incremental repair.
+
+    ``distances`` is ``None`` exactly when ``fallback`` is True — the
+    caller must run a fresh solve. ``dirty`` counts vertices orphaned by
+    the damage pass, ``seeds`` the relaxation records applied in the
+    seeding phase, ``frontier`` the vertices the drain started from,
+    ``steps`` the strategy windows drained and ``relax_records`` the
+    total relaxation records the drain generated.
+    """
+
+    distances: np.ndarray | None
+    parents: np.ndarray | None
+    fallback: bool
+    reason: str
+    dirty: int
+    seeds: int
+    frontier: int
+    steps: int
+    relax_records: int
+    wall_time_s: float
+    strategy: str
+
+
+def _expand_ranges(starts: np.ndarray, counts: np.ndarray) -> np.ndarray:
+    """Concatenate ``arange(starts[i], starts[i] + counts[i])`` vectorised.
+
+    ``counts`` must be strictly positive (filter zero-degree segments
+    first — the boundary trick below cannot represent empty segments).
+    """
+    total = int(counts.sum())
+    out = np.ones(total, dtype=np.int64)
+    out[0] = starts[0]
+    ends = np.cumsum(counts)
+    out[ends[:-1]] = starts[1:] - (starts[:-1] + counts[:-1] - 1)
+    return np.cumsum(out)
+
+
+def _gather_arcs(graph, vertices: np.ndarray):
+    """All out-arcs of ``vertices``: ``(tails_repeated, heads, weights)``."""
+    degrees = graph.degrees[vertices]
+    nonzero = degrees > 0
+    v = vertices[nonzero]
+    deg = degrees[nonzero]
+    if v.size == 0:
+        empty = np.empty(0, dtype=np.int64)
+        return empty, empty, empty
+    flat = _expand_ranges(graph.indptr[v], deg)
+    return np.repeat(v, deg), graph.adj[flat], graph.weights[flat]
+
+
+def _damage_closure(graph, d: np.ndarray, delta, root: int) -> np.ndarray:
+    """Boolean dirty mask: vertices whose old distance lost every certificate.
+
+    Works entirely on the *old* distances and the *new* graph, per the
+    classic delta-propagation formulation. The root and unreached
+    vertices are never dirty.
+    """
+    n = graph.num_vertices
+    dirty = np.zeros(n, dtype=bool)
+    wt, wh, ww = delta.worsened_tails, delta.worsened_heads, delta.worsened_weights
+    # Heads of worsened arcs that were tight under the old distances lost
+    # *a* certificate; whether they lost every certificate is decided by
+    # the worklist scan below.
+    was_tight = (d[wt] < INF) & (d[wh] < INF) & (d[wt] + ww == d[wh])
+    seeds = [wh[was_tight]]
+    # Heads of *improved* arcs can lose their certificate too: the delta
+    # carries only new weights, so the old-tightness of a reweighted-down
+    # arc cannot be tested — seed its head unconditionally (a head whose
+    # certificates all survive just stays clean in the first scan).
+    ih = delta.improved_heads
+    if ih.size:
+        seeds.append(ih)
+    work = np.unique(np.concatenate(seeds))
+    work = work[(work != root) & (d[work] < INF)]
+    if work.size == 0:
+        return dirty
+    while work.size:
+        # Certificate scan: v keeps its distance iff some in-arc (u, v, w)
+        # of the NEW graph has u clean, w > 0 and d[u] + w == d[v]. The
+        # graph is symmetrized, so in-arcs of v are its out-arcs reversed.
+        tails, nbrs, w = _gather_arcs(graph, work)
+        cert = (
+            (w > 0)
+            & ~dirty[nbrs]
+            & (d[nbrs] < INF)
+            & (d[nbrs] + w == d[tails])
+        )
+        has_cert = np.zeros(work.size, dtype=bool)
+        if cert.any():
+            # Map each arc back to its position in `work` (work is sorted
+            # unique, tails repeats its entries in order).
+            has_cert[np.searchsorted(work, tails[cert])] = True
+        newly = work[~has_cert]
+        if newly.size == 0:
+            break
+        dirty[newly] = True
+        # Re-examine shortest-path children of the newly dirty vertices:
+        # their certificate through the dead parent just died too.
+        tails, nbrs, w = _gather_arcs(graph, newly)
+        child = (
+            (d[tails] < INF)
+            & (d[nbrs] < INF)
+            & (d[tails] + w == d[nbrs])
+            & ~dirty[nbrs]
+            & (nbrs != root)
+        )
+        work = np.unique(nbrs[child])
+    return dirty
+
+
+def repair_sssp(
+    ctx,
+    root: int,
+    old_distances: np.ndarray,
+    delta,
+    *,
+    max_dirty_fraction: float = 0.25,
+    with_parents: bool = False,
+) -> RepairResult:
+    """Repair ``old_distances`` into exact distances for ``ctx.graph``.
+
+    Parameters
+    ----------
+    ctx:
+        Execution context of the **new** snapshot (its graph, config and
+        accounting). The strategy is taken from ``ctx.config.strategy``.
+    root:
+        The SSSP root ``old_distances`` solves.
+    old_distances:
+        Exact distances on the parent snapshot (never mutated).
+    delta:
+        :class:`~repro.dynamic.updates.EdgeDelta` from parent to new.
+    max_dirty_fraction:
+        Fall back to a fresh solve when ``(dirty + frontier) / n``
+        exceeds this — the cost-model guard.
+    with_parents:
+        Also derive a parent tree from the repaired distances.
+
+    Only symmetrized undirected graphs are supported (the damage pass
+    reads in-arcs through symmetry — the setting of the paper and every
+    generator in this repo).
+    """
+    graph = ctx.graph
+    if not graph.undirected:
+        raise ValueError("repair_sssp requires a symmetrized undirected graph")
+    n = graph.num_vertices
+    if not 0 <= root < n:
+        raise ValueError(f"root {root} out of range [0, {n})")
+    d = np.array(old_distances, dtype=np.int64, copy=True)
+    if d.shape != (n,):
+        raise ValueError("old_distances shape mismatch")
+    if d[root] != 0:
+        raise ValueError("old_distances is not rooted at the given root")
+    start = time.perf_counter()
+    strategy_name = ctx.config.strategy
+
+    def bail(reason: str, dirty_count: int, seeds: int, frontier: int) -> RepairResult:
+        return RepairResult(
+            distances=None,
+            parents=None,
+            fallback=True,
+            reason=reason,
+            dirty=dirty_count,
+            seeds=seeds,
+            frontier=frontier,
+            steps=0,
+            relax_records=0,
+            wall_time_s=time.perf_counter() - start,
+            strategy=strategy_name,
+        )
+
+    # ------------------------------------------------ phase 1: damage
+    dirty = _damage_closure(graph, d, delta, root)
+    dirty_count = int(dirty.sum())
+    d[dirty] = INF
+
+    # ------------------------------------------------ phase 2: seeds
+    seed_dst = []
+    seed_nd = []
+    if dirty_count:
+        # Re-anchor orphans: best one-hop bound from the clean region.
+        # In-arcs of dirty vertices via symmetry (out-arc (v, u, w) of a
+        # dirty v mirrors in-arc (u, v, w)).
+        dv, du, dw = _gather_arcs(graph, np.nonzero(dirty)[0])
+        anchor = ~dirty[du] & (d[du] < INF)
+        seed_dst.append(dv[anchor])
+        seed_nd.append(d[du][anchor] + dw[anchor])
+    it, ih, iw = delta.improved_tails, delta.improved_heads, delta.improved_weights
+    if it.size:
+        live = d[it] < INF
+        seed_dst.append(ih[live])
+        seed_nd.append(d[it][live] + iw[live])
+    seeds = 0
+    if seed_dst:
+        dst = np.concatenate(seed_dst)
+        nd = np.concatenate(seed_nd)
+        seeds = int(dst.size)
+        frontier = apply_relaxations(d, dst, nd)
+    else:
+        frontier = np.empty(0, dtype=np.int64)
+
+    # ------------------------------------------------ cost-model gate
+    # Touched region = dirty ∪ frontier (re-anchored orphans are in both;
+    # count them once so max_dirty_fraction=1.0 can never trip the gate).
+    touched = dirty_count + int(np.count_nonzero(~dirty[frontier]))
+    if n and touched / n > max_dirty_fraction:
+        return bail("dirty-region", dirty_count, seeds, int(frontier.size))
+
+    # ------------------------------------------------ phase 3: drain
+    settled = np.ones(n, dtype=bool)
+    settled[frontier] = False
+    strategy = make_strategy(ctx.config)
+    strategy.prepare(ctx)
+    index = None
+    if strategy.uses_bucket_index:
+        index = BucketIndex(ctx.config.delta, d, settled)
+    indptr = graph.indptr
+    degrees = graph.degrees
+    steps = 0
+    relax_records = 0
+    ordinal = 0
+    while True:
+        step = strategy.next_step(ctx, d, settled, index, ordinal)
+        if step is None:
+            break
+        ordinal += 1
+        steps += 1
+        while True:
+            if index is not None:
+                active = index.members(step.key)
+            else:
+                active = np.nonzero(~settled & (d < step.hi))[0]
+            if active.size == 0:
+                break
+            # Relax every out-arc of the active set (no short/long split:
+            # the repair frontier is small, a second phase buys nothing),
+            # then settle them; any vertex improved back into the window
+            # — including an active one — is re-activated next round.
+            src_d = d[active]
+            deg = degrees[active]
+            nonzero = deg > 0
+            settled[active] = True
+            if index is not None:
+                index.on_settled(active)
+            if not nonzero.any():
+                continue
+            flat = _expand_ranges(indptr[active[nonzero]], deg[nonzero])
+            dst = graph.adj[flat]
+            nd = np.repeat(src_d[nonzero], deg[nonzero]) + graph.weights[flat]
+            relax_records += int(dst.size)
+            changed = apply_relaxations(d, dst, nd)
+            if changed.size:
+                settled[changed] = False
+                if index is not None:
+                    index.on_relaxed(changed, d)
+
+    parents = build_parent_tree(graph, d, root) if with_parents else None
+    return RepairResult(
+        distances=d,
+        parents=parents,
+        fallback=False,
+        reason="",
+        dirty=dirty_count,
+        seeds=seeds,
+        frontier=int(frontier.size),
+        steps=steps,
+        relax_records=relax_records,
+        wall_time_s=time.perf_counter() - start,
+        strategy=strategy_name,
+    )

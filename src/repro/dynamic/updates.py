@@ -1,0 +1,417 @@
+"""Typed edge-update batches for live graphs.
+
+A live graph evolves through :class:`UpdateBatch` objects: atomic sets of
+edge inserts, deletes and reweights against a fixed vertex universe.
+Applying a batch (:func:`apply_batch`) produces a brand-new immutable
+:class:`~repro.graph.csr.CSRGraph` — snapshots never share mutable state —
+plus an :class:`EdgeDelta`, the arc-level diff the incremental repair
+(:mod:`repro.dynamic.repair`) seeds its changed-vertex frontier from.
+
+The delta is computed by *key lookup*, not by diffing the full arc sets:
+only the ``(tail, head)`` keys the batch names can change, so the old and
+new weights of exactly those keys are gathered (O(batch · log m)) and
+classified into
+
+- **improved** arcs — present in the new graph with a strictly smaller
+  weight than before (or newly present): direct relaxation seeds;
+- **worsened** arcs — present in the old graph with a strictly smaller
+  weight than now (or removed): damage seeds for the orphaned-subtree
+  re-anchoring pass. Worsened arcs carry their *old* weights, because the
+  damage test asks which old shortest-path certificates died.
+
+For undirected graphs every update names an undirected edge ``{u, v}``
+and both constituent arcs appear in the delta.
+
+:func:`random_update_batch` is the seeded churn generator the serving
+benchmarks and the CI ``dynamic-smoke`` job replay: deletes and reweights
+sample existing edges, inserts rejection-sample vacant vertex pairs, all
+from one :class:`numpy.random.Generator`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.core.distances import INF
+from repro.graph.builder import from_edges
+from repro.graph.csr import CSRGraph
+
+__all__ = [
+    "UpdateBatch",
+    "EdgeDelta",
+    "apply_batch",
+    "random_update_batch",
+]
+
+
+def _as_ids(values, name: str) -> np.ndarray:
+    arr = np.ascontiguousarray(values, dtype=np.int64)
+    if arr.ndim != 1:
+        raise ValueError(f"{name} must be one-dimensional")
+    return arr
+
+
+@dataclass(frozen=True)
+class UpdateBatch:
+    """One atomic batch of edge updates.
+
+    All arrays are ``int64`` and parallel within their operation kind.
+    For undirected graphs each ``(tail, head)`` pair names the undirected
+    edge ``{tail, head}``; orientation is irrelevant and both directed
+    arcs are affected.
+
+    Validation at construction covers what is graph-independent (shapes,
+    self-loops, negative weights, duplicate keys across operations);
+    :meth:`validate_against` adds the graph-dependent checks (ids in
+    range, deletes/reweights naming existing edges, inserts naming vacant
+    pairs).
+    """
+
+    insert_tails: np.ndarray = field(default_factory=lambda: np.empty(0, np.int64))
+    insert_heads: np.ndarray = field(default_factory=lambda: np.empty(0, np.int64))
+    insert_weights: np.ndarray = field(default_factory=lambda: np.empty(0, np.int64))
+    delete_tails: np.ndarray = field(default_factory=lambda: np.empty(0, np.int64))
+    delete_heads: np.ndarray = field(default_factory=lambda: np.empty(0, np.int64))
+    reweight_tails: np.ndarray = field(default_factory=lambda: np.empty(0, np.int64))
+    reweight_heads: np.ndarray = field(default_factory=lambda: np.empty(0, np.int64))
+    reweight_weights: np.ndarray = field(default_factory=lambda: np.empty(0, np.int64))
+
+    def __post_init__(self) -> None:
+        for name in (
+            "insert_tails",
+            "insert_heads",
+            "insert_weights",
+            "delete_tails",
+            "delete_heads",
+            "reweight_tails",
+            "reweight_heads",
+            "reweight_weights",
+        ):
+            object.__setattr__(self, name, _as_ids(getattr(self, name), name))
+        if not (
+            self.insert_tails.shape
+            == self.insert_heads.shape
+            == self.insert_weights.shape
+        ):
+            raise ValueError("insert arrays must align")
+        if self.delete_tails.shape != self.delete_heads.shape:
+            raise ValueError("delete arrays must align")
+        if not (
+            self.reweight_tails.shape
+            == self.reweight_heads.shape
+            == self.reweight_weights.shape
+        ):
+            raise ValueError("reweight arrays must align")
+        for tails, heads in (
+            (self.insert_tails, self.insert_heads),
+            (self.delete_tails, self.delete_heads),
+            (self.reweight_tails, self.reweight_heads),
+        ):
+            if tails.size and np.any(tails == heads):
+                raise ValueError("self-loop updates are not allowed")
+        for weights in (self.insert_weights, self.reweight_weights):
+            if weights.size and weights.min() < 0:
+                raise ValueError("edge weights must be non-negative")
+
+    # ------------------------------------------------------------------
+    @classmethod
+    def build(cls, *, inserts=None, deletes=None, reweights=None) -> "UpdateBatch":
+        """Construct from ``(tails, heads[, weights])`` triples/pairs."""
+        it, ih, iw = inserts if inserts is not None else ((), (), ())
+        dt, dh = deletes if deletes is not None else ((), ())
+        rt, rh, rw = reweights if reweights is not None else ((), (), ())
+        return cls(it, ih, iw, dt, dh, rt, rh, rw)
+
+    @property
+    def num_inserts(self) -> int:
+        return int(self.insert_tails.size)
+
+    @property
+    def num_deletes(self) -> int:
+        return int(self.delete_tails.size)
+
+    @property
+    def num_reweights(self) -> int:
+        return int(self.reweight_tails.size)
+
+    @property
+    def size(self) -> int:
+        """Total number of edge operations in the batch."""
+        return self.num_inserts + self.num_deletes + self.num_reweights
+
+    @property
+    def is_empty(self) -> bool:
+        return self.size == 0
+
+    # ------------------------------------------------------------------
+    def _keys(self, num_vertices: int, undirected: bool) -> dict[str, np.ndarray]:
+        """Packed ``tail * n + head`` keys per op kind (canonicalised when
+        undirected so both orientations of one edge collide)."""
+
+        def pack(tails: np.ndarray, heads: np.ndarray) -> np.ndarray:
+            if undirected:
+                lo = np.minimum(tails, heads)
+                hi = np.maximum(tails, heads)
+                return lo * num_vertices + hi
+            return tails * num_vertices + heads
+
+        return {
+            "insert": pack(self.insert_tails, self.insert_heads),
+            "delete": pack(self.delete_tails, self.delete_heads),
+            "reweight": pack(self.reweight_tails, self.reweight_heads),
+        }
+
+    def validate_against(self, graph: CSRGraph) -> None:
+        """Raise ``ValueError`` unless the batch is well-formed for ``graph``.
+
+        Checks: vertex ids in range, no edge named twice (within or across
+        operation kinds, counting both orientations for undirected graphs),
+        deletes and reweights name existing edges, inserts name vacant pairs.
+        """
+        n = graph.num_vertices
+        for name, arr in (
+            ("insert", self.insert_tails),
+            ("insert", self.insert_heads),
+            ("delete", self.delete_tails),
+            ("delete", self.delete_heads),
+            ("reweight", self.reweight_tails),
+            ("reweight", self.reweight_heads),
+        ):
+            if arr.size and (arr.min() < 0 or arr.max() >= n):
+                raise ValueError(f"{name} vertex ids out of range [0, {n})")
+        keys = self._keys(n, graph.undirected)
+        combined = np.concatenate([keys["insert"], keys["delete"], keys["reweight"]])
+        if combined.size != np.unique(combined).size:
+            raise ValueError("batch names the same edge more than once")
+        existing = _arc_weights(graph, np.concatenate([keys["delete"], keys["reweight"]]))
+        if np.any(existing >= INF):
+            raise ValueError("delete/reweight names an edge absent from the graph")
+        inserted = _arc_weights(graph, keys["insert"])
+        if np.any(inserted < INF):
+            raise ValueError(
+                "insert names an edge already present (use a reweight instead)"
+            )
+
+
+def _arc_weights(graph: CSRGraph, keys: np.ndarray) -> np.ndarray:
+    """Weight of the arc with packed key ``tail * n + head`` per entry.
+
+    Absent arcs report ``INF``. For undirected graphs keys may be
+    canonicalised ``(min, max)`` pairs — the symmetrized arc set contains
+    both orientations, so the canonical one always exists when the edge
+    does. Duplicate ``(tail, head)`` arcs would make the lookup pick the
+    first of the sorted run; every graph built through
+    :func:`repro.graph.builder.from_edges` with dedup has unique arcs.
+    """
+    keys = np.asarray(keys, dtype=np.int64)
+    if keys.size == 0:
+        return np.empty(0, dtype=np.int64)
+    n = graph.num_vertices
+    graph_keys = graph.arc_tails() * n + graph.adj
+    order = np.argsort(graph_keys, kind="stable")
+    sorted_keys = graph_keys[order]
+    sorted_weights = graph.weights[order]
+    pos = np.searchsorted(sorted_keys, keys)
+    out = np.full(keys.size, INF, dtype=np.int64)
+    in_range = pos < sorted_keys.size
+    hit = in_range.copy()
+    hit[in_range] = sorted_keys[pos[in_range]] == keys[in_range]
+    out[hit] = sorted_weights[pos[hit]]
+    return out
+
+
+@dataclass(frozen=True)
+class EdgeDelta:
+    """Arc-level diff between two consecutive snapshots.
+
+    ``improved_*`` arcs exist in the new graph with a weight strictly
+    below their old weight (``INF`` when newly inserted) and carry the
+    *new* weight — they are direct relaxation seeds. ``worsened_*`` arcs
+    existed in the old graph with a weight strictly below their new one
+    (``INF`` when deleted) and carry the *old* weight — they are the
+    candidate dead shortest-path certificates the damage pass starts
+    from. For undirected graphs both orientations of every touched edge
+    are present.
+    """
+
+    improved_tails: np.ndarray
+    improved_heads: np.ndarray
+    improved_weights: np.ndarray
+    worsened_tails: np.ndarray
+    worsened_heads: np.ndarray
+    worsened_weights: np.ndarray
+
+    @property
+    def num_improved(self) -> int:
+        return int(self.improved_tails.size)
+
+    @property
+    def num_worsened(self) -> int:
+        return int(self.worsened_tails.size)
+
+    @property
+    def is_empty(self) -> bool:
+        return self.num_improved + self.num_worsened == 0
+
+
+def apply_batch(graph: CSRGraph, batch: UpdateBatch) -> tuple[CSRGraph, EdgeDelta]:
+    """Apply ``batch`` to ``graph``; return ``(new_graph, delta)``.
+
+    The new graph is rebuilt through the standard edge-list pipeline
+    (same dedup/sort invariants as any freshly constructed graph) and is
+    **not** weight-sorted — snapshot consumers sort on context creation
+    exactly like cold starts do. The vertex universe is fixed: updates
+    never add or remove vertices.
+    """
+    batch.validate_against(graph)
+    n = graph.num_vertices
+    tails, heads, weights = graph.to_edge_list()
+
+    def arcs(t: np.ndarray, h: np.ndarray, w: np.ndarray | None):
+        """Both orientations for undirected graphs, as-given otherwise."""
+        if graph.undirected:
+            at = np.concatenate([t, h])
+            ah = np.concatenate([h, t])
+            aw = None if w is None else np.concatenate([w, w])
+            return at, ah, aw
+        return t, h, w
+
+    rem_t, rem_h, _ = arcs(
+        np.concatenate([batch.delete_tails, batch.reweight_tails]),
+        np.concatenate([batch.delete_heads, batch.reweight_heads]),
+        None,
+    )
+    removal_keys = rem_t * n + rem_h
+    keep = ~np.isin(tails * n + heads, removal_keys)
+    add_t, add_h, add_w = arcs(
+        np.concatenate([batch.insert_tails, batch.reweight_tails]),
+        np.concatenate([batch.insert_heads, batch.reweight_heads]),
+        np.concatenate([batch.insert_weights, batch.reweight_weights]),
+    )
+    new_graph = from_edges(
+        np.concatenate([tails[keep], add_t]),
+        np.concatenate([heads[keep], add_h]),
+        np.concatenate([weights[keep], add_w]),
+        n,
+        undirected=graph.undirected,
+        dedup=True,
+    )
+
+    # Arc-level delta over exactly the touched keys.
+    touch_t, touch_h, _ = arcs(
+        np.concatenate([batch.insert_tails, batch.delete_tails, batch.reweight_tails]),
+        np.concatenate([batch.insert_heads, batch.delete_heads, batch.reweight_heads]),
+        None,
+    )
+    touched_keys = touch_t * n + touch_h
+    old_w = _arc_weights(graph, touched_keys)
+    new_w = _arc_weights(new_graph, touched_keys)
+    improved = new_w < old_w
+    worsened = old_w < new_w
+    delta = EdgeDelta(
+        improved_tails=touch_t[improved],
+        improved_heads=touch_h[improved],
+        improved_weights=new_w[improved],
+        worsened_tails=touch_t[worsened],
+        worsened_heads=touch_h[worsened],
+        worsened_weights=old_w[worsened],
+    )
+    return new_graph, delta
+
+
+def random_update_batch(
+    graph: CSRGraph,
+    rng: np.random.Generator,
+    *,
+    churn_fraction: float = 0.01,
+    insert_fraction: float = 0.34,
+    delete_fraction: float = 0.33,
+    max_weight: int | None = None,
+) -> UpdateBatch:
+    """Seeded churn: a random valid batch touching ``churn_fraction`` of edges.
+
+    Deletes and reweights sample distinct existing edges; inserts
+    rejection-sample vacant vertex pairs (and are dropped, not retried
+    forever, if the graph is too dense to place them). Weight draws are
+    uniform in ``[1, max_weight]`` (default: the graph's current max
+    weight, or 16 on an edgeless graph). Determinism: one ``rng`` stream,
+    fixed draw order.
+    """
+    if not 0.0 <= insert_fraction <= 1.0 or not 0.0 <= delete_fraction <= 1.0:
+        raise ValueError("operation fractions must be in [0, 1]")
+    if insert_fraction + delete_fraction > 1.0:
+        raise ValueError("insert_fraction + delete_fraction must be <= 1")
+    if churn_fraction <= 0.0:
+        raise ValueError("churn_fraction must be positive")
+    n = graph.num_vertices
+    m = graph.num_undirected_edges if graph.undirected else graph.num_arcs
+    w_hi = int(max_weight) if max_weight is not None else max(graph.max_weight, 1)
+    w_hi = max(w_hi, 1)
+    ops = max(1, int(round(churn_fraction * m)))
+    want_insert = int(round(ops * insert_fraction))
+    want_delete = int(round(ops * delete_fraction))
+    want_reweight = max(ops - want_insert - want_delete, 0)
+
+    # --- existing-edge sample (deletes + reweights), distinct edges ----
+    tails, heads, weights = graph.to_edge_list()
+    if graph.undirected:
+        fwd = tails < heads
+        tails, heads = tails[fwd], heads[fwd]
+    existing = np.sort(tails * n + heads)
+    take = min(want_delete + want_reweight, tails.size)
+    picked = (
+        rng.choice(tails.size, size=take, replace=False)
+        if take
+        else np.empty(0, dtype=np.int64)
+    )
+    picked = np.sort(picked)
+    num_delete = min(want_delete, take)
+    del_idx = picked[:num_delete]
+    rew_idx = picked[num_delete:]
+    rew_w = (
+        rng.integers(1, w_hi + 1, size=rew_idx.size, dtype=np.int64)
+        if rew_idx.size
+        else np.empty(0, dtype=np.int64)
+    )
+
+    # --- inserts: vacant pairs, distinct from each other -----------------
+    ins_t: list[int] = []
+    ins_h: list[int] = []
+    chosen = set()
+    attempts = 0
+    limit = 20 * max(want_insert, 1) + 10
+    while len(ins_t) < want_insert and attempts < limit and n >= 2:
+        attempts += 1
+        u, v = int(rng.integers(0, n)), int(rng.integers(0, n))
+        if u == v:
+            continue
+        key = min(u, v) * n + max(u, v) if graph.undirected else u * n + v
+        if key in chosen:
+            continue
+        pos = np.searchsorted(existing, key) if graph.undirected else None
+        if graph.undirected:
+            if pos < existing.size and existing[pos] == key:
+                continue
+        elif _arc_weights(graph, np.array([key]))[0] < INF:
+            continue
+        chosen.add(key)
+        ins_t.append(u)
+        ins_h.append(v)
+    ins_w = (
+        rng.integers(1, w_hi + 1, size=len(ins_t), dtype=np.int64)
+        if ins_t
+        else np.empty(0, dtype=np.int64)
+    )
+
+    return UpdateBatch(
+        insert_tails=np.asarray(ins_t, dtype=np.int64),
+        insert_heads=np.asarray(ins_h, dtype=np.int64),
+        insert_weights=ins_w,
+        delete_tails=tails[del_idx],
+        delete_heads=heads[del_idx],
+        reweight_tails=tails[rew_idx],
+        reweight_heads=heads[rew_idx],
+        reweight_weights=rew_w,
+    )

@@ -1,0 +1,212 @@
+"""Snapshot-versioned graphs: immutable lineage with bounded retention.
+
+:class:`GraphVersioner` owns the mutation history of one live graph.
+Every :meth:`~GraphVersioner.apply` call runs an
+:class:`~repro.dynamic.updates.UpdateBatch` through
+:func:`~repro.dynamic.updates.apply_batch` and mints a new
+:class:`GraphSnapshot` — an immutable ``(snapshot_id, CSRGraph, digest,
+parent_id, delta)`` record. Snapshot ids are dense integers starting at
+0 (the seed graph); they are the version half of every
+``(snapshot_id, root)`` distance-cache key and the ``snapshot_id``
+field on wide events.
+
+Two serving-plane needs shape the class:
+
+- **Structural digests** — a SHA-256 over the CSR arrays plus the
+  directedness flag, computed lazily and memoised. Two snapshots with
+  equal digests are byte-identical graphs, which is what replay
+  verification and cross-process cache audits compare.
+- **Bounded retention** — only the newest ``retention`` snapshots stay
+  resident (graphs, contexts, digests). :meth:`apply` returns the ids it
+  retired so the caller (the broker's epoch handoff) can evict dependent
+  state; asking for a retired snapshot raises ``KeyError``.
+
+:meth:`context_for` memoises one preprocessed
+:class:`~repro.core.context.ExecutionContext` per resident snapshot —
+the weight-sort / short-long split / partition work is paid once per
+snapshot, not per repair.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import threading
+from collections import OrderedDict
+from dataclasses import dataclass
+
+from repro.dynamic.updates import EdgeDelta, UpdateBatch, apply_batch
+from repro.graph.csr import CSRGraph
+
+__all__ = ["GraphSnapshot", "GraphVersioner", "structural_digest"]
+
+
+def structural_digest(graph: CSRGraph) -> str:
+    """SHA-256 hex digest of the CSR arrays and the directedness flag.
+
+    Canonical over graph *structure*: two graphs with identical
+    ``indptr``/``adj``/``weights``/``undirected`` digest equally
+    regardless of how they were constructed or whether they have been
+    weight-sorted (sorting produces a different graph object and a
+    different digest — digest the snapshot graph, not derived views).
+    """
+    h = hashlib.sha256()
+    h.update(b"csr-v1")
+    h.update(b"U" if graph.undirected else b"D")
+    for arr in (graph.indptr, graph.adj, graph.weights):
+        h.update(arr.tobytes())
+    return h.hexdigest()
+
+
+@dataclass(frozen=True)
+class GraphSnapshot:
+    """One immutable version of the live graph.
+
+    ``delta`` and ``batch`` describe the transition *from* ``parent_id``
+    (both ``None`` on the seed snapshot 0).
+    """
+
+    snapshot_id: int
+    graph: CSRGraph
+    parent_id: int | None = None
+    delta: EdgeDelta | None = None
+    batch: UpdateBatch | None = None
+
+
+class GraphVersioner:
+    """Mint and retain snapshot-versioned graphs.
+
+    Parameters
+    ----------
+    graph:
+        The seed graph; becomes snapshot 0.
+    machine, config:
+        Defaults for :meth:`context_for`. Optional — required only when
+        contexts are requested without explicit overrides.
+    retention:
+        How many snapshots (newest-first) stay resident. Must be >= 1.
+
+    Thread safety: all public methods take one internal lock; ``apply``
+    is serialized against concurrent readers, which only ever observe a
+    fully-minted snapshot.
+    """
+
+    def __init__(self, graph: CSRGraph, *, machine=None, config=None, retention: int = 4):
+        if retention < 1:
+            raise ValueError("retention must be >= 1")
+        self._lock = threading.RLock()
+        self._machine = machine
+        self._config = config
+        self.retention = int(retention)
+        self._snapshots: OrderedDict[int, GraphSnapshot] = OrderedDict()
+        self._contexts: dict[int, object] = {}
+        self._digests: dict[int, str] = {}
+        self._next_id = 0
+        self._current_id = 0
+        self._mint(GraphSnapshot(snapshot_id=0, graph=graph))
+
+    # ------------------------------------------------------------------
+    def _mint(self, snap: GraphSnapshot) -> list[int]:
+        self._snapshots[snap.snapshot_id] = snap
+        self._current_id = snap.snapshot_id
+        self._next_id = snap.snapshot_id + 1
+        retired: list[int] = []
+        while len(self._snapshots) > self.retention:
+            old_id, _ = self._snapshots.popitem(last=False)
+            self._contexts.pop(old_id, None)
+            self._digests.pop(old_id, None)
+            retired.append(old_id)
+        return retired
+
+    # ------------------------------------------------------------------
+    @property
+    def current_id(self) -> int:
+        with self._lock:
+            return self._current_id
+
+    @property
+    def current(self) -> GraphSnapshot:
+        with self._lock:
+            return self._snapshots[self._current_id]
+
+    def ids(self) -> list[int]:
+        """Resident snapshot ids, oldest first."""
+        with self._lock:
+            return list(self._snapshots)
+
+    def __contains__(self, snapshot_id: int) -> bool:
+        with self._lock:
+            return snapshot_id in self._snapshots
+
+    def get(self, snapshot_id: int) -> GraphSnapshot:
+        with self._lock:
+            try:
+                return self._snapshots[snapshot_id]
+            except KeyError:
+                raise KeyError(
+                    f"snapshot {snapshot_id} is not resident "
+                    f"(retention={self.retention}, resident={list(self._snapshots)})"
+                ) from None
+
+    # ------------------------------------------------------------------
+    def apply(self, batch: UpdateBatch) -> tuple[GraphSnapshot, list[int]]:
+        """Apply ``batch`` to the current snapshot; mint and return the new one.
+
+        Returns ``(snapshot, retired_ids)`` where ``retired_ids`` are the
+        snapshots evicted by retention (oldest first) — the caller owns
+        the cleanup of any state keyed on them.
+        """
+        with self._lock:
+            parent = self._snapshots[self._current_id]
+            new_graph, delta = apply_batch(parent.graph, batch)
+            snap = GraphSnapshot(
+                snapshot_id=self._next_id,
+                graph=new_graph,
+                parent_id=parent.snapshot_id,
+                delta=delta,
+                batch=batch,
+            )
+            retired = self._mint(snap)
+            return snap, retired
+
+    # ------------------------------------------------------------------
+    def digest(self, snapshot_id: int | None = None) -> str:
+        """Structural digest of ``snapshot_id`` (default: current), memoised."""
+        with self._lock:
+            sid = self._current_id if snapshot_id is None else snapshot_id
+            cached = self._digests.get(sid)
+            if cached is None:
+                cached = structural_digest(self.get(sid).graph)
+                self._digests[sid] = cached
+            return cached
+
+    def context_for(self, snapshot_id: int | None = None, *, machine=None, config=None):
+        """Memoised :func:`~repro.core.context.make_context` per snapshot.
+
+        ``machine``/``config`` default to the constructor's; the first
+        call for a snapshot fixes the context, later calls with
+        different overrides raise rather than silently returning a
+        context built for other parameters.
+        """
+        from repro.core.context import make_context
+
+        with self._lock:
+            sid = self._current_id if snapshot_id is None else snapshot_id
+            ctx = self._contexts.get(sid)
+            if ctx is not None:
+                if (machine is not None and machine is not ctx.machine) or (
+                    config is not None and config != ctx.config
+                ):
+                    raise ValueError(
+                        f"snapshot {sid} context already built with different "
+                        "machine/config"
+                    )
+                return ctx
+            use_machine = machine if machine is not None else self._machine
+            use_config = config if config is not None else self._config
+            if use_machine is None or use_config is None:
+                raise ValueError(
+                    "context_for needs machine and config (constructor defaults unset)"
+                )
+            ctx = make_context(self.get(sid).graph, use_machine, use_config)
+            self._contexts[sid] = ctx
+            return ctx

@@ -65,6 +65,10 @@ class RequestContext:
     request_id: str
     root: int
     submitted_at: float = 0.0
+    #: graph snapshot the request was pinned to at admission (0 on a
+    #: broker that never applied updates). Deterministic under seeded
+    #: replay whenever the update schedule is part of the replay.
+    snapshot_id: int = 0
     admission: str = "admitted"
     cache_tier: str = "miss"
     negative: bool = False
@@ -144,6 +148,7 @@ class RequestContext:
             "schema": 1,
             "request_id": self.request_id,
             "root": int(self.root),
+            "snapshot_id": int(self.snapshot_id),
             "admission": self.admission,
             "cache_tier": self.cache_tier,
             "negative": self.negative,

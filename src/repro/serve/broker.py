@@ -19,6 +19,21 @@ every path — cache hit, cache miss, batched, retried and degraded —
 because the engine is deterministic and the cache stores engine output
 verbatim.
 
+Live graphs (DESIGN.md §15): :meth:`QueryBroker.apply_updates` applies
+an :class:`~repro.dynamic.updates.UpdateBatch` through a
+:class:`~repro.dynamic.versioner.GraphVersioner` and swaps the current
+snapshot under a **drain-free epoch handoff** — no barrier, no paused
+traffic. Every request is pinned to the snapshot current at admission:
+its cache key is ``(snapshot_id, root)``, its solve runs a per-snapshot
+:class:`~repro.core.solver.BatchSolver`, its paths extract against its
+snapshot's graph, and its wide event carries the ``snapshot_id`` — so
+no request ever observes a mixed snapshot. Old snapshots stay resident
+while requests are pinned to them and are retired (solver, graph, cache
+entries) once the last pinned request completes and retention lapses.
+Hot cached roots can optionally be **repaired in place** across the
+handoff via :func:`~repro.dynamic.repair.repair_sssp` — incrementally
+fixed distances, bit-identical to a fresh solve on the new snapshot.
+
 Resilience (DESIGN.md §12): a failing, stalling or corrupted root fails
 **only its own request** — batch-mates complete normally. Failed solve
 groups go through the :class:`~repro.serve.retry.RetryPolicy` (capped
@@ -51,6 +66,8 @@ import numpy as np
 
 from repro.core.paths import build_parent_tree, extract_path
 from repro.core.solver import BatchSolver, run_validation
+from repro.dynamic.repair import repair_sssp
+from repro.dynamic.versioner import GraphVersioner
 from repro.obs.request import RequestContext, request_id
 from repro.runtime.watchdog import SolveTimeout
 from repro.serve.batcher import MicroBatcher
@@ -153,6 +170,12 @@ class QueryBroker:
         request ids on batch/solve spans. ``None`` (default) keeps the
         whole machinery unbuilt — zero cost. A tracer alone also mints
         contexts so its spans can carry request ids.
+    snapshot_retention:
+        How many graph snapshots the live-graph versioner keeps resident
+        (see :meth:`apply_updates`). Requests pinned to an
+        out-of-retention snapshot still complete — retirement of their
+        solver, graph and cache entries is deferred until the last
+        pinned request resolves.
     """
 
     def __init__(
@@ -179,6 +202,7 @@ class QueryBroker:
         trace=None,
         registry=None,
         events=None,
+        snapshot_retention: int = 4,
     ) -> None:
         if num_workers < 0:
             raise ValueError("num_workers must be >= 0")
@@ -192,6 +216,30 @@ class QueryBroker:
             num_ranks=num_ranks,
             threads_per_rank=threads_per_rank,
         )
+        # Live-graph state: snapshot lineage, per-snapshot solvers/graphs,
+        # and pin counts for the drain-free epoch handoff. Snapshot 0 is
+        # the construction graph; a broker that never applies updates
+        # pays nothing beyond the (0, root) cache-key tuples.
+        self.versioner = GraphVersioner(
+            graph,
+            machine=self._solver.machine,
+            config=self._solver.config,
+            retention=snapshot_retention,
+        )
+        self._solver_kwargs = dict(
+            algorithm=self._solver.algorithm,
+            config=self._solver.config,
+            machine=self._solver.machine,
+        )
+        self._snapshot_id = 0
+        self._graphs = {0: graph}
+        self._solvers = {0: self._solver}
+        self._snapshot_inflight: dict[int, int] = {}
+        self._retire_pending: set[int] = set()
+        self._update_lock = threading.Lock()
+        self._updates = 0
+        self._repairs = 0
+        self._repair_fallbacks = 0
         self.default_deadline = default_deadline
         self._tracer = None
         if trace is not None and getattr(trace, "enabled", True):
@@ -359,15 +407,25 @@ class QueryBroker:
         with self._lock:
             self._offered += 1
             self._uncompleted += 1
+            # Pin the request to the snapshot current *now*; pin count and
+            # snapshot read share the lock with apply_updates' swap, so a
+            # request is never pinned to a half-installed snapshot.
+            req.snapshot_id = self._snapshot_id
+            self._snapshot_inflight[req.snapshot_id] = (
+                self._snapshot_inflight.get(req.snapshot_id, 0) + 1
+            )
             if self._ctx_armed:
                 seq = self._next_request_seq
                 self._next_request_seq += 1
         if self._ctx_armed:
             req.ctx = RequestContext(
-                request_id(seq), root, submitted_at=req.submitted_at
+                request_id(seq),
+                root,
+                submitted_at=req.submitted_at,
+                snapshot_id=req.snapshot_id,
             )
         stale = self._degraded_now()
-        cached = self.cache.get(root)
+        cached = self.cache.get((req.snapshot_id, root))
         if cached is not None:
             if req.ctx is not None:
                 req.ctx.note_cache("stale_hit" if stale else "hit")
@@ -386,6 +444,7 @@ class QueryBroker:
                 self._shed += 1
                 self._uncompleted -= 1
                 self._idle.notify_all()
+            self._snapshot_unpin(req.snapshot_id)
             self.registry.inc(
                 "serve_shed_total", help="requests shed by admission control"
             )
@@ -475,7 +534,9 @@ class QueryBroker:
         stats = {"hits": 0, "solves": 0, "timeouts": 0, "retries": 0}
         try:
             stale = self._degraded_now()
-            # Coalesce: requests sharing (root, deadline) share one solve.
+            # Coalesce: requests sharing (root, deadline, snapshot) share
+            # one solve — cross-snapshot coalescing would hand one
+            # snapshot's distances to a request pinned to another.
             groups: dict[tuple, list[QueryRequest]] = {}
             for req in batch:
                 groups.setdefault(req.coalesce_key, []).append(req)
@@ -483,7 +544,7 @@ class QueryBroker:
             for key, reqs in groups.items():
                 # Re-check the cache at dispatch: an earlier batch may have
                 # populated this root after these requests were queued.
-                cached = self.cache.peek(key[0])
+                cached = self.cache.peek((key[2], key[0]))
                 if cached is not None:
                     stats["hits"] += len(reqs)
                     for req in reqs:
@@ -558,13 +619,173 @@ class QueryBroker:
     # ------------------------------------------------------------------
     # Resilient solve path
     # ------------------------------------------------------------------
-    def _raw_solve(self, root: int, deadline, attempt: int):
-        """One solve attempt through the chaos layer (when configured)."""
-        if self.chaos is not None:
-            return self.chaos.solve(root, deadline=deadline, attempt=attempt)
-        return self._solver.solve(root, deadline=deadline)
+    def _graph_for(self, snapshot_id: int):
+        """The pinned snapshot's graph (resident while any request pins it)."""
+        with self._lock:
+            return self._graphs[snapshot_id]
 
-    def _attempt_solve(self, root: int, deadline, attempt: int):
+    def _solver_for(self, snapshot_id: int) -> BatchSolver:
+        """The pinned snapshot's solver, built lazily on first solve.
+
+        Construction (context build, weight sort, partition) runs outside
+        the broker lock; a concurrent builder loses the ``setdefault``
+        race and its solver is discarded — both are equivalent."""
+        with self._lock:
+            solver = self._solvers.get(snapshot_id)
+            graph = self._graphs.get(snapshot_id)
+        if solver is not None:
+            return solver
+        if graph is None:
+            raise KeyError(f"snapshot {snapshot_id} is no longer resident")
+        built = BatchSolver(graph, **self._solver_kwargs)
+        with self._lock:
+            return self._solvers.setdefault(snapshot_id, built)
+
+    def _snapshot_unpin(self, snapshot_id: int) -> None:
+        """Drop one pin; run any deferred retirement when the last pin
+        for an already-superseded snapshot drops."""
+        sid = int(snapshot_id)
+        retire = False
+        with self._lock:
+            left = self._snapshot_inflight.get(sid, 0) - 1
+            if left <= 0:
+                self._snapshot_inflight.pop(sid, None)
+                if sid in self._retire_pending:
+                    self._retire_pending.discard(sid)
+                    self._solvers.pop(sid, None)
+                    self._graphs.pop(sid, None)
+                    retire = True
+            else:
+                self._snapshot_inflight[sid] = left
+        if retire:
+            self.cache.evict_snapshot(sid)
+
+    def _retire_snapshot(self, snapshot_id: int) -> None:
+        """Release a snapshot the versioner pruned. Deferred while any
+        in-flight request is still pinned to it (the request keeps its
+        graph and solver until terminal completion)."""
+        sid = int(snapshot_id)
+        with self._lock:
+            if self._snapshot_inflight.get(sid, 0) > 0:
+                self._retire_pending.add(sid)
+                return
+            self._solvers.pop(sid, None)
+            self._graphs.pop(sid, None)
+        self.cache.evict_snapshot(sid)
+
+    def apply_updates(
+        self,
+        batch,
+        *,
+        repair_hot_roots: int = 0,
+        max_dirty_fraction: float = 0.25,
+    ) -> dict:
+        """Apply an :class:`~repro.dynamic.updates.UpdateBatch` and swap
+        the serving snapshot — a drain-free epoch handoff.
+
+        The new snapshot is built and (optionally) hot cache roots are
+        repaired *before* the swap, so requests keep landing on the old
+        snapshot until the new one is fully ready; the swap itself is one
+        pointer update under the broker lock, shared with ``submit``'s
+        pin — no request ever observes a half-installed graph. Snapshots
+        pruned by the versioner's retention window are retired once their
+        last pinned request completes.
+
+        With ``repair_hot_roots > 0`` the most-recently-used cached roots
+        of the outgoing snapshot are carried over by incremental repair
+        (:func:`~repro.dynamic.repair.repair_sssp`) instead of starting
+        the new epoch cold; repaired distances are bit-identical to a
+        fresh solve, so the carried entries are *correct* cache entries,
+        not approximations. Roots whose dirty region exceeds
+        ``max_dirty_fraction`` fall back to cold (counted, not repaired).
+
+        Returns a report dict; concurrent callers serialise on an update
+        lock (last writer's snapshot serves).
+        """
+        with self._lock:
+            if self._closed:
+                raise ServiceShutdown("broker is shut down")
+        with self._update_lock:
+            old_id = self._snapshot_id
+            snapshot, retired = self.versioner.apply(batch)
+            repaired = 0
+            fallbacks = 0
+            if repair_hot_roots > 0 and self.cache.byte_budget > 0:
+                ctx = self.versioner.context_for(snapshot.snapshot_id)
+                hot = [
+                    key
+                    for key in reversed(self.cache.roots())
+                    if isinstance(key, tuple) and key[0] == old_id
+                ][: int(repair_hot_roots)]
+                for key in hot:
+                    dist = self.cache.peek(key)
+                    if dist is None:
+                        continue
+                    rr = repair_sssp(
+                        ctx,
+                        key[1],
+                        dist,
+                        snapshot.delta,
+                        max_dirty_fraction=max_dirty_fraction,
+                    )
+                    if rr.fallback:
+                        fallbacks += 1
+                        continue
+                    self.cache.put(
+                        (snapshot.snapshot_id, key[1]),
+                        rr.distances,
+                        cost_s=rr.wall_time_s,
+                    )
+                    repaired += 1
+            with self._lock:
+                self._snapshot_id = snapshot.snapshot_id
+                self.graph = snapshot.graph
+                self._graphs[snapshot.snapshot_id] = snapshot.graph
+                self._updates += 1
+                self._repairs += repaired
+                self._repair_fallbacks += fallbacks
+            for sid in retired:
+                self._retire_snapshot(sid)
+            self.registry.inc(
+                "serve_updates_total",
+                help="update batches applied to the serving graph",
+            )
+            if repaired:
+                self.registry.inc(
+                    "serve_repairs_total", repaired,
+                    help="hot cache roots carried across snapshots by "
+                    "incremental repair",
+                )
+            if fallbacks:
+                self.registry.inc(
+                    "serve_repair_fallbacks_total", fallbacks,
+                    help="hot-root repairs that fell back to cold "
+                    "(dirty region too large)",
+                )
+            self.registry.set_gauge(
+                "serve_snapshot_id", snapshot.snapshot_id,
+                help="current serving snapshot",
+            )
+            return {
+                "snapshot_id": snapshot.snapshot_id,
+                "parent_id": snapshot.parent_id,
+                "batch_size": batch.size,
+                "num_edges": snapshot.graph.num_undirected_edges,
+                "repaired": repaired,
+                "repair_fallbacks": fallbacks,
+                "retired": list(retired),
+            }
+
+    def _raw_solve(self, root: int, deadline, attempt: int, snapshot_id: int):
+        """One solve attempt through the chaos layer (when configured)."""
+        solver = self._solver_for(snapshot_id)
+        if self.chaos is not None:
+            return self.chaos.solve(
+                root, deadline=deadline, attempt=attempt, solver=solver
+            )
+        return solver.solve(root, deadline=deadline)
+
+    def _attempt_solve(self, root: int, deadline, attempt: int, snapshot_id: int):
         """One (possibly hedged) solve attempt, verified when configured.
 
         Returns ``(result, used_attempt)`` — ``used_attempt`` differs
@@ -581,14 +802,17 @@ class QueryBroker:
         policy = self._retry
         if policy is None or not policy.hedging:
             return self._finish_attempt(
-                self._raw_solve(root, deadline, attempt), root, attempt
+                self._raw_solve(root, deadline, attempt, snapshot_id),
+                root,
+                attempt,
+                snapshot_id,
             )
         box: dict = {}
         done = threading.Event()
 
         def run_primary() -> None:
             try:
-                box["res"] = self._raw_solve(root, deadline, attempt)
+                box["res"] = self._raw_solve(root, deadline, attempt, snapshot_id)
             except BaseException as exc:  # noqa: BLE001 — relayed below
                 box["exc"] = exc
             finally:
@@ -613,24 +837,28 @@ class QueryBroker:
                     root=root, attempt=attempt,
                 )
                 try:
-                    res = self._raw_solve(root, deadline, attempt + 1)
-                    return self._finish_attempt(res, root, attempt + 1)
+                    res = self._raw_solve(root, deadline, attempt + 1, snapshot_id)
+                    return self._finish_attempt(res, root, attempt + 1, snapshot_id)
                 except BaseException:  # noqa: BLE001 — fall back to primary
                     done.wait()
                     if "res" in box:
-                        return self._finish_attempt(box["res"], root, attempt)
+                        return self._finish_attempt(
+                            box["res"], root, attempt, snapshot_id
+                        )
                     raise
         done.wait()
         if "exc" in box:
             raise box["exc"]
-        return self._finish_attempt(box["res"], root, attempt)
+        return self._finish_attempt(box["res"], root, attempt, snapshot_id)
 
-    def _finish_attempt(self, res, root: int, attempt: int):
+    def _finish_attempt(self, res, root: int, attempt: int, snapshot_id: int):
         """Post-attempt verification; a failed check is ``corrupt``.
         Returns ``(res, attempt)`` so callers know which attempt won."""
         if self._verify:
             try:
-                run_validation(res.distances, self.graph, root, self._verify)
+                run_validation(
+                    res.distances, self._graph_for(snapshot_id), root, self._verify
+                )
             except Exception as exc:
                 raise SolveCorrupted(root, attempt, str(exc)) from exc
         return res, attempt
@@ -656,9 +884,9 @@ class QueryBroker:
         self, key: tuple, reqs: list, batch_id: int, stats: dict
     ) -> None:
         """Solve one coalesce group with isolation, breaker and retries."""
-        root, deadline = key
+        root, deadline, snapshot_id = key
         attempt = max(req.attempts for req in reqs)
-        if self.cache.negative(root, count=len(reqs)):
+        if self.cache.negative((snapshot_id, root), count=len(reqs)):
             stats["timeouts"] += len(reqs)
             exc = SolveTimeout(
                 "negative-cached: root recently timed out", root=root
@@ -672,11 +900,13 @@ class QueryBroker:
             self._breaker.acquire() if self._breaker is not None else "primary"
         )
         if decision == "degraded":
-            self._serve_degraded(root, reqs, batch_id, stats)
+            self._serve_degraded(root, reqs, batch_id, stats, snapshot_id)
             return
         t0 = self._clock()
         try:
-            res, used_attempt = self._attempt_solve(root, deadline, attempt)
+            res, used_attempt = self._attempt_solve(
+                root, deadline, attempt, snapshot_id
+            )
         except Exception as exc:
             if isinstance(exc, SolveTimeout) and exc.root is None:
                 exc.root = root
@@ -698,7 +928,7 @@ class QueryBroker:
                 self._requeue_group(reqs, consumed, failure_class, stats)
                 return
             if failure_class == "timeout":
-                self.cache.note_timeout(root)
+                self.cache.note_timeout((snapshot_id, root))
                 stats["timeouts"] += len(reqs)
             for req in reqs:
                 self._fail(req, exc, outcome=failure_class)
@@ -714,7 +944,9 @@ class QueryBroker:
                 req.ctx.request_id for req in reqs if req.ctx is not None
             ],
         )
-        self.cache.put(root, res.distances, cost_s=res.wall_time_s)
+        self.cache.put(
+            (snapshot_id, root), res.distances, cost_s=res.wall_time_s
+        )
         for i, req in enumerate(reqs):
             self._complete(
                 req,
@@ -755,7 +987,8 @@ class QueryBroker:
             self._idle.notify_all()
 
     def _serve_degraded(
-        self, root: int, reqs: list, batch_id: int, stats: dict
+        self, root: int, reqs: list, batch_id: int, stats: dict,
+        snapshot_id: int,
     ) -> None:
         """The open-breaker ladder for a group with no cache entry:
         bounded-exact fallback on small graphs, typed refusal otherwise.
@@ -763,12 +996,15 @@ class QueryBroker:
         not exercise the primary path it is protecting."""
         cfg = self._breaker.config
         open_classes = self._breaker.open_classes()
-        if self.graph.num_vertices <= cfg.degrade_max_vertices:
-            res = self._solver.solve_degraded(
+        graph = self._graph_for(snapshot_id)
+        if graph.num_vertices <= cfg.degrade_max_vertices:
+            res = self._solver_for(snapshot_id).solve_degraded(
                 root, max_supersteps=cfg.degrade_supersteps
             )
             stats["solves"] += 1
-            self.cache.put(root, res.distances, cost_s=res.wall_time_s)
+            self.cache.put(
+                (snapshot_id, root), res.distances, cost_s=res.wall_time_s
+            )
             for req in reqs:
                 if req.ctx is not None:
                     req.ctx.note_degraded("bounded_exact", open_classes)
@@ -792,11 +1028,17 @@ class QueryBroker:
     # Completion
     # ------------------------------------------------------------------
     def _paths(
-        self, root: int, distances: np.ndarray, targets: tuple[int, ...]
+        self,
+        root: int,
+        distances: np.ndarray,
+        targets: tuple[int, ...],
+        snapshot_id: int,
     ) -> dict[int, list[int] | None]:
         if not targets:
             return {}
-        parent = build_parent_tree(self.graph, distances, root)
+        parent = build_parent_tree(
+            self._graph_for(snapshot_id), distances, root
+        )
         out: dict[int, list[int] | None] = {}
         for t in targets:
             path = extract_path(parent, root, t)
@@ -822,12 +1064,15 @@ class QueryBroker:
             source=source,
             latency_s=latency,
             batch_id=batch_id,
-            paths=self._paths(req.root, distances, req.targets),
+            paths=self._paths(
+                req.root, distances, req.targets, req.snapshot_id
+            ),
             sssp=sssp,
             attempts=attempts,
             stale_ok=stale_ok,
             degraded=degraded,
             request_id=req.ctx.request_id if req.ctx is not None else None,
+            snapshot_id=req.snapshot_id,
         )
         if attempts > 1:
             with self._lock:
@@ -866,6 +1111,7 @@ class QueryBroker:
             self._outcomes[outcome] = self._outcomes.get(outcome, 0) + 1
             self._uncompleted -= 1
             self._idle.notify_all()
+        self._snapshot_unpin(req.snapshot_id)
         self.latency.record(outcome, latency)
         self.registry.inc(
             "serve_requests_total", outcome=outcome,
@@ -1031,6 +1277,11 @@ class QueryBroker:
                     else 0.0
                 ),
                 "queue_depth": self._batcher.depth,
+                "snapshot_id": self._snapshot_id,
+                "updates": self._updates,
+                "repairs": self._repairs,
+                "repair_fallbacks": self._repair_fallbacks,
+                "snapshots_resident": len(self._graphs),
                 **{
                     f"outcome_{k}": v
                     for k, v in sorted(self._outcomes.items())

@@ -1,12 +1,18 @@
 """Byte-budgeted distance cache with cost-aware eviction (DESIGN.md §11/§12).
 
 One :class:`DistanceCache` serves one (graph, config, machine) triple —
-the broker owns exactly one, so the key is simply the root. Values are
-full distance arrays, stored read-only so a hit can hand back the cached
-array itself without a copy: hits are **bit-identical** to a fresh solve
-because the cached array *was* a fresh solve's output, and solves are
-deterministic. A miss degrades to an exact solve — the cache can only
-ever make a query faster, never different.
+the broker owns exactly one. On a frozen graph the key is simply the
+root; a live-graph broker (DESIGN.md §15) keys entries by
+``(snapshot_id, root)`` tuples so answers computed against different
+graph versions can never alias — :meth:`evict_snapshot` sweeps every
+entry (and negative tombstone) of a retired snapshot in one call. Both
+key shapes go through one normaliser, so a frozen-graph broker keeps the
+plain-int keys unchanged. Values are full distance arrays, stored
+read-only so a hit can hand back the cached array itself without a copy:
+hits are **bit-identical** to a fresh solve because the cached array
+*was* a fresh solve's output, and solves are deterministic. A miss
+degrades to an exact solve — the cache can only ever make a query
+faster, never different.
 
 Eviction runs under a byte budget (``distances.nbytes`` per entry) and is
 **cost-aware**: among the ``evict_scan`` least-recently-used entries, the
@@ -87,6 +93,15 @@ def _crc(distances: np.ndarray) -> int:
     return zlib.crc32(distances.tobytes())
 
 
+def _key(root) -> int | tuple:
+    """Normalise a cache key: plain roots to ``int``, ``(snapshot_id,
+    root)`` tuples to a tuple of ints. Hashable, no aliasing between the
+    two shapes."""
+    if isinstance(root, tuple):
+        return tuple(int(part) for part in root)
+    return int(root)
+
+
 class DistanceCache:
     """Root → distance-array cache under a byte budget.
 
@@ -125,20 +140,21 @@ class DistanceCache:
         self.verify_get = False
         self.stats = CacheStats(byte_budget=self.byte_budget)
         self.registry = registry
-        self._entries: "OrderedDict[int, _Entry]" = OrderedDict()
-        self._negative: dict[int, float] = {}  # root -> expiry time
+        self._entries: "OrderedDict[int | tuple, _Entry]" = OrderedDict()
+        self._negative: dict[int | tuple, float] = {}  # key -> expiry time
         self._lock = threading.Lock()
 
     def __len__(self) -> int:
         with self._lock:
             return len(self._entries)
 
-    def __contains__(self, root: int) -> bool:
+    def __contains__(self, root) -> bool:
         with self._lock:
-            return int(root) in self._entries
+            return _key(root) in self._entries
 
-    def roots(self) -> list[int]:
-        """Cached roots, least- to most-recently used."""
+    def roots(self) -> list:
+        """Cached keys (roots or ``(snapshot_id, root)`` tuples),
+        least- to most-recently used."""
         with self._lock:
             return list(self._entries)
 
@@ -165,7 +181,7 @@ class DistanceCache:
         checksum mismatch under ``verify_get`` quarantines the entry and
         counts a miss.
         """
-        root = int(root)
+        root = _key(root)
         with self._lock:
             entry = self._entries.get(root)
             if entry is None or not self._verify_locked(root, entry):
@@ -180,7 +196,7 @@ class DistanceCache:
     def peek(self, root: int) -> np.ndarray | None:
         """Like :meth:`get` but touches neither stats nor LRU order
         (quarantine still applies under ``verify_get``)."""
-        root = int(root)
+        root = _key(root)
         with self._lock:
             entry = self._entries.get(root)
             if entry is None or not self._verify_locked(root, entry):
@@ -208,7 +224,7 @@ class DistanceCache:
         produced the entry and drives cost-aware eviction. Evicts until
         the budget holds.
         """
-        root = int(root)
+        root = _key(root)
         distances = np.asarray(distances)
         distances.setflags(write=False)
         nbytes = int(distances.nbytes)
@@ -285,7 +301,7 @@ class DistanceCache:
         with self._lock:
             now = self.clock()
             self._sweep_negative_locked(now)
-            self._negative[int(root)] = now + self.negative_ttl_s
+            self._negative[_key(root)] = now + self.negative_ttl_s
             while len(self._negative) > self.max_negative:
                 soonest = min(self._negative, key=self._negative.__getitem__)
                 del self._negative[soonest]
@@ -301,7 +317,7 @@ class DistanceCache:
         exactly that, i.e. once per shed request."""
         if self.negative_ttl_s <= 0:
             return False
-        root = int(root)
+        root = _key(root)
         with self._lock:
             expiry = self._negative.get(root)
             if expiry is None:
@@ -319,6 +335,38 @@ class DistanceCache:
         until the next sweep)."""
         with self._lock:
             return len(self._negative)
+
+    def evict_snapshot(self, snapshot_id: int) -> int:
+        """Drop every entry and negative tombstone keyed on ``snapshot_id``.
+
+        Applies to tuple-keyed ``(snapshot_id, root)`` entries only —
+        plain-int keys (frozen-graph brokers) are untouched. Returns the
+        number of distance entries dropped; drops count as evictions
+        (the entries were retired by policy, not corrupted)."""
+        sid = int(snapshot_id)
+        dropped = 0
+        with self._lock:
+            stale = [
+                key
+                for key in self._entries
+                if isinstance(key, tuple) and key[0] == sid
+            ]
+            for key in stale:
+                entry = self._entries.pop(key)
+                self.stats.bytes_in_use -= entry.nbytes
+                self.stats.evictions += 1
+                dropped += 1
+            if dropped:
+                self._mirror("serve_cache_evictions_total", dropped)
+            for key in [
+                key
+                for key in self._negative
+                if isinstance(key, tuple) and key[0] == sid
+            ]:
+                del self._negative[key]
+            if dropped:
+                self._gauge()
+        return dropped
 
     def clear(self) -> None:
         with self._lock:

@@ -275,14 +275,20 @@ class ChaosSolver:
         deadline=None,
         tracer=None,
         attempt: int | None = None,
+        solver=None,
     ):
         """Solve from ``root``, applying the plan's draw for ``attempt``.
 
         When ``attempt`` is None (direct use, outside the broker) an
         internal per-root counter advances it — the first chaos-free
-        idiom-preserving default.
+        idiom-preserving default. ``solver`` overrides the delegate for
+        this call only — the live-graph broker routes each request to
+        its pinned snapshot's solver while keeping one chaos draw stream
+        and one fault log for the whole service.
         """
         root = int(root)
+        if solver is None:
+            solver = self.solver
         if attempt is None:
             attempt = self._auto_attempts.get(root, 0)
             self._auto_attempts[root] = attempt + 1
@@ -299,7 +305,7 @@ class ChaosSolver:
             self._note(root, attempt, kind)
             if self.plan.slow_s:
                 time.sleep(self.plan.slow_s)
-        res = self.solver.solve(
+        res = solver.solve(
             root, validate=validate, deadline=deadline, tracer=tracer
         )
         if kind == "corrupt":

@@ -115,11 +115,21 @@ class QueryRequest:
     #: only when wide events or tracing are armed, ``None`` otherwise —
     #: every layer guards its note with one ``is not None`` check.
     ctx: Any = None
+    #: graph snapshot this request is pinned to, fixed at admission.
+    #: Every stage — cache lookups, solves, path extraction — reads the
+    #: pinned snapshot, so a request never observes a mixed graph even
+    #: when :meth:`~repro.serve.broker.QueryBroker.apply_updates` lands
+    #: mid-flight.
+    snapshot_id: int = 0
 
     @property
     def coalesce_key(self) -> tuple:
-        """Requests sharing this key are served by one solve."""
-        return (self.root, self.deadline)
+        """Requests sharing this key are served by one solve.
+
+        The snapshot id is part of the key: requests pinned to different
+        snapshots must never share a solve, even for the same root.
+        """
+        return (self.root, self.deadline, self.snapshot_id)
 
     @property
     def deadline_at(self) -> float:
@@ -165,6 +175,9 @@ class QueryResult:
     #: request id of the wide event describing this answer's journey
     #: (``None`` when request-scoped observability is disarmed).
     request_id: str | None = None
+    #: graph snapshot the answer was computed against (the request's
+    #: pinned snapshot; 0 on a broker that never applied updates).
+    snapshot_id: int = 0
 
     @property
     def cached(self) -> bool:

@@ -48,12 +48,57 @@ _EXPECTED_ERRORS = (
 )
 
 __all__ = [
+    "ChurnSpec",
     "WorkloadSpec",
     "zipf_weights",
     "root_sequence",
     "interarrival_times",
     "run_workload",
 ]
+
+
+@dataclass(frozen=True)
+class ChurnSpec:
+    """A seeded edge-churn stream interleaved with an open-loop workload.
+
+    ``updates`` batches of ``churn_fraction`` edge churn (split between
+    inserts, deletes and reweights per
+    :func:`~repro.dynamic.updates.random_update_batch`) are applied at
+    evenly spaced points of the request stream via
+    :meth:`~repro.serve.broker.QueryBroker.apply_updates`. Each batch is
+    drawn from ``np.random.default_rng((seed, round))`` against the
+    broker's *current* snapshot, so the whole update schedule replays
+    bit-identically from the spec. ``repair_hot_roots`` hot cached roots
+    are carried across each snapshot by incremental repair.
+    """
+
+    updates: int = 4
+    churn_fraction: float = 0.01
+    insert_fraction: float = 0.34
+    delete_fraction: float = 0.33
+    repair_hot_roots: int = 4
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if self.updates < 1:
+            raise ValueError("updates must be >= 1")
+        if not 0 < self.churn_fraction <= 1:
+            raise ValueError("churn_fraction must be in (0, 1]")
+        if self.repair_hot_roots < 0:
+            raise ValueError("repair_hot_roots must be >= 0")
+
+    def batch_for(self, graph, round_index: int):
+        """The deterministic update batch of one churn round."""
+        from repro.dynamic.updates import random_update_batch
+
+        rng = np.random.default_rng((self.seed, int(round_index)))
+        return random_update_batch(
+            graph,
+            rng,
+            churn_fraction=self.churn_fraction,
+            insert_fraction=self.insert_fraction,
+            delete_fraction=self.delete_fraction,
+        )
 
 
 @dataclass(frozen=True)
@@ -127,7 +172,7 @@ def interarrival_times(spec: WorkloadSpec) -> np.ndarray:
     return rng.exponential(1.0 / spec.rate_qps, size=spec.num_requests)
 
 
-def run_workload(broker, spec: WorkloadSpec) -> dict:
+def run_workload(broker, spec: WorkloadSpec, churn: ChurnSpec | None = None) -> dict:
     """Drive ``broker`` with the spec's stream; returns a report row.
 
     The report is the broker's :meth:`~repro.serve.broker.QueryBroker.
@@ -135,8 +180,27 @@ def run_workload(broker, spec: WorkloadSpec) -> dict:
     workload's own offered/shed/duration accounting. Shed requests
     (:class:`ServiceOverload`) are counted, not retried — the workload
     measures the service's overload policy rather than hiding it.
+
+    With a :class:`ChurnSpec` (open loop only), its update batches land
+    at evenly spaced points of the arrival stream — the live-graph
+    regime: requests admitted before an update keep their pinned
+    snapshot; requests after it see the new one.
     """
+    if churn is not None and spec.arrival != "open":
+        raise ValueError(
+            "churn interleaving requires the open-loop arrival process "
+            "(a closed loop has no deterministic arrival axis to pin "
+            "updates to)"
+        )
     roots = root_sequence(broker.graph, spec)
+    update_at: dict[int, int] = {}
+    if churn is not None:
+        # Round r fires just before request index (r+1) * N / (updates+1):
+        # updates are interior points of the stream, never before the
+        # first or after the last arrival.
+        for r in range(churn.updates):
+            idx = ((r + 1) * spec.num_requests) // (churn.updates + 1)
+            update_at[min(idx, spec.num_requests - 1)] = r
     before = broker.report()
     t0 = time.perf_counter()
     if spec.arrival == "open":
@@ -144,6 +208,13 @@ def run_workload(broker, spec: WorkloadSpec) -> dict:
         futures = []
         next_at = time.perf_counter()
         for i, root in enumerate(roots):
+            if i in update_at and churn is not None:
+                batch = churn.batch_for(
+                    broker.versioner.current.graph, update_at[i]
+                )
+                broker.apply_updates(
+                    batch, repair_hot_roots=churn.repair_hot_roots
+                )
             next_at += gaps[i]
             pause = next_at - time.perf_counter()
             if pause > 0:
@@ -205,4 +276,15 @@ def run_workload(broker, spec: WorkloadSpec) -> dict:
             "throughput_qps": completed / wall if wall > 0 else 0.0,
         }
     )
+    if churn is not None:
+        report.update(
+            {
+                "churn_updates": after["updates"] - before["updates"],
+                "churn_fraction": churn.churn_fraction,
+                "repairs": after["repairs"] - before["repairs"],
+                "repair_fallbacks": (
+                    after["repair_fallbacks"] - before["repair_fallbacks"]
+                ),
+            }
+        )
     return report

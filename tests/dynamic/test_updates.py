@@ -1,0 +1,205 @@
+"""Update-batch validation and snapshot construction (DESIGN.md §15)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.dynamic.updates import (
+    UpdateBatch,
+    apply_batch,
+    random_update_batch,
+)
+from repro.graph.rmat import rmat_graph
+
+
+def edge_set(graph) -> dict[tuple[int, int], int]:
+    """Canonical undirected edge set {(min, max): weight}."""
+    tails, heads, weights = graph.to_edge_list()
+    out = {}
+    for t, h, w in zip(tails, heads, weights):
+        if t < h:
+            out[(int(t), int(h))] = int(w)
+    return out
+
+
+class TestUpdateBatchValidation:
+    def test_build_empty(self):
+        batch = UpdateBatch.build()
+        assert batch.is_empty
+        assert batch.size == 0
+
+    def test_build_counts(self):
+        batch = UpdateBatch.build(
+            inserts=([0], [1], [7]),
+            deletes=([2], [3]),
+            reweights=([4, 5], [5, 6], [1, 2]),
+        )
+        assert batch.num_inserts == 1
+        assert batch.num_deletes == 1
+        assert batch.num_reweights == 2
+        assert batch.size == 4
+
+    def test_self_loop_rejected(self):
+        with pytest.raises(ValueError, match="self-loop"):
+            UpdateBatch.build(inserts=([3], [3], [1]))
+
+    def test_negative_weight_rejected(self):
+        with pytest.raises(ValueError, match="negative"):
+            UpdateBatch.build(inserts=([0], [1], [-4]))
+
+    def test_misaligned_arrays_rejected(self):
+        with pytest.raises(ValueError):
+            UpdateBatch.build(inserts=([0, 1], [1], [2]))
+
+    def test_validate_rejects_out_of_range(self, path_graph):
+        batch = UpdateBatch.build(inserts=([0], [99], [1]))
+        with pytest.raises(ValueError, match="range"):
+            batch.validate_against(path_graph)
+
+    def test_validate_rejects_insert_of_existing_edge(self, path_graph):
+        batch = UpdateBatch.build(inserts=([0], [1], [9]))
+        with pytest.raises(ValueError, match="reweight"):
+            batch.validate_against(path_graph)
+
+    def test_validate_rejects_delete_of_absent_edge(self, path_graph):
+        batch = UpdateBatch.build(deletes=([0], [4]))
+        with pytest.raises(ValueError, match="absent|exist|name"):
+            batch.validate_against(path_graph)
+
+    def test_validate_rejects_reweight_of_absent_edge(self, path_graph):
+        batch = UpdateBatch.build(reweights=([0], [4], [3]))
+        with pytest.raises(ValueError):
+            batch.validate_against(path_graph)
+
+    def test_validate_rejects_duplicate_edge_across_ops(self, path_graph):
+        batch = UpdateBatch.build(
+            deletes=([0], [1]), reweights=([1], [0], [5])
+        )
+        with pytest.raises(ValueError, match="once|duplicate"):
+            batch.validate_against(path_graph)
+
+
+class TestApplyBatch:
+    def test_insert_delete_reweight_roundtrip(self, path_graph):
+        # path 0-1-2-3-4; delete 2-3, reweight 0-1 to 9, insert 0-4 w=2.
+        batch = UpdateBatch.build(
+            inserts=([0], [4], [2]),
+            deletes=([2], [3]),
+            reweights=([0], [1], [9]),
+        )
+        new_graph, delta = apply_batch(path_graph, batch)
+        edges = edge_set(new_graph)
+        assert (2, 3) not in edges
+        assert edges[(0, 1)] == 9
+        assert edges[(0, 4)] == 2
+        assert new_graph.undirected
+        # Old graph untouched (snapshots are immutable).
+        assert edge_set(path_graph)[(0, 1)] == 5
+
+    def test_delta_classifies_improved_and_worsened(self, path_graph):
+        batch = UpdateBatch.build(
+            inserts=([0], [4], [2]),    # improved: new edge
+            deletes=([2], [3]),         # worsened: weight -> INF
+            reweights=([0], [1], [9]),  # worsened: 5 -> 9
+        )
+        _, delta = apply_batch(path_graph, batch)
+        # Both orientations of every touched edge appear.
+        improved = set(zip(delta.improved_tails, delta.improved_heads))
+        worsened = set(zip(delta.worsened_tails, delta.worsened_heads))
+        assert (0, 4) in improved and (4, 0) in improved
+        assert (2, 3) in worsened and (3, 2) in worsened
+        assert (0, 1) in worsened and (1, 0) in worsened
+        assert delta.num_improved == 2
+        assert delta.num_worsened == 4
+
+    def test_reweight_down_is_improved(self, path_graph):
+        batch = UpdateBatch.build(reweights=([0], [1], [1]))
+        _, delta = apply_batch(path_graph, batch)
+        assert delta.num_improved == 2
+        assert delta.num_worsened == 0
+        # Improved arcs carry the NEW weight.
+        assert set(delta.improved_weights) == {1}
+
+    def test_empty_batch_is_noop(self, path_graph):
+        new_graph, delta = apply_batch(path_graph, UpdateBatch.build())
+        assert delta.is_empty
+        assert edge_set(new_graph) == edge_set(path_graph)
+
+
+class TestRandomUpdateBatch:
+    def test_deterministic_per_seed(self):
+        g = rmat_graph(8, seed=1)
+        b1 = random_update_batch(g, np.random.default_rng(5))
+        b2 = random_update_batch(g, np.random.default_rng(5))
+        for name in (
+            "insert_tails", "insert_heads", "insert_weights",
+            "delete_tails", "delete_heads",
+            "reweight_tails", "reweight_heads", "reweight_weights",
+        ):
+            np.testing.assert_array_equal(getattr(b1, name), getattr(b2, name))
+
+    def test_validates_against_source_graph(self):
+        g = rmat_graph(8, seed=1)
+        rng = np.random.default_rng(0)
+        for _ in range(5):
+            batch = random_update_batch(g, rng, churn_fraction=0.05)
+            batch.validate_against(g)  # raises on any malformed op
+            g, _ = apply_batch(g, batch)
+
+    def test_churn_fraction_scales_ops(self):
+        g = rmat_graph(9, seed=2)
+        small = random_update_batch(
+            g, np.random.default_rng(1), churn_fraction=0.01
+        )
+        big = random_update_batch(
+            g, np.random.default_rng(1), churn_fraction=0.1
+        )
+        assert big.size > small.size
+
+    @settings(deadline=None, max_examples=25)
+    @given(seed=st.integers(0, 2**31 - 1), churn=st.floats(0.005, 0.2))
+    def test_apply_preserves_csr_invariants(self, seed, churn):
+        g = rmat_graph(6, seed=3)
+        batch = random_update_batch(
+            g, np.random.default_rng(seed), churn_fraction=churn
+        )
+        new_graph, delta = apply_batch(g, batch)
+        # CSR invariants: sorted symmetric arc set, aligned arrays.
+        assert new_graph.indptr[0] == 0
+        assert new_graph.indptr[-1] == new_graph.adj.size
+        assert new_graph.adj.size == new_graph.weights.size
+        assert new_graph.undirected
+        fwd = edge_set(new_graph)
+        tails, heads, weights = new_graph.to_edge_list()
+        rev = {
+            (int(h), int(t)): int(w)
+            for t, h, w in zip(tails, heads, weights)
+            if h < t
+        }
+        assert fwd == rev  # both arc orientations agree
+        # Delta accounting matches the actual edge-set difference.
+        old = edge_set(g)
+        changed = {
+            e for e in set(old) | set(fwd)
+            if old.get(e) != fwd.get(e)
+        }
+        touched = set()
+        for t, h in zip(delta.improved_tails, delta.improved_heads):
+            touched.add((min(int(t), int(h)), max(int(t), int(h))))
+        for t, h in zip(delta.worsened_tails, delta.worsened_heads):
+            touched.add((min(int(t), int(h)), max(int(t), int(h))))
+        assert touched == changed
+
+
+def test_random_batch_on_directed_graph_is_valid():
+    tails = np.array([0, 1, 2, 3])
+    heads = np.array([1, 2, 3, 0])
+    weights = np.array([1, 2, 3, 4])
+    from repro.graph.builder import from_edges
+
+    g = from_edges(tails, heads, weights, 4, undirected=False)
+    batch = random_update_batch(g, np.random.default_rng(0), churn_fraction=0.5)
+    batch.validate_against(g)
+    apply_batch(g, batch)

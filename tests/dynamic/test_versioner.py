@@ -1,0 +1,120 @@
+"""Snapshot lineage, digests, retention and context memoisation."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.config import preset
+from repro.dynamic.updates import UpdateBatch, random_update_batch
+from repro.dynamic.versioner import GraphVersioner, structural_digest
+from repro.graph.rmat import rmat_graph
+from repro.runtime.machine import MachineConfig
+
+
+@pytest.fixture
+def graph():
+    return rmat_graph(7, seed=4)
+
+
+@pytest.fixture
+def versioner(graph):
+    return GraphVersioner(
+        graph,
+        machine=MachineConfig(num_ranks=4, threads_per_rank=4),
+        config=preset("opt", 25),
+        retention=3,
+    )
+
+
+class TestStructuralDigest:
+    def test_deterministic(self, graph):
+        assert structural_digest(graph) == structural_digest(graph)
+
+    def test_sensitive_to_any_change(self, graph, versioner):
+        snap, _ = versioner.apply(
+            random_update_batch(graph, np.random.default_rng(1))
+        )
+        assert structural_digest(snap.graph) != structural_digest(graph)
+
+    def test_memoised_digest_matches_direct(self, graph, versioner):
+        assert versioner.digest(0) == structural_digest(graph)
+
+
+class TestLineage:
+    def test_snapshot_zero_is_construction_graph(self, graph, versioner):
+        assert versioner.current_id == 0
+        assert versioner.current.graph is graph
+        assert versioner.current.parent_id is None
+
+    def test_apply_links_parent(self, graph, versioner):
+        batch = random_update_batch(graph, np.random.default_rng(2))
+        snap, retired = versioner.apply(batch)
+        assert snap.snapshot_id == 1
+        assert snap.parent_id == 0
+        assert snap.batch is batch
+        assert not snap.delta.is_empty
+        assert retired == []
+        assert versioner.current_id == 1
+
+    def test_snapshots_are_immutable_lineage(self, graph, versioner):
+        g0_digest = versioner.digest(0)
+        rng = np.random.default_rng(3)
+        versioner.apply(random_update_batch(graph, rng))
+        versioner.apply(
+            random_update_batch(versioner.current.graph, rng)
+        )
+        # Applying updates never perturbs an ancestor snapshot.
+        assert versioner.digest(0) == g0_digest
+
+    def test_empty_batch_still_mints_snapshot(self, versioner):
+        snap, _ = versioner.apply(UpdateBatch.build())
+        assert snap.snapshot_id == 1
+        assert snap.delta.is_empty
+        # Identical structure => identical digest, distinct identity.
+        assert versioner.digest(1) == versioner.digest(0)
+
+
+class TestRetention:
+    def test_bounded_retention_retires_oldest(self, graph, versioner):
+        rng = np.random.default_rng(5)
+        retired_all = []
+        for _ in range(5):
+            _, retired = versioner.apply(
+                random_update_batch(versioner.current.graph, rng)
+            )
+            retired_all.extend(retired)
+        # retention=3: snapshots 3, 4, 5 resident; 0, 1, 2 retired in order.
+        assert versioner.ids() == [3, 4, 5]
+        assert retired_all == [0, 1, 2]
+        assert 2 not in versioner
+        with pytest.raises(KeyError, match="retention"):
+            versioner.get(0)
+
+    def test_retention_validated(self, graph):
+        with pytest.raises(ValueError):
+            GraphVersioner(graph, retention=0)
+
+
+class TestContexts:
+    def test_context_memoised_per_snapshot(self, versioner):
+        ctx_a = versioner.context_for(0)
+        assert versioner.context_for(0) is ctx_a
+        snap, _ = versioner.apply(
+            random_update_batch(
+                versioner.current.graph, np.random.default_rng(6)
+            )
+        )
+        ctx_b = versioner.context_for(snap.snapshot_id)
+        assert ctx_b is not ctx_a
+        assert ctx_b.graph is not ctx_a.graph
+
+    def test_conflicting_override_raises(self, versioner):
+        versioner.context_for(0)
+        with pytest.raises(ValueError, match="different"):
+            versioner.context_for(0, config=preset("rho"))
+
+    def test_needs_machine_and_config(self, graph):
+        bare = GraphVersioner(graph)
+        with pytest.raises(ValueError, match="machine and config"):
+            bare.context_for(0)

@@ -3,7 +3,9 @@
 import numpy as np
 import pytest
 
-from repro.graph.builder import from_undirected_edges
+from hypothesis import given, settings, strategies as st
+
+from repro.graph.builder import from_edges, from_undirected_edges
 from repro.graph.csr import CSRGraph
 
 
@@ -145,6 +147,70 @@ class TestSortedByWeight:
         s = rmat1_small.sorted_by_weight()
         assert np.array_equal(s.short_edge_offsets(1), np.zeros(s.num_vertices))
         assert np.array_equal(s.short_edge_offsets(10**9), s.degrees)
+
+
+@st.composite
+def edge_lists(draw):
+    n = draw(st.integers(min_value=2, max_value=32))
+    edges = draw(
+        st.lists(
+            st.tuples(
+                st.integers(0, n - 1),
+                st.integers(0, n - 1),
+                st.integers(0, 50),
+            ),
+            max_size=96,
+        )
+    )
+    tails = np.array([e[0] for e in edges], dtype=np.int64)
+    heads = np.array([e[1] for e in edges], dtype=np.int64)
+    weights = np.array([e[2] for e in edges], dtype=np.int64)
+    return n, tails, heads, weights
+
+
+def assert_same_csr(a, b) -> None:
+    assert a.undirected == b.undirected
+    np.testing.assert_array_equal(a.indptr, b.indptr)
+    np.testing.assert_array_equal(a.adj, b.adj)
+    np.testing.assert_array_equal(a.weights, b.weights)
+
+
+class TestEdgeListRoundTripProperty:
+    """Hypothesis: ``to_edge_list`` is lossless against the builder."""
+
+    @settings(deadline=None, max_examples=60)
+    @given(edge_lists())
+    def test_undirected_round_trip(self, spec):
+        n, tails, heads, weights = spec
+        g = from_undirected_edges(tails, heads, weights, n)
+        t, h, w = g.to_edge_list()
+        # Arcs are already symmetric and deduplicated, so a plain
+        # rebuild must reproduce the CSR arrays bit for bit.
+        rebuilt = from_edges(t, h, w, n, undirected=True)
+        assert_same_csr(g, rebuilt)
+
+    @settings(deadline=None, max_examples=60)
+    @given(edge_lists())
+    def test_directed_round_trip(self, spec):
+        n, tails, heads, weights = spec
+        g = from_edges(tails, heads, weights, n)
+        rebuilt = from_edges(*g.to_edge_list(), n)
+        assert_same_csr(g, rebuilt)
+
+    @settings(deadline=None, max_examples=60)
+    @given(edge_lists())
+    def test_reverse_is_an_involution(self, spec):
+        n, tails, heads, weights = spec
+        g = from_edges(tails, heads, weights, n)
+        assert_same_csr(g, g.reverse().reverse())
+
+    @settings(deadline=None, max_examples=60)
+    @given(edge_lists())
+    def test_reverse_fixes_undirected_graphs(self, spec):
+        n, tails, heads, weights = spec
+        g = from_undirected_edges(tails, heads, weights, n)
+        # A symmetrized graph is its own reverse, arrays included.
+        assert_same_csr(g, g.reverse())
 
 
 class TestReverse:

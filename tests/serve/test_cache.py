@@ -260,6 +260,129 @@ class TestNegativeCache:
         assert not cache.negative(5)
 
 
+class TestSnapshotKeys:
+    """Snapshot-scoped ``(snapshot_id, root)`` keys (DESIGN §15)."""
+
+    def test_tuple_and_int_keys_coexist(self):
+        cache = DistanceCache(1 << 20)
+        cache.put(7, arr(4, 1))
+        cache.put((0, 7), arr(4, 2))
+        cache.put((1, 7), arr(4, 3))
+        assert np.array_equal(cache.get(7), arr(4, 1))
+        assert np.array_equal(cache.get((0, 7)), arr(4, 2))
+        assert np.array_equal(cache.get((1, 7)), arr(4, 3))
+
+    def test_key_normalisation_dedupes_numpy_ints(self):
+        cache = DistanceCache(1 << 20)
+        cache.put((np.int64(0), np.int64(7)), arr(4, 1))
+        assert cache.get((0, 7)) is not None
+        cache.put((0, 7), arr(4, 2))  # replaces, not a second entry
+        assert len(cache.roots()) == 1
+
+    def test_evict_snapshot_scoped_drop(self):
+        cache = DistanceCache(1 << 20)
+        cache.put(7, arr(4))
+        for sid, root in ((0, 7), (0, 17), (1, 17)):
+            cache.put((sid, root), arr(4))
+        before = cache.stats.evictions
+        assert cache.evict_snapshot(0) == 2
+        assert cache.stats.evictions == before + 2
+        assert cache.get((0, 7)) is None
+        assert cache.get((0, 17)) is None
+        assert cache.get((1, 17)) is not None
+        assert cache.get(7) is not None  # frozen-graph keys untouched
+        assert cache.evict_snapshot(0) == 0  # idempotent
+
+    def test_evict_snapshot_drops_scoped_tombstones(self):
+        clock = FakeClock()
+        cache = DistanceCache(1 << 20, negative_ttl_s=60.0, clock=clock)
+        cache.note_timeout((0, 5))
+        cache.note_timeout((1, 5))
+        cache.note_timeout(5)
+        cache.evict_snapshot(0)
+        assert not cache.negative((0, 5))
+        assert cache.negative((1, 5))
+        assert cache.negative(5)
+
+    def test_bytes_accounting_survives_snapshot_eviction(self):
+        registry = MetricsRegistry()
+        cache = DistanceCache(1 << 20, registry=registry)
+        cache.put((0, 1), arr(64))
+        cache.put((1, 1), arr(64))
+        cache.evict_snapshot(0)
+        assert cache.stats.bytes_in_use == arr(64).nbytes
+        assert "serve_cache_entries 1" in registry.prometheus_text()
+
+
+class TestClearAuditNegativeInterplay:
+    """Satellite: ``clear()``/``audit()`` against the negative cache."""
+
+    def test_negative_sweep_restarts_after_clear(self):
+        # A full clear drops tombstones; the lazy sweep machinery must
+        # keep working on entries noted *after* the clear.
+        clock = FakeClock()
+        cache = DistanceCache(1 << 20, negative_ttl_s=2.0, clock=clock)
+        for root in range(10):
+            cache.note_timeout(root)
+        cache.clear()
+        assert cache.negative_size() == 0
+        cache.note_timeout(50)
+        assert cache.negative(50)
+        clock.t = 5.0
+        cache.note_timeout(51)  # sweep fires over post-clear tombstones
+        assert cache.negative_size() == 1
+        assert not cache.negative(50)
+
+    def test_negative_cap_restarts_after_clear(self):
+        clock = FakeClock()
+        cache = DistanceCache(
+            1 << 20, negative_ttl_s=1000.0, max_negative=4, clock=clock
+        )
+        for root in range(10):
+            clock.t += 0.01
+            cache.note_timeout(root)
+        cache.clear()
+        for root in range(10, 16):
+            clock.t += 0.01
+            cache.note_timeout(root)
+        # cap applies to the post-clear population alone
+        assert cache.negative_size() == 4
+        assert not cache.negative(10)  # oldest post-clear evicted
+        assert cache.negative(15)
+
+    def test_audit_ignores_negative_entries(self):
+        clock = FakeClock()
+        cache = DistanceCache(
+            1 << 20, checksum=True, negative_ttl_s=60.0, clock=clock
+        )
+        cache.put(1, arr(8))
+        cache.note_timeout(2)
+        assert cache.audit() == []
+        assert cache.negative(2)  # tombstones survive a clean audit
+
+    def test_audit_after_clear_is_empty(self):
+        cache = DistanceCache(1 << 20, checksum=True)
+        cache.put(1, arr(8))
+        cache.clear()
+        assert cache.audit() == []
+        assert cache.stats.quarantined == 0
+
+    def test_audit_quarantine_leaves_tombstones(self):
+        clock = FakeClock()
+        cache = DistanceCache(
+            1 << 20, checksum=True, negative_ttl_s=60.0, clock=clock
+        )
+        data = arr(8)
+        cache.put(1, data)
+        cache.note_timeout(2)
+        stored = cache.peek(1)
+        stored.flags.writeable = True
+        stored[0] = 99  # corrupt in place behind the CRC
+        assert cache.audit() == [1]
+        assert cache.negative(2)
+        assert cache.get(1) is None
+
+
 class TestContract:
     def test_stored_array_is_read_only_and_uncopied(self):
         cache = DistanceCache(1 << 20)

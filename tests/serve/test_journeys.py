@@ -327,6 +327,119 @@ class TestJourneyChaosActuallyBites:
             assert ("error", "open", "half_open") in transitions
 
 
+def run_live_journey(graph, seed: int, *, steps: int = 18,
+                     updates: int = 3) -> dict:
+    """A journey with live-graph churn interleaved (DESIGN §15).
+
+    Same resilience ladder as :func:`run_journey` minus the breaker
+    theatrics, plus ``apply_updates`` fired at fixed step indices so
+    requests straddle snapshot swaps — including requests admitted
+    *before* a swap and executed after it.
+    """
+    from repro.dynamic.updates import random_update_batch
+
+    rng = np.random.default_rng(seed)
+    pool = [int(r) for r in choose_roots(graph, 6, seed=seed)]
+    broker = QueryBroker(
+        graph,
+        algorithm="opt", delta=25, num_ranks=2, threads_per_rank=2,
+        num_workers=0, flush_interval_s=0.0,
+        snapshot_retention=updates + 1,
+        chaos=ChaosPlan(seed=seed, error_rate=0.15, corrupt_rate=0.10,
+                        max_faulty_attempts=2),
+        retry=RetryPolicy(max_attempts=3, backoff_base_s=0.0),
+        verify="structural",
+        events=WideEventLog(),
+    )
+    update_at = {((r + 1) * steps) // (updates + 1): r
+                 for r in range(updates)}
+    journeys = []
+    for i in range(steps):
+        if i in update_at:
+            batch = random_update_batch(
+                broker.versioner.current.graph,
+                np.random.default_rng((seed, update_at[i])),
+                churn_fraction=0.02,
+            )
+            broker.apply_updates(batch, repair_hot_roots=2)
+        root = int(pool[rng.integers(0, len(pool))])
+        future = broker.submit(root)
+        if i % 3 == 0:
+            # Let some requests straddle the *next* swap: only drain on
+            # every third step, so queued work crosses snapshot epochs.
+            assert broker.drain(timeout=60.0)
+        journeys.append((root, future))
+    assert broker.drain(timeout=60.0)
+    record = {
+        "journeys": journeys,
+        "report": broker.report(),
+        "chaos_log": list(broker.chaos.log),
+        "events": broker.events.events(),
+        "canonical": broker.events.canonical_text(),
+        "graphs": {sid: broker.versioner.get(sid).graph
+                   for sid in broker.versioner.ids()},
+    }
+    broker.shutdown()
+    return record
+
+
+@pytest.mark.parametrize("seed", SEEDS)
+class TestLiveJourneyInvariants:
+    """ISSUE 10 acceptance: the invariant harness under interleaved
+    updates — no request ever observes mixed-snapshot distances."""
+
+    def test_ok_answers_match_their_events_snapshot(self, rmat1_small, seed):
+        record = run_live_journey(rmat1_small, seed)
+        by_id = {e["request_id"]: e for e in record["events"]}
+        ref: dict[tuple, np.ndarray] = {}
+        checked = 0
+        for root, future in record["journeys"]:
+            if future.exception() is not None:
+                continue
+            res = future.result()
+            sid = by_id[res.request_id]["snapshot_id"]
+            assert sid == res.snapshot_id
+            key = (sid, root)
+            if key not in ref:
+                ref[key] = solve_sssp(
+                    record["graphs"][sid], root, algorithm="opt", delta=25,
+                    num_ranks=2, threads_per_rank=2,
+                ).distances
+            # Bit-identical to an offline solve of the event's snapshot:
+            # a mixed-snapshot answer could not satisfy this exactly.
+            assert np.array_equal(res.distances, ref[key]), (
+                f"root {root} on snapshot {sid} via {res.source!r} diverged"
+            )
+            checked += 1
+        assert checked > 0
+        # The journey genuinely crossed snapshots with live answers.
+        assert len({sid for sid, _ in ref}) > 1
+
+    def test_requests_straddle_swaps(self, rmat1_small, seed):
+        record = run_live_journey(rmat1_small, seed)
+        report = record["report"]
+        assert report["updates"] == 3
+        assert report["snapshot_id"] == 3
+        # Some request was admitted on an older snapshot than the final
+        # one and still completed there (pinning, not draining).
+        events = record["events"]
+        assert {e["snapshot_id"] for e in events} == {0, 1, 2, 3}
+
+    def test_live_replay_is_deterministic(self, rmat1_small, seed):
+        first = run_live_journey(rmat1_small, seed)
+        second = run_live_journey(rmat1_small, seed)
+        assert first["canonical"]
+        assert first["canonical"] == second["canonical"]
+        assert first["chaos_log"] == second["chaos_log"]
+        firsts = [(r, f.exception() is None) for r, f in first["journeys"]]
+        seconds = [(r, f.exception() is None) for r, f in second["journeys"]]
+        assert firsts == seconds
+        for sid, graph in first["graphs"].items():
+            np.testing.assert_array_equal(
+                graph.weights, second["graphs"][sid].weights
+            )
+
+
 def tiny_graph() -> object:
     rng = np.random.default_rng(1234)
     n, m = 24, 60
